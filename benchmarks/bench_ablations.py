@@ -1,0 +1,135 @@
+"""Ablations of UTCQ's design choices (DESIGN.md §6 call-outs).
+
+Not a paper table, but the paper's design arguments made measurable:
+
+* **SIAR + improved Exp-Golomb vs TED's boundary pairs** on the time
+  component alone — SIAR's whole reason to exist (§4.1);
+* **referential representation on/off** — the framework's core idea;
+* **TED with/without bitmap T' compression** — the paper omits bitmap
+  compression from its comparison as "time consuming"; the toggle shows
+  the trade both ways.
+"""
+
+import time
+
+import pytest
+from conftest import record_experiment
+
+from repro.core.compressor import UTCQCompressor
+from repro.ted.compressor import TEDCompressor
+from repro.trajectories.datasets import profile
+
+
+def test_ablation_time_codec(benchmark, datasets):
+    """SIAR vs boundary pairs, time component only, per dataset."""
+    from repro.core import siar
+    from repro.ted import time_codec
+
+    rows = []
+
+    def work():
+        rows.clear()
+        for name in ("DK", "CD", "HZ"):
+            _, trajectories = datasets[name]
+            interval = profile(name).default_interval
+            original = siar_bits = ted_bits = 0
+            for trajectory in trajectories:
+                times = list(trajectory.times)
+                original += 32 * len(times)
+                siar_bits += siar.encoded_size_bits(times, interval)
+                ted_bits += time_codec.encoded_size_bits(times)
+            rows.append(
+                [name, original / siar_bits, original / ted_bits]
+            )
+        return rows
+
+    benchmark.pedantic(work, rounds=1, iterations=1)
+    record_experiment(
+        "Ablation — time codec (SIAR+ExpGolomb vs TED boundary pairs)",
+        ["dataset", "SIAR CR", "boundary-pair CR"],
+        rows,
+    )
+    for row in rows:
+        assert row[1] > row[2], f"SIAR must beat boundary pairs on {row[0]}"
+
+
+@pytest.mark.parametrize("name", ["DK", "HZ"])
+def test_ablation_referential_representation(benchmark, datasets, name):
+    """UTCQ with and without referential representation."""
+    network, trajectories = datasets[name]
+    prof = profile(name)
+    rows = []
+
+    def work():
+        rows.clear()
+        for disabled in (False, True):
+            compressor = UTCQCompressor(
+                network=network,
+                default_interval=prof.default_interval,
+                eta_probability=prof.default_eta_probability,
+                disable_referential=disabled,
+            )
+            started = time.perf_counter()
+            archive = compressor.compress(trajectories)
+            elapsed = time.perf_counter() - started
+            rows.append(
+                [
+                    name,
+                    "off" if disabled else "on",
+                    archive.stats.total_ratio,
+                    archive.stats.edge_ratio,
+                    archive.stats.flags_ratio,
+                    archive.stats.distance_ratio,
+                    elapsed,
+                ]
+            )
+        return rows
+
+    benchmark.pedantic(work, rounds=1, iterations=1)
+    record_experiment(
+        f"Ablation ({name}) — referential representation on/off",
+        ["dataset", "referential", "Total", "E", "T'", "D", "time (s)"],
+        rows,
+    )
+    with_ref, without_ref = rows[0], rows[1]
+    assert with_ref[2] > without_ref[2], "referential must improve the total"
+    assert with_ref[3] > without_ref[3], "referential must improve E"
+
+
+def test_ablation_ted_bitmap(benchmark, datasets):
+    """TED's omitted bitmap compression: ratio gain vs time cost."""
+    network, trajectories = datasets["DK"]
+    prof = profile("DK")
+    rows = []
+
+    def work():
+        rows.clear()
+        for use_bitmap in (False, True):
+            compressor = TEDCompressor(
+                network=network,
+                default_interval=prof.default_interval,
+                use_bitmap=use_bitmap,
+            )
+            started = time.perf_counter()
+            archive = compressor.compress(trajectories)
+            elapsed = time.perf_counter() - started
+            rows.append(
+                [
+                    "with bitmap" if use_bitmap else "no bitmap (paper)",
+                    archive.stats.flags_ratio,
+                    archive.stats.total_ratio,
+                    elapsed,
+                ]
+            )
+        return rows
+
+    benchmark.pedantic(work, rounds=1, iterations=1)
+    record_experiment(
+        "Ablation (DK) — TED bitmap compression of T' "
+        "(the paper omits it from the comparison)",
+        ["variant", "T' CR", "Total CR", "time (s)"],
+        rows,
+    )
+    no_bitmap, with_bitmap = rows[0], rows[1]
+    assert no_bitmap[1] == pytest.approx(1.0)
+    assert with_bitmap[1] != no_bitmap[1]

@@ -1,0 +1,151 @@
+"""Fig. 11 — effect of the PDDP error bounds on query accuracy.
+
+Sweeps eta_D (1/128 .. 1/8) measuring the average difference between
+query answers on original vs compressed data (meters for where, seconds
+for when), and eta_p (1/2048 .. 1/128) measuring the F1 score of
+alpha-thresholded results.  The paper: differences stay small at the
+default bounds and F1 stays close to 1.
+"""
+
+import pytest
+from conftest import record_experiment
+
+from repro.query import (
+    BruteForceOracle,
+    StIUIndex,
+    UTCQQueryProcessor,
+    when_accuracy,
+    where_accuracy,
+)
+from repro.trajectories.datasets import profile
+from repro.workloads.harness import build_query_workload, run_utcq_compression
+
+ETA_DISTANCES = (1 / 128, 1 / 64, 1 / 32, 1 / 16, 1 / 8)
+ETA_PROBABILITIES = (1 / 2048, 1 / 1024, 1 / 512, 1 / 256, 1 / 128)
+DATASETS_USED = ("CD", "HZ")
+
+
+def _build_processor(network, trajectories, prof, eta_d, eta_p):
+    run = run_utcq_compression(
+        network,
+        trajectories,
+        prof,
+        eta_distance=eta_d,
+        eta_probability=eta_p,
+    )
+    index = StIUIndex(
+        network,
+        run.archive,
+        grid_cells_per_side=32,
+        time_partition_seconds=1800,
+    )
+    return UTCQQueryProcessor(network, run.archive, index)
+
+
+def test_fig11a_distance_error_bound(benchmark, datasets):
+    rows = []
+
+    def work():
+        rows.clear()
+        for name in DATASETS_USED:
+            network, trajectories = datasets[name]
+            prof = profile(name)
+            oracle = BruteForceOracle(network, trajectories)
+            workload = build_query_workload(
+                network, trajectories, count=20, seed=29, alpha=0.0
+            )
+            for eta_d in ETA_DISTANCES:
+                processor = _build_processor(
+                    network, trajectories, prof, eta_d,
+                    prof.default_eta_probability,
+                )
+                where_diffs = []
+                when_diffs = []
+                for trajectory_id, t, alpha in workload.where_queries:
+                    report = where_accuracy(
+                        network,
+                        oracle.where(trajectory_id, t, alpha),
+                        processor.where(trajectory_id, t, alpha),
+                    )
+                    if report.matched:
+                        where_diffs.append(report.average_difference)
+                for trajectory_id, edge, rd, alpha in workload.when_queries:
+                    report = when_accuracy(
+                        oracle.when(trajectory_id, edge, rd, alpha),
+                        processor.when(trajectory_id, edge, rd, alpha),
+                    )
+                    if report.matched:
+                        when_diffs.append(report.average_difference)
+                rows.append(
+                    [
+                        name,
+                        f"1/{round(1 / eta_d)}",
+                        sum(where_diffs) / max(len(where_diffs), 1),
+                        sum(when_diffs) / max(len(when_diffs), 1),
+                    ]
+                )
+        return rows
+
+    benchmark.pedantic(work, rounds=1, iterations=1)
+    record_experiment(
+        "Fig. 11a — average difference vs eta_D "
+        "(paper: small at the default 1/128, grows with the bound)",
+        ["dataset", "eta_D", "where diff (m)", "when diff (s)"],
+        rows,
+    )
+    for name in DATASETS_USED:
+        dataset_rows = [r for r in rows if r[0] == name]
+        # the tightest bound must not be less accurate than the loosest
+        assert dataset_rows[0][2] <= dataset_rows[-1][2] + 1.0
+
+
+def test_fig11b_probability_error_bound(benchmark, datasets):
+    rows = []
+
+    def work():
+        rows.clear()
+        for name in DATASETS_USED:
+            network, trajectories = datasets[name]
+            prof = profile(name)
+            oracle = BruteForceOracle(network, trajectories)
+            workload = build_query_workload(
+                network, trajectories, count=20, seed=31, alpha=0.3
+            )
+            for eta_p in ETA_PROBABILITIES:
+                processor = _build_processor(
+                    network, trajectories, prof, 1 / 128, eta_p
+                )
+                f1_where = []
+                f1_when = []
+                for trajectory_id, t, alpha in workload.where_queries:
+                    report = where_accuracy(
+                        network,
+                        oracle.where(trajectory_id, t, alpha),
+                        processor.where(trajectory_id, t, alpha),
+                    )
+                    f1_where.append(report.f1)
+                for trajectory_id, edge, rd, alpha in workload.when_queries:
+                    report = when_accuracy(
+                        oracle.when(trajectory_id, edge, rd, alpha),
+                        processor.when(trajectory_id, edge, rd, alpha),
+                    )
+                    f1_when.append(report.f1)
+                rows.append(
+                    [
+                        name,
+                        f"1/{round(1 / eta_p)}",
+                        sum(f1_where) / max(len(f1_where), 1),
+                        sum(f1_when) / max(len(f1_when), 1),
+                    ]
+                )
+        return rows
+
+    benchmark.pedantic(work, rounds=1, iterations=1)
+    record_experiment(
+        "Fig. 11b — F1 score vs eta_p (paper: always close to 1)",
+        ["dataset", "eta_p", "where F1", "when F1"],
+        rows,
+    )
+    for row in rows:
+        assert row[2] > 0.9, f"where F1 too low at {row[1]} on {row[0]}"
+        assert row[3] > 0.85, f"when F1 too low at {row[1]} on {row[0]}"

@@ -1,0 +1,128 @@
+"""Fig. 4 — dataset statistics that motivate SIAR and referential coding.
+
+Regenerates (a) the sample-interval deviation fractions and (b) the
+within/between-trajectory edit-distance buckets for the three synthetic
+dataset profiles, and checks they match the published statistics'
+qualitative shape (DK most stable; within-trajectory distances small,
+between-trajectory distances large).
+"""
+
+from conftest import record_experiment
+
+from repro.trajectories.datasets import profile
+from repro.trajectories.stats import (
+    DEVIATION_BUCKETS,
+    EDIT_BUCKETS,
+    between_trajectory_similarity,
+    dataset_summary,
+    interval_statistics,
+    within_trajectory_similarity,
+)
+
+
+def test_fig4a_sample_interval_deviations(benchmark, datasets):
+    rows = []
+
+    def work():
+        rows.clear()
+        for name in ("DK", "CD", "HZ"):
+            _, trajectories = datasets[name]
+            stats = interval_statistics(
+                trajectories, profile(name).default_interval
+            )
+            rows.append(
+                [name]
+                + [stats.fractions[bucket] for bucket in DEVIATION_BUCKETS]
+                + [stats.within_one_second, stats.change_every]
+            )
+        return rows
+
+    benchmark.pedantic(work, rounds=1, iterations=1)
+    record_experiment(
+        "Fig. 4a — sample-interval deviation fractions "
+        "(paper: 93% / 62% / 54% within 1s; changes every 6.80/2.32/1.97)",
+        ["dataset", *DEVIATION_BUCKETS, "within 1s", "change every"],
+        rows,
+    )
+    by_name = {row[0]: row for row in rows}
+    # DK is the most stable dataset; its <=1s mass must dominate
+    assert by_name["DK"][-2] > by_name["CD"][-2]
+    assert by_name["DK"][-2] > by_name["HZ"][-2]
+    assert by_name["DK"][-2] > 0.80
+    # interval runs: DK's intervals persist the longest
+    assert by_name["DK"][-1] > by_name["CD"][-1] > 1.0
+
+
+def test_fig4b_similarity(benchmark, datasets):
+    rows = []
+
+    def work():
+        rows.clear()
+        for name in ("DK", "CD", "HZ"):
+            _, trajectories = datasets[name]
+            within = within_trajectory_similarity(trajectories)
+            between = between_trajectory_similarity(trajectories)
+            rows.append(
+                [name, "within"] + [within[bucket] for bucket in EDIT_BUCKETS]
+            )
+            rows.append(
+                [name, "between"]
+                + [between[bucket] for bucket in EDIT_BUCKETS]
+            )
+        return rows
+
+    benchmark.pedantic(work, rounds=1, iterations=1)
+    record_experiment(
+        "Fig. 4b — edit-distance buckets of E(.) within one uncertain "
+        "trajectory vs between trajectories (paper: within <=5 for 83-94%)",
+        ["dataset", "pairing", *EDIT_BUCKETS],
+        rows,
+    )
+    for name_index in range(3):
+        within_row = rows[2 * name_index]
+        between_row = rows[2 * name_index + 1]
+        within_small = within_row[2] + within_row[3]  # <=5 edits
+        between_large = between_row[5]  # >=9 edits
+        assert within_small > 0.7, f"{within_row[0]}: within-similarity too low"
+        assert between_large > between_row[2], (
+            f"{between_row[0]}: between-trajectory distances should skew large"
+        )
+
+
+def test_table5_dataset_summary(benchmark, datasets):
+    rows = []
+
+    def work():
+        rows.clear()
+        for name in ("DK", "CD", "HZ"):
+            _, trajectories = datasets[name]
+            summary = dataset_summary(trajectories)
+            rows.append(
+                [
+                    name,
+                    summary["trajectories"],
+                    summary["avg_instances"],
+                    summary["max_instances"],
+                    summary["avg_edges"],
+                    summary["avg_points"],
+                ]
+            )
+        return rows
+
+    benchmark.pedantic(work, rounds=1, iterations=1)
+    record_experiment(
+        "Table 5 (scaled) — generated dataset summary "
+        "(paper: avg instances 9/3/13, avg edges 14/11/13)",
+        [
+            "dataset",
+            "trajectories",
+            "avg instances",
+            "max instances",
+            "avg edges",
+            "avg points",
+        ],
+        rows,
+    )
+    by_name = {row[0]: row for row in rows}
+    assert by_name["CD"][2] < by_name["DK"][2]  # CD has the fewest instances
+    assert by_name["CD"][2] < by_name["HZ"][2]

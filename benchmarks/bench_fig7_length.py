@@ -1,0 +1,76 @@
+"""Fig. 7 — effect of trajectory length on compression.
+
+The paper keeps trajectories with >= 20 edges and truncates them to
+20-100% of their length: UTCQ's ratio first rises (time coding amortizes)
+then drops (longer sequences diverge more, referential factors grow),
+TED's drops slightly, and time/memory grow with length.  We use
+long-trajectory datasets (>= 12 edges) at benchmark scale.
+"""
+
+import pytest
+from conftest import record_experiment
+
+from repro.trajectories.datasets import (
+    filter_min_edges,
+    profile,
+    truncate_trajectory,
+)
+from repro.workloads.harness import run_ted_compression, run_utcq_compression
+
+FRACTIONS = (0.2, 0.4, 0.6, 0.8, 1.0)
+
+
+@pytest.mark.parametrize("name", ["CD", "HZ"])
+def test_fig7_length_sweep(benchmark, long_trajectory_datasets, name):
+    network, trajectories = long_trajectory_datasets[name]
+    trajectories = filter_min_edges(trajectories, 12)
+    assert trajectories, "long-trajectory generation produced no candidates"
+    prof = profile(name)
+    rows = []
+
+    def work():
+        rows.clear()
+        for fraction in FRACTIONS:
+            subset = [
+                truncate_trajectory(network, t, fraction)
+                for t in trajectories
+            ]
+            subset = [t for t in subset if t is not None]
+            utcq = run_utcq_compression(network, subset, prof)
+            ted = run_ted_compression(network, subset, prof)
+            rows.append(
+                [
+                    name,
+                    int(fraction * 100),
+                    utcq.stats.total_ratio,
+                    ted.stats.total_ratio,
+                    utcq.seconds,
+                    ted.seconds,
+                    utcq.peak_memory_mb,
+                    ted.peak_memory_mb,
+                ]
+            )
+        return rows
+
+    benchmark.pedantic(work, rounds=1, iterations=1)
+    record_experiment(
+        f"Fig. 7 ({name}) — compression vs trajectory length "
+        "(paper: UTCQ CR rises then falls; UTCQ uses 1-3 orders less "
+        "memory and 1-2 orders less time)",
+        [
+            "dataset",
+            "length %",
+            "UTCQ CR",
+            "TED CR",
+            "UTCQ time (s)",
+            "TED time (s)",
+            "UTCQ peak MB",
+            "TED peak MB",
+        ],
+        rows,
+    )
+    for row in rows:
+        assert row[2] > row[3], "UTCQ must beat TED at every length"
+    # compression time grows with length for both methods
+    assert rows[-1][4] >= rows[0][4] * 0.8
+    assert rows[-1][5] >= rows[0][5] * 0.8

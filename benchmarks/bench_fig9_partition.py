@@ -1,0 +1,122 @@
+"""Fig. 9 — spatial/temporal partition granularity vs range queries.
+
+Sweeps the StIU grid from 8x8 to 128x128 cells and the temporal
+partition from 10 to 60 minutes: finer partitions cut range-query time
+at the cost of a larger index; UTCQ's index stays smaller than TED's
+archive-side index and its queries run faster.
+"""
+
+import pytest
+from conftest import record_experiment
+
+from repro.query import StIUIndex, UTCQQueryProcessor
+from repro.ted import TedQueryIndex
+from repro.trajectories.datasets import profile
+from repro.workloads.harness import (
+    build_query_workload,
+    run_ted_compression,
+    run_utcq_compression,
+    time_ted_queries,
+    time_utcq_queries,
+)
+
+GRID_SIDES = (8, 16, 32, 64, 128)
+TIME_PARTITIONS_MIN = (10, 20, 30, 40, 50, 60)
+DATASET = "CD"
+
+
+@pytest.fixture(scope="module")
+def compressed(datasets):
+    network, trajectories = datasets[DATASET]
+    prof = profile(DATASET)
+    utcq = run_utcq_compression(network, trajectories, prof)
+    ted = run_ted_compression(network, trajectories, prof)
+    workload = build_query_workload(network, trajectories, count=25, seed=11)
+    return network, trajectories, utcq.archive, ted.archive, workload
+
+
+def test_fig9_grid_granularity(benchmark, compressed):
+    network, _, archive, ted_archive, workload = compressed
+    rows = []
+
+    def work():
+        rows.clear()
+        for side in GRID_SIDES:
+            index = StIUIndex(
+                network,
+                archive,
+                grid_cells_per_side=side,
+                time_partition_seconds=1800,
+            )
+            processor = UTCQQueryProcessor(network, archive, index)
+            utcq_times = time_utcq_queries(processor, workload)
+            ted_index = TedQueryIndex(
+                network, ted_archive, time_partition_seconds=1800
+            )
+            ted_times = time_ted_queries(ted_index, workload)
+            rows.append(
+                [
+                    f"{side}x{side}",
+                    index.spatial_size_bytes() / 1024,
+                    index.temporal_size_bytes() / 1024,
+                    ted_index.size_bytes() / 1024,
+                    utcq_times.range_ms,
+                    ted_times.range_ms,
+                ]
+            )
+        return rows
+
+    benchmark.pedantic(work, rounds=1, iterations=1)
+    record_experiment(
+        "Fig. 9a/b — range queries vs grid cells "
+        "(paper: finer grids -> larger s-size, faster queries; UTCQ faster "
+        "than TED)",
+        [
+            "grid",
+            "UTCQ s-size (KB)",
+            "UTCQ t-size (KB)",
+            "TED size (KB)",
+            "UTCQ range (ms)",
+            "TED range (ms)",
+        ],
+        rows,
+    )
+    # spatial index grows with grid resolution
+    assert rows[-1][1] > rows[0][1]
+    # UTCQ's range queries beat TED's at the default resolution or finer
+    assert min(row[4] for row in rows[2:]) < max(row[5] for row in rows[2:])
+
+
+def test_fig9_time_partition(benchmark, compressed):
+    network, _, archive, _, workload = compressed
+    rows = []
+
+    def work():
+        rows.clear()
+        for minutes in TIME_PARTITIONS_MIN:
+            index = StIUIndex(
+                network,
+                archive,
+                grid_cells_per_side=32,
+                time_partition_seconds=minutes * 60,
+            )
+            processor = UTCQQueryProcessor(network, archive, index)
+            utcq_times = time_utcq_queries(processor, workload)
+            rows.append(
+                [
+                    minutes,
+                    index.temporal_size_bytes() / 1024,
+                    utcq_times.range_ms,
+                ]
+            )
+        return rows
+
+    benchmark.pedantic(work, rounds=1, iterations=1)
+    record_experiment(
+        "Fig. 9c/d — range queries vs time partition duration "
+        "(paper: shorter partitions -> larger t-size, faster queries)",
+        ["partition (min)", "UTCQ t-size (KB)", "UTCQ range (ms)"],
+        rows,
+    )
+    # coarser partitions shrink (or keep) the temporal index
+    assert rows[0][1] >= rows[-1][1]

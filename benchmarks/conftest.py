@@ -1,0 +1,92 @@
+"""Shared fixtures and reporting hooks for the experiment benchmarks.
+
+Every benchmark records the paper-style table it regenerates into
+``repro.workloads.reporting.EXPERIMENT_LOG``; a terminal-summary hook
+prints all tables at the end of the run and writes them to
+``benchmarks/results/experiments.txt`` so the output survives pytest's
+capture settings.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.trajectories.datasets import load_dataset, profile
+from repro.workloads.reporting import EXPERIMENT_LOG
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: benchmark-scale dataset sizes (the paper's corpora scaled to laptop runs)
+BENCH_TRAJECTORIES = 120
+BENCH_NETWORK_SCALE = 14
+
+
+@pytest.fixture(scope="session")
+def datasets():
+    """(network, trajectories) per dataset profile, generated once."""
+    return {
+        name: load_dataset(
+            name,
+            BENCH_TRAJECTORIES,
+            seed=7,
+            network_scale=BENCH_NETWORK_SCALE,
+        )
+        for name in ("DK", "CD", "HZ")
+    }
+
+
+@pytest.fixture(scope="session")
+def rich_instance_datasets():
+    """Datasets with many instances per trajectory (Fig. 6's filter)."""
+    result = {}
+    for name in ("DK", "HZ"):
+        prof = profile(name).scaled(mean_instances=12, max_instances=16)
+        network, trajectories = load_dataset(
+            name,
+            60,
+            seed=19,
+            network_scale=BENCH_NETWORK_SCALE,
+        )
+        # regenerate with the boosted profile on the same network
+        from repro.trajectories.generators import generate_dataset
+
+        trajectories = generate_dataset(
+            network, prof.generation_config(), 60, seed=19
+        )
+        result[name] = (network, trajectories)
+    return result
+
+
+@pytest.fixture(scope="session")
+def long_trajectory_datasets():
+    """Datasets biased toward long trajectories (Fig. 7's filter)."""
+    result = {}
+    for name in ("CD", "HZ"):
+        prof = profile(name).scaled(mean_edges=24, max_edges=40)
+        network, _ = load_dataset(
+            name, 1, seed=23, network_scale=BENCH_NETWORK_SCALE
+        )
+        from repro.trajectories.generators import generate_dataset
+
+        trajectories = generate_dataset(
+            network, prof.generation_config(), 60, seed=23
+        )
+        result[name] = (network, trajectories)
+    return result
+
+
+def record_experiment(title, headers, rows):
+    """Record one table; returns the rendered text."""
+    return EXPERIMENT_LOG.record(title, headers, rows)
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not EXPERIMENT_LOG.tables:
+        return
+    output = EXPERIMENT_LOG.dump()
+    terminalreporter.write_sep("=", "paper-style experiment tables")
+    terminalreporter.write_line(output)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "experiments.txt").write_text(output + "\n")

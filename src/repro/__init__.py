@@ -1,0 +1,86 @@
+"""repro — reproduction of "Compression of Uncertain Trajectories in Road
+Networks" (Li et al., PVLDB 13(7), 2020).
+
+The package implements the full UTCQ framework — improved TED
+representation, SIAR time coding, FJD-based reference selection,
+referential compression, the StIU index, and probabilistic
+where/when/range queries — together with every substrate the paper
+depends on: a road-network model, probabilistic map matching, dataset
+generators matching the published DK/CD/HZ statistics, and the TED
+baseline.
+
+Quickstart::
+
+    from repro import load_dataset, compress_dataset, StIUIndex, UTCQQueryProcessor
+
+    network, trajectories = load_dataset("CD", 200)
+    archive = compress_dataset(network, trajectories, default_interval=10)
+    index = StIUIndex(network, archive)
+    queries = UTCQQueryProcessor(network, archive, index)
+    results = queries.where(trajectories[0].trajectory_id,
+                            trajectories[0].times[1], alpha=0.2)
+"""
+
+from .core import (
+    CompressedArchive,
+    CompressionParams,
+    CompressionStats,
+    UTCQCompressor,
+    compress_dataset,
+    decode_archive,
+    decode_trajectory,
+)
+from .network import (
+    GridPartition,
+    Rect,
+    RoadNetwork,
+    dataset_network,
+    grid_network,
+    perturbed_grid_network,
+)
+from .query import (
+    BruteForceOracle,
+    StIUIndex,
+    UTCQQueryProcessor,
+)
+from .ted import TEDCompressor, TedArchive, TedQueryIndex
+from .trajectories import (
+    MappedLocation,
+    TrajectoryInstance,
+    UncertainTrajectory,
+    load_dataset,
+    profile,
+)
+from .mapmatching import MatcherConfig, ProbabilisticMapMatcher
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompressedArchive",
+    "CompressionParams",
+    "CompressionStats",
+    "UTCQCompressor",
+    "compress_dataset",
+    "decode_archive",
+    "decode_trajectory",
+    "GridPartition",
+    "Rect",
+    "RoadNetwork",
+    "dataset_network",
+    "grid_network",
+    "perturbed_grid_network",
+    "BruteForceOracle",
+    "StIUIndex",
+    "UTCQQueryProcessor",
+    "TEDCompressor",
+    "TedArchive",
+    "TedQueryIndex",
+    "MappedLocation",
+    "TrajectoryInstance",
+    "UncertainTrajectory",
+    "load_dataset",
+    "profile",
+    "MatcherConfig",
+    "ProbabilisticMapMatcher",
+    "__version__",
+]

@@ -1,0 +1,23 @@
+"""Bit-level substrate: bit I/O, Exp-Golomb codes, and bitmap compression."""
+
+from .bitio import (
+    BitReader,
+    BitWriter,
+    bits_to_bytes,
+    bits_to_string,
+    string_to_bits,
+    uint_width,
+)
+
+__all__ = [
+    "BitReader",
+    "BitWriter",
+    "bits_to_bytes",
+    "bits_to_string",
+    "string_to_bits",
+    "uint_width",
+    "expgolomb",
+    "bitmap",
+]
+
+from . import bitmap, expgolomb  # noqa: E402  (re-exported submodules)

@@ -1,0 +1,205 @@
+"""Bit-level writer and reader used by every codec in the library.
+
+The compressed formats in the paper are defined at bit granularity
+(variable-length Exp-Golomb codes, ``ceil(log2(o))``-wide edge numbers,
+one-bit time flags, ...).  ``BitWriter`` accumulates bits into a compact
+``bytearray`` and ``BitReader`` consumes them again.  Both operate most
+significant bit first so that serialized streams are byte-order stable and
+easy to inspect in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+
+class BitWriter:
+    """Accumulates individual bits into a byte buffer (MSB first)."""
+
+    __slots__ = ("_buffer", "_bit_count", "_current", "_current_bits")
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        self._bit_count = 0
+        self._current = 0
+        self._current_bits = 0
+
+    def __len__(self) -> int:
+        """Number of bits written so far."""
+        return self._bit_count
+
+    @property
+    def bit_length(self) -> int:
+        """Number of bits written so far (alias of ``len``)."""
+        return self._bit_count
+
+    def write_bit(self, bit: int) -> None:
+        """Append a single bit (0 or 1)."""
+        if bit not in (0, 1):
+            raise ValueError(f"bit must be 0 or 1, got {bit!r}")
+        self._current = (self._current << 1) | bit
+        self._current_bits += 1
+        self._bit_count += 1
+        if self._current_bits == 8:
+            self._buffer.append(self._current)
+            self._current = 0
+            self._current_bits = 0
+
+    def write_bits(self, bits: Iterable[int]) -> None:
+        """Append each bit from ``bits`` in order."""
+        for bit in bits:
+            self.write_bit(bit)
+
+    def write_uint(self, value: int, width: int) -> None:
+        """Append ``value`` as an unsigned integer using exactly ``width`` bits.
+
+        ``width`` of zero is permitted only for ``value`` zero; this matches
+        the degenerate case of ``ceil(log2(1))``-wide fields for sequences of
+        length one.
+        """
+        if value < 0:
+            raise ValueError(f"value must be non-negative, got {value}")
+        if width < 0:
+            raise ValueError(f"width must be non-negative, got {width}")
+        if value >= (1 << width) and not (width == 0 and value == 0):
+            raise ValueError(f"value {value} does not fit in {width} bits")
+        for shift in range(width - 1, -1, -1):
+            self.write_bit((value >> shift) & 1)
+
+    def write_unary(self, value: int, *, terminator: int = 0) -> None:
+        """Append ``value`` ones followed by a single ``terminator`` bit."""
+        if value < 0:
+            raise ValueError(f"unary value must be non-negative, got {value}")
+        one = 1 - terminator
+        for _ in range(value):
+            self.write_bit(one)
+        self.write_bit(terminator)
+
+    def extend(self, other: "BitWriter") -> None:
+        """Append every bit written to ``other`` onto this writer."""
+        for bit in other.iter_bits():
+            self.write_bit(bit)
+
+    def iter_bits(self) -> Iterator[int]:
+        """Yield every written bit in order."""
+        for byte in self._buffer:
+            for shift in range(7, -1, -1):
+                yield (byte >> shift) & 1
+        for shift in range(self._current_bits - 1, -1, -1):
+            yield (self._current >> shift) & 1
+
+    def to_bits(self) -> list[int]:
+        """Return the written bits as a list of 0/1 integers."""
+        return list(self.iter_bits())
+
+    def getvalue(self) -> bytes:
+        """Return the written bits packed into bytes (zero padded)."""
+        data = bytearray(self._buffer)
+        if self._current_bits:
+            data.append(self._current << (8 - self._current_bits))
+        return bytes(data)
+
+
+class BitReader:
+    """Reads bits from a byte buffer produced by :class:`BitWriter`."""
+
+    __slots__ = ("_data", "_bit_count", "_position")
+
+    def __init__(self, data: bytes, bit_count: int | None = None) -> None:
+        self._data = data
+        self._bit_count = len(data) * 8 if bit_count is None else bit_count
+        if self._bit_count > len(data) * 8:
+            raise ValueError("bit_count exceeds the available data")
+        self._position = 0
+
+    @classmethod
+    def from_writer(cls, writer: BitWriter) -> "BitReader":
+        """Build a reader over everything written to ``writer``."""
+        return cls(writer.getvalue(), len(writer))
+
+    @property
+    def position(self) -> int:
+        """Current read offset in bits."""
+        return self._position
+
+    @property
+    def bit_length(self) -> int:
+        """Total number of readable bits."""
+        return self._bit_count
+
+    @property
+    def remaining(self) -> int:
+        """Number of bits left to read."""
+        return self._bit_count - self._position
+
+    def seek(self, bit_position: int) -> None:
+        """Move the read cursor to an absolute bit offset."""
+        if not 0 <= bit_position <= self._bit_count:
+            raise ValueError(
+                f"seek position {bit_position} outside [0, {self._bit_count}]"
+            )
+        self._position = bit_position
+
+    def read_bit(self) -> int:
+        """Read and return the next bit."""
+        if self._position >= self._bit_count:
+            raise EOFError("attempt to read past the end of the bit stream")
+        byte = self._data[self._position >> 3]
+        bit = (byte >> (7 - (self._position & 7))) & 1
+        self._position += 1
+        return bit
+
+    def read_bits(self, count: int) -> list[int]:
+        """Read ``count`` bits and return them as a list."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        return [self.read_bit() for _ in range(count)]
+
+    def read_uint(self, width: int) -> int:
+        """Read an unsigned integer stored in exactly ``width`` bits."""
+        if width < 0:
+            raise ValueError(f"width must be non-negative, got {width}")
+        value = 0
+        for _ in range(width):
+            value = (value << 1) | self.read_bit()
+        return value
+
+    def read_unary(self, *, terminator: int = 0) -> int:
+        """Read a unary value: count of bits until ``terminator`` is seen."""
+        count = 0
+        while self.read_bit() != terminator:
+            count += 1
+        return count
+
+
+def bits_to_bytes(bits: Iterable[int]) -> bytes:
+    """Pack an iterable of 0/1 integers into bytes (zero padded)."""
+    writer = BitWriter()
+    writer.write_bits(bits)
+    return writer.getvalue()
+
+
+def bits_to_string(bits: Iterable[int]) -> str:
+    """Render bits as a compact '0101...' string, useful in tests."""
+    return "".join(str(b) for b in bits)
+
+
+def string_to_bits(text: str) -> list[int]:
+    """Parse a '0101...' string into a list of bits."""
+    bits = []
+    for ch in text:
+        if ch not in "01":
+            raise ValueError(f"invalid bit character {ch!r}")
+        bits.append(int(ch))
+    return bits
+
+
+def uint_width(max_value: int) -> int:
+    """Number of bits required to store values in ``[0, max_value]``.
+
+    This is the paper's ``ceil(log2(max_value + 1))`` convention used for
+    S/L/M factor fields and outgoing edge numbers.
+    """
+    if max_value < 0:
+        raise ValueError(f"max_value must be non-negative, got {max_value}")
+    return max(max_value.bit_length(), 0)

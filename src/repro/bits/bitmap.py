@@ -1,0 +1,89 @@
+"""Word-aligned bitmap compression (WAH-style), after van Schaik & de Moor [33].
+
+TED compresses time-flag bit-strings with "an existing bitmap compression
+algorithm"; the paper's experiments deliberately *omit* it ("as it is time
+consuming and it is also applicable to UTCQ"), which is why TED's T' ratio
+in Table 8 is 1.  We provide the codec anyway so the full TED pipeline
+exists and so the omission can be toggled in ablations.
+
+Encoding (word size ``w``, default 8 payload bits):
+
+* a *literal* word is a ``0`` flag followed by ``w`` raw bits;
+* a *fill* word is a ``1`` flag, one bit for the fill value, and an
+  Exp-Golomb coded run length counting how many consecutive ``w``-bit
+  groups consist entirely of the fill value.
+
+The trailing partial group (fewer than ``w`` bits) is stored literally with
+an Exp-Golomb coded length so arbitrary bit-string lengths round-trip.
+"""
+
+from __future__ import annotations
+
+from . import expgolomb
+from .bitio import BitReader, BitWriter
+
+DEFAULT_WORD_SIZE = 8
+
+
+def compress(bits: list[int], word_size: int = DEFAULT_WORD_SIZE) -> BitWriter:
+    """Compress a 0/1 list into a word-aligned fill/literal stream."""
+    if word_size < 2:
+        raise ValueError(f"word_size must be at least 2, got {word_size}")
+    writer = BitWriter()
+    expgolomb.encode_unsigned(writer, len(bits))
+    full_words = len(bits) // word_size
+    index = 0
+    word_index = 0
+    while word_index < full_words:
+        word = bits[index : index + word_size]
+        if all(b == word[0] for b in word):
+            fill_value = word[0]
+            run = 1
+            while word_index + run < full_words:
+                nxt = bits[index + run * word_size : index + (run + 1) * word_size]
+                if all(b == fill_value for b in nxt):
+                    run += 1
+                else:
+                    break
+            writer.write_bit(1)
+            writer.write_bit(fill_value)
+            expgolomb.encode_unsigned(writer, run - 1)
+            index += run * word_size
+            word_index += run
+        else:
+            writer.write_bit(0)
+            writer.write_bits(word)
+            index += word_size
+            word_index += 1
+    tail = bits[full_words * word_size :]
+    writer.write_bits(tail)
+    return writer
+
+
+def decompress(reader: BitReader, word_size: int = DEFAULT_WORD_SIZE) -> list[int]:
+    """Inverse of :func:`compress`; reads one bitmap from ``reader``."""
+    if word_size < 2:
+        raise ValueError(f"word_size must be at least 2, got {word_size}")
+    total = expgolomb.decode_unsigned(reader)
+    full_words = total // word_size
+    bits: list[int] = []
+    words_read = 0
+    while words_read < full_words:
+        flag = reader.read_bit()
+        if flag == 1:
+            fill_value = reader.read_bit()
+            run = expgolomb.decode_unsigned(reader) + 1
+            bits.extend([fill_value] * (run * word_size))
+            words_read += run
+        else:
+            bits.extend(reader.read_bits(word_size))
+            words_read += 1
+    if words_read != full_words:
+        raise ValueError("corrupt bitmap stream: fill run overshoots length")
+    bits.extend(reader.read_bits(total - full_words * word_size))
+    return bits
+
+
+def compressed_size(bits: list[int], word_size: int = DEFAULT_WORD_SIZE) -> int:
+    """Size in bits of the compressed form of ``bits``."""
+    return len(compress(bits, word_size))

@@ -1,0 +1,212 @@
+"""Compressed-archive container and size accounting.
+
+An archive holds, per uncertain trajectory, one compressed time stream
+(shared by all instances) and one compressed payload per instance
+(reference or non-reference).  Payloads are real bit streams — every
+reported size is the length of serialized bits, not an estimate.
+
+Size accounting follows the paper's Table 8 breakdown: ``T`` (time),
+``E`` (edge sequences incl. start vertices), ``D`` (relative distances),
+``T'`` (time-flag bit-strings), and ``p`` (probabilities), plus an
+``overhead`` bucket for structural fields the paper does not attribute
+(instance counts, reference flags and indices).  Original sizes use the
+paper's conventions: 32-bit timestamps, vertex ids, edge-sequence
+entries, distances, and probabilities; T' costs one bit per flag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ComponentBits:
+    """Bit counts per TED component."""
+
+    time: int = 0
+    edge: int = 0
+    distance: int = 0
+    flags: int = 0
+    probability: int = 0
+    overhead: int = 0
+
+    @property
+    def total(self) -> int:
+        return (
+            self.time
+            + self.edge
+            + self.distance
+            + self.flags
+            + self.probability
+            + self.overhead
+        )
+
+    def add(self, other: "ComponentBits") -> None:
+        self.time += other.time
+        self.edge += other.edge
+        self.distance += other.distance
+        self.flags += other.flags
+        self.probability += other.probability
+        self.overhead += other.overhead
+
+
+@dataclass
+class CompressionStats:
+    """Original vs compressed bit counts with per-component ratios."""
+
+    original: ComponentBits = field(default_factory=ComponentBits)
+    compressed: ComponentBits = field(default_factory=ComponentBits)
+
+    def add(self, other: "CompressionStats") -> None:
+        self.original.add(other.original)
+        self.compressed.add(other.compressed)
+
+    @staticmethod
+    def _ratio(original: int, compressed: int) -> float:
+        if compressed == 0:
+            return float("inf") if original > 0 else 1.0
+        return original / compressed
+
+    @property
+    def total_ratio(self) -> float:
+        return self._ratio(self.original.total, self.compressed.total)
+
+    @property
+    def time_ratio(self) -> float:
+        return self._ratio(self.original.time, self.compressed.time)
+
+    @property
+    def edge_ratio(self) -> float:
+        return self._ratio(self.original.edge, self.compressed.edge)
+
+    @property
+    def distance_ratio(self) -> float:
+        return self._ratio(self.original.distance, self.compressed.distance)
+
+    @property
+    def flags_ratio(self) -> float:
+        return self._ratio(self.original.flags, self.compressed.flags)
+
+    @property
+    def probability_ratio(self) -> float:
+        return self._ratio(self.original.probability, self.compressed.probability)
+
+    def as_row(self) -> dict[str, float]:
+        """Table 8-style row: Total / T / E / D / T' / p ratios."""
+        return {
+            "Total": self.total_ratio,
+            "T": self.time_ratio,
+            "E": self.edge_ratio,
+            "D": self.distance_ratio,
+            "T'": self.flags_ratio,
+            "p": self.probability_ratio,
+        }
+
+
+@dataclass(frozen=True)
+class CompressionParams:
+    """Archive-wide compression parameters.
+
+    ``eta_distance`` / ``eta_probability`` are the PDDP error bounds
+    (Table 7); ``default_interval`` is the dataset's ``Ts``;
+    ``symbol_width`` is ``ceil(log2(o+1))`` bits for edge numbers (and
+    the 0 repeat marker); ``t0_bits`` sizes the SIAR first-timestamp
+    field; ``pivot_count`` is the reference-selection pivot budget.
+    """
+
+    eta_distance: float
+    eta_probability: float
+    default_interval: int
+    symbol_width: int
+    t0_bits: int = 17
+    pivot_count: int = 1
+
+
+@dataclass
+class CompressedInstance:
+    """One serialized instance payload plus decode/index metadata.
+
+    ``payload``/``payload_bits`` are the real bit stream.  For references
+    the stream is ``|E|, E, T'(trimmed), D(PDDP), p``; for non-references
+    it is ``ref_index, ComE, ComT', ComD, p``.  Offsets mark section
+    starts (bits) for partial decompression; ``distance_positions`` and
+    ``factor_positions`` feed the StIU spatial tuples (``d.pos`` /
+    ``ma.pos``).
+    """
+
+    is_reference: bool
+    payload: bytes
+    payload_bits: int
+    start_vertex: int | None  # references only (32-bit accounted)
+    reference_ordinal: int  # position among the trajectory's references
+    edge_offset: int
+    flags_offset: int
+    distance_offset: int
+    probability_offset: int
+    distance_positions: tuple[int, ...]
+    factor_positions: tuple[int, ...]
+    probability: float  # decoded value, cached for index construction
+
+
+@dataclass
+class CompressedTrajectory:
+    """One compressed uncertain trajectory."""
+
+    trajectory_id: int
+    time_payload: bytes
+    time_payload_bits: int
+    point_count: int
+    start_time: int
+    end_time: int
+    deviation_positions: tuple[int, ...]
+    instances: list[CompressedInstance]
+    stats: CompressionStats
+
+    @property
+    def reference_count(self) -> int:
+        return sum(1 for i in self.instances if i.is_reference)
+
+    def references(self) -> list[CompressedInstance]:
+        return [i for i in self.instances if i.is_reference]
+
+    def reference_by_ordinal(self, ordinal: int) -> CompressedInstance:
+        for instance in self.instances:
+            if instance.is_reference and instance.reference_ordinal == ordinal:
+                return instance
+        raise KeyError(f"no reference with ordinal {ordinal}")
+
+
+@dataclass
+class CompressedArchive:
+    """A compressed collection of uncertain trajectories."""
+
+    params: CompressionParams
+    trajectories: list[CompressedTrajectory]
+    stats: CompressionStats = field(default_factory=CompressionStats)
+
+    def __post_init__(self) -> None:
+        if not self.stats.original.total:
+            for trajectory in self.trajectories:
+                self.stats.add(trajectory.stats)
+
+    @property
+    def trajectory_count(self) -> int:
+        return len(self.trajectories)
+
+    @property
+    def instance_count(self) -> int:
+        return sum(len(t.instances) for t in self.trajectories)
+
+    @property
+    def compressed_bytes(self) -> int:
+        return (self.stats.compressed.total + 7) // 8
+
+    @property
+    def original_bytes(self) -> int:
+        return (self.stats.original.total + 7) // 8
+
+    def trajectory(self, trajectory_id: int) -> CompressedTrajectory:
+        for candidate in self.trajectories:
+            if candidate.trajectory_id == trajectory_id:
+                return candidate
+        raise KeyError(f"no trajectory {trajectory_id} in the archive")

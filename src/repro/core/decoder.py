@@ -1,0 +1,198 @@
+"""Decompression: full archives, single instances, and partial streams.
+
+The query processor (§5) never calls ``decode_archive`` — it uses the
+partial entry points (time prefixes, single references, factor streams)
+together with the StIU index.  Full decoding exists for round-trip
+verification and for consumers who want the data back.
+"""
+
+from __future__ import annotations
+
+from ..bits import expgolomb
+from ..bits.bitio import BitReader, uint_width
+from ..network.graph import RoadNetwork
+from ..trajectories.model import TrajectoryInstance, UncertainTrajectory
+from . import siar
+from .archive import (
+    CompressedArchive,
+    CompressedInstance,
+    CompressedTrajectory,
+    CompressionParams,
+)
+from .factors import (
+    apply_distance_patches,
+    apply_edge_factors,
+    read_distance_patches,
+    read_edge_factors,
+    read_flag_stream,
+)
+from .improved_ted import InstanceTuple, decode_instance, restore_time_flags
+from .pddp import PddpDecoder, decode_fraction, max_code_length
+
+
+def _read_probability(reader: BitReader, eta: float) -> float:
+    code_length = reader.read_uint(uint_width(max_code_length(eta)))
+    return decode_fraction(reader.read_bits(code_length))
+
+
+def decode_times(
+    trajectory: CompressedTrajectory, params: CompressionParams
+) -> list[int]:
+    """Decode the full shared time sequence of a trajectory."""
+    reader = BitReader(trajectory.time_payload, trajectory.time_payload_bits)
+    return siar.decode(
+        reader, params.default_interval, t0_bits=params.t0_bits
+    )
+
+
+def decode_times_prefix(
+    trajectory: CompressedTrajectory,
+    params: CompressionParams,
+    stop_after: int,
+) -> list[int]:
+    """Decode only the first ``stop_after`` timestamps (partial)."""
+    reader = BitReader(trajectory.time_payload, trajectory.time_payload_bits)
+    return siar.decode_prefix(
+        reader,
+        params.default_interval,
+        t0_bits=params.t0_bits,
+        stop_after=stop_after,
+    )
+
+
+def decode_reference_tuple(
+    instance: CompressedInstance, params: CompressionParams
+) -> InstanceTuple:
+    """Decode a reference payload back into an improved-TED tuple."""
+    if not instance.is_reference:
+        raise ValueError("decode_reference_tuple expects a reference")
+    reader = BitReader(instance.payload, instance.payload_bits)
+    entry_count = expgolomb.decode_unsigned(reader)
+    edge_numbers = tuple(
+        reader.read_uint(params.symbol_width) for _ in range(entry_count)
+    )
+    trimmed = reader.read_bits(max(entry_count - 2, 0))
+    flags = restore_time_flags(trimmed)
+    distances = tuple(PddpDecoder(reader, params.eta_distance).values)
+    probability = _read_probability(reader, params.eta_probability)
+    return InstanceTuple(
+        start_vertex=instance.start_vertex,
+        edge_numbers=edge_numbers,
+        relative_distances=distances,
+        time_flags=flags,
+        probability=probability,
+    )
+
+
+def decode_non_reference_tuple(
+    instance: CompressedInstance,
+    reference: InstanceTuple,
+    params: CompressionParams,
+) -> InstanceTuple:
+    """Decode a non-reference payload against its decoded reference."""
+    if instance.is_reference:
+        raise ValueError("decode_non_reference_tuple expects a non-reference")
+    reader = BitReader(instance.payload, instance.payload_bits)
+    reader.seek(instance.edge_offset)  # skip the reference index
+    factors = read_edge_factors(
+        reader, len(reference.edge_numbers), params.symbol_width
+    )
+    edge_numbers = tuple(apply_edge_factors(factors, reference.edge_numbers))
+    trimmed = read_flag_stream(
+        reader,
+        list(reference.trimmed_time_flags),
+        max(len(edge_numbers) - 2, 0),
+    )
+    flags = restore_time_flags(trimmed)
+    patches = read_distance_patches(
+        reader, len(reference.relative_distances), params.eta_distance
+    )
+    distances = tuple(
+        apply_distance_patches(list(reference.relative_distances), patches)
+    )
+    probability = _read_probability(reader, params.eta_probability)
+    return InstanceTuple(
+        start_vertex=reference.start_vertex,
+        edge_numbers=edge_numbers,
+        relative_distances=distances,
+        time_flags=flags,
+        probability=probability,
+    )
+
+
+def decode_trajectory_tuples(
+    trajectory: CompressedTrajectory, params: CompressionParams
+) -> list[InstanceTuple]:
+    """Decode every instance of one trajectory to improved-TED tuples."""
+    references: dict[int, InstanceTuple] = {}
+    for instance in trajectory.instances:
+        if instance.is_reference:
+            references[instance.reference_ordinal] = decode_reference_tuple(
+                instance, params
+            )
+    tuples: list[InstanceTuple] = []
+    for instance in trajectory.instances:
+        if instance.is_reference:
+            tuples.append(references[instance.reference_ordinal])
+        else:
+            tuples.append(
+                decode_non_reference_tuple(
+                    instance, references[instance.reference_ordinal], params
+                )
+            )
+    return tuples
+
+
+def decode_trajectory(
+    network: RoadNetwork,
+    trajectory: CompressedTrajectory,
+    params: CompressionParams,
+) -> UncertainTrajectory:
+    """Fully decode one compressed uncertain trajectory."""
+    times = decode_times(trajectory, params)
+    instances: list[TrajectoryInstance] = []
+    total_probability = 0.0
+    for encoded in decode_trajectory_tuples(trajectory, params):
+        instances.append(decode_instance(network, encoded))
+        total_probability += encoded.probability
+    # PDDP probability coding is lossy; renormalize so the model invariant
+    # (probabilities sum to one) holds after decoding.
+    if total_probability > 0:
+        for instance in instances:
+            instance.probability /= total_probability
+    return UncertainTrajectory(
+        trajectory.trajectory_id, instances, times
+    )
+
+
+def decode_archive(
+    network: RoadNetwork, archive: CompressedArchive
+) -> list[UncertainTrajectory]:
+    """Fully decode an archive (verification / export path)."""
+    return [
+        decode_trajectory(network, trajectory, archive.params)
+        for trajectory in archive.trajectories
+    ]
+
+
+def decode_instance_by_index(
+    network: RoadNetwork,
+    trajectory: CompressedTrajectory,
+    params: CompressionParams,
+    index: int,
+) -> TrajectoryInstance:
+    """Decode a single instance, touching at most one reference payload.
+
+    This is the "partial decompression" granularity queries rely on: a
+    non-reference costs its own payload plus its reference's, never the
+    whole trajectory.
+    """
+    target = trajectory.instances[index]
+    if target.is_reference:
+        return decode_instance(network, decode_reference_tuple(target, params))
+    reference = decode_reference_tuple(
+        trajectory.reference_by_ordinal(target.reference_ordinal), params
+    )
+    return decode_instance(
+        network, decode_non_reference_tuple(target, reference, params)
+    )

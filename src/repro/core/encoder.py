@@ -1,0 +1,277 @@
+"""Binary encoding of references and non-references (§4.4).
+
+The encoder turns improved-TED instance tuples plus a reference selection
+into the bit-level payloads held by :class:`~repro.core.archive.
+CompressedTrajectory`.  References are stored directly (fixed-width edge
+numbers, raw trimmed T', PDDP distances); non-references store factor
+streams against their reference.  All component sizes are measured from
+the actual bit positions, so the Table 8 accounting is exact.
+"""
+
+from __future__ import annotations
+
+from ..bits import expgolomb
+from ..bits.bitio import BitWriter, uint_width
+from . import siar
+from .archive import (
+    ComponentBits,
+    CompressedInstance,
+    CompressedTrajectory,
+    CompressionParams,
+    CompressionStats,
+)
+from .factors import (
+    distance_patches,
+    factorize_edges,
+    write_distance_patches,
+    write_edge_factors,
+    write_flag_stream,
+)
+from .improved_ted import InstanceTuple
+from .pddp import (
+    PddpEncoder,
+    decode_fraction,
+    encode_fraction,
+    max_code_length,
+)
+from .refselect import ReferenceSelection
+
+START_VERTEX_BITS = 32  # paper convention: vertex ids are 32-bit
+
+
+def _write_probability(
+    writer: BitWriter, probability: float, eta: float
+) -> tuple[int, float]:
+    """Write one probability as a direct PDDP fraction code.
+
+    Returns ``(bits_written, decoded_value)``.
+    """
+    before = len(writer)
+    code = encode_fraction(probability, eta)
+    writer.write_uint(len(code), uint_width(max_code_length(eta)))
+    writer.write_bits(code)
+    return len(writer) - before, decode_fraction(code)
+
+
+def encode_reference(
+    encoded: InstanceTuple,
+    ordinal: int,
+    params: CompressionParams,
+) -> tuple[CompressedInstance, ComponentBits]:
+    """Serialize one reference instance."""
+    writer = BitWriter()
+    bits = ComponentBits()
+
+    edge_offset = len(writer)
+    expgolomb.encode_unsigned(writer, len(encoded.edge_numbers))
+    for number in encoded.edge_numbers:
+        writer.write_uint(number, params.symbol_width)
+    flags_offset = len(writer)
+    bits.edge = flags_offset - edge_offset + START_VERTEX_BITS
+
+    writer.write_bits(encoded.trimmed_time_flags)
+    distance_offset = len(writer)
+    bits.flags = distance_offset - flags_offset
+
+    pddp = PddpEncoder(params.eta_distance)
+    pddp.add_all(list(encoded.relative_distances))
+    pddp.serialize(writer)
+    probability_offset = len(writer)
+    bits.distance = probability_offset - distance_offset
+    distance_positions = tuple(pddp.positions)
+
+    probability_bits, decoded_probability = _write_probability(
+        writer, encoded.probability, params.eta_probability
+    )
+    bits.probability = probability_bits
+
+    instance = CompressedInstance(
+        is_reference=True,
+        payload=writer.getvalue(),
+        payload_bits=len(writer),
+        start_vertex=encoded.start_vertex,
+        reference_ordinal=ordinal,
+        edge_offset=edge_offset,
+        flags_offset=flags_offset,
+        distance_offset=distance_offset,
+        probability_offset=probability_offset,
+        distance_positions=distance_positions,
+        factor_positions=(),
+        probability=decoded_probability,
+    )
+    return instance, bits
+
+
+def encode_non_reference(
+    encoded: InstanceTuple,
+    reference: InstanceTuple,
+    reference_decoded_distances: list[float],
+    reference_ordinal: int,
+    reference_count: int,
+    params: CompressionParams,
+) -> tuple[CompressedInstance, ComponentBits]:
+    """Serialize one non-reference against its (already encoded) reference."""
+    writer = BitWriter()
+    bits = ComponentBits()
+
+    ref_index_width = uint_width(max(reference_count - 1, 0))
+    writer.write_uint(reference_ordinal, ref_index_width)
+    bits.overhead = len(writer)
+
+    edge_offset = len(writer)
+    factors = factorize_edges(encoded.edge_numbers, reference.edge_numbers)
+    factor_positions: list[int] = []
+    # Re-serialize with position tracking: write count and flag first, then
+    # record each factor's start offset.
+    checkpoint = BitWriter()
+    write_edge_factors(
+        checkpoint, factors, len(reference.edge_numbers), params.symbol_width
+    )
+    # positions require a second pass mirroring write_edge_factors' layout
+    s_width = uint_width(len(reference.edge_numbers))
+    l_width = uint_width(max(len(reference.edge_numbers) - 1, 0))
+    cursor = edge_offset + expgolomb.encoded_length(len(factors))
+    if factors:
+        cursor += 1  # last-has-mismatch flag
+    for factor in factors:
+        factor_positions.append(cursor)
+        cursor += s_width
+        if factor.start == len(reference.edge_numbers):
+            cursor += params.symbol_width
+        else:
+            cursor += l_width
+            if factor.mismatch is not None:
+                cursor += params.symbol_width
+    writer.extend(checkpoint)
+    flags_offset = len(writer)
+    bits.edge = flags_offset - edge_offset
+
+    write_flag_stream(
+        writer, encoded.trimmed_time_flags, reference.trimmed_time_flags
+    )
+    distance_offset = len(writer)
+    bits.flags = distance_offset - flags_offset
+
+    patches = distance_patches(
+        list(encoded.relative_distances),
+        reference_decoded_distances,
+        params.eta_distance,
+    )
+    write_distance_patches(
+        writer, patches, len(reference.relative_distances), params.eta_distance
+    )
+    probability_offset = len(writer)
+    bits.distance = probability_offset - distance_offset
+
+    probability_bits, decoded_probability = _write_probability(
+        writer, encoded.probability, params.eta_probability
+    )
+    bits.probability = probability_bits
+
+    instance = CompressedInstance(
+        is_reference=False,
+        payload=writer.getvalue(),
+        payload_bits=len(writer),
+        start_vertex=None,
+        reference_ordinal=reference_ordinal,
+        edge_offset=edge_offset,
+        flags_offset=flags_offset,
+        distance_offset=distance_offset,
+        probability_offset=probability_offset,
+        distance_positions=(),
+        factor_positions=tuple(factor_positions),
+        probability=decoded_probability,
+    )
+    return instance, bits
+
+
+def original_instance_bits(encoded: InstanceTuple) -> ComponentBits:
+    """Uncompressed size of one instance under the paper's conventions."""
+    return ComponentBits(
+        edge=32 * (len(encoded.edge_numbers) + 1),  # entries + start vertex
+        distance=32 * len(encoded.relative_distances),
+        flags=len(encoded.time_flags),
+        probability=32,
+    )
+
+
+def encode_trajectory(
+    trajectory_id: int,
+    tuples: list[InstanceTuple],
+    selection: ReferenceSelection,
+    times: list[int],
+    params: CompressionParams,
+) -> CompressedTrajectory:
+    """Assemble one compressed uncertain trajectory.
+
+    ``tuples`` are the improved-TED tuples of all instances (original
+    order); ``selection`` is Algorithm 1's output over the same indices.
+    """
+    stats = CompressionStats()
+
+    time_writer = BitWriter()
+    siar.encode(
+        time_writer, times, params.default_interval, t0_bits=params.t0_bits
+    )
+    deviation_positions = tuple(
+        siar.deviation_bit_positions(
+            times, params.default_interval, t0_bits=params.t0_bits
+        )
+    )
+    stats.compressed.time = len(time_writer)
+    stats.original.time = 32 * len(times)
+
+    ordinal_of = {
+        instance_index: ordinal
+        for ordinal, instance_index in enumerate(selection.references)
+    }
+    reference_count = len(selection.references)
+
+    encoded_references: dict[int, tuple[CompressedInstance, list[float]]] = {}
+    for instance_index in selection.references:
+        instance, bits = encode_reference(
+            tuples[instance_index], ordinal_of[instance_index], params
+        )
+        decoded_distances = [
+            decode_fraction(
+                encode_fraction(rd, params.eta_distance)
+            )
+            for rd in tuples[instance_index].relative_distances
+        ]
+        encoded_references[instance_index] = (instance, decoded_distances)
+        stats.compressed.add(bits)
+
+    instances: list[CompressedInstance] = [None] * len(tuples)  # type: ignore[list-item]
+    for instance_index in selection.references:
+        instances[instance_index] = encoded_references[instance_index][0]
+    for reference_index, members in selection.assignments.items():
+        _, reference_decoded = encoded_references[reference_index]
+        for member in members:
+            instance, bits = encode_non_reference(
+                tuples[member],
+                tuples[reference_index],
+                reference_decoded,
+                ordinal_of[reference_index],
+                reference_count,
+                params,
+            )
+            instances[member] = instance
+            stats.compressed.add(bits)
+
+    for encoded in tuples:
+        stats.original.add(original_instance_bits(encoded))
+
+    # structural overhead: instance count + one reference flag per instance
+    stats.compressed.overhead += expgolomb.encoded_length(len(tuples)) + len(tuples)
+
+    return CompressedTrajectory(
+        trajectory_id=trajectory_id,
+        time_payload=time_writer.getvalue(),
+        time_payload_bits=len(time_writer),
+        point_count=len(times),
+        start_time=times[0],
+        end_time=times[-1],
+        deviation_positions=deviation_positions,
+        instances=instances,
+        stats=stats,
+    )

@@ -1,0 +1,115 @@
+"""Fine-grained Jaccard Distance and the reference score function
+(Equations 1-3 of the paper).
+
+The plain Jaccard distance over factor sets is too coarse: two nearly
+identical instances can share *no* identical factor.  FJD instead scores
+each factor of the candidate against the other instance's factor list by
+positional overlap:
+
+    sim(f_v, Com_w) = max_h overlap(f_w[h], f_v) / max(L^w_max, L_v)
+
+where ``overlap`` intersects the ``[S, S+L)`` intervals and ``L^w_max``
+is the length of the overlap-maximizing factor of ``w`` (minimum on
+ties).  Then
+
+    FJD(w -> v, piv) = sum_{h'} sim(f_v[h'], Com_w) / max(H_w, H_v)
+
+and the selection score multiplies by the would-be reference's
+probability:
+
+    SF(w, v) = w.p * max_i FJD(w -> v, piv_i)
+
+with ``SF(w, w) = 0`` and ``SF(w, v) = 0`` when the instances start at
+different vertices (different ``SV`` never share a reference).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .pivots import PivotFactor, PivotRepresentations
+
+
+def overlap(a: PivotFactor, b: PivotFactor) -> int:
+    """Interval intersection of two (S, L) factors (paper's definition:
+    ``max(min(S1+L1, S2+L2) - max(S1, S2), 0)``)."""
+    return max(min(a[0] + a[1], b[0] + b[1]) - max(a[0], b[0]), 0)
+
+
+def similarity(
+    factor: PivotFactor | None,
+    against: Sequence[PivotFactor | None],
+) -> float:
+    """Equation 2: ``sim`` of one factor of ``v`` against ``Com_w``.
+
+    Omitted (``None``) factors on either side contribute zero overlap.
+    """
+    if factor is None:
+        return 0.0
+    best_overlap = 0
+    best_length: int | None = None
+    for other in against:
+        if other is None:
+            continue
+        amount = overlap(other, factor)
+        if amount > best_overlap:
+            best_overlap = amount
+            best_length = other[1]
+        elif amount == best_overlap and amount > 0:
+            if best_length is None or other[1] < best_length:
+                best_length = other[1]  # ties take the minimum length
+    if best_overlap == 0:
+        return 0.0
+    assert best_length is not None
+    return best_overlap / max(best_length, factor[1])
+
+
+def fine_grained_jaccard(
+    com_w: Sequence[PivotFactor | None],
+    com_v: Sequence[PivotFactor | None],
+) -> float:
+    """Equation 1: FJD from instance ``w`` to instance ``v`` against one
+    pivot, given both instances' pivot representations."""
+    h_w, h_v = len(com_w), len(com_v)
+    if h_v == 0 or h_w == 0:
+        return 0.0
+    total = sum(similarity(factor, com_w) for factor in com_v)
+    return total / max(h_w, h_v)
+
+
+def score(
+    w: int,
+    v: int,
+    probabilities: Sequence[float],
+    start_vertices: Sequence[int],
+    pivots: PivotRepresentations,
+) -> float:
+    """Equation 3's objective: ``SF(Tu_w, Tu_v)``."""
+    if w == v:
+        return 0.0
+    if start_vertices[w] != start_vertices[v]:
+        return 0.0
+    best = max(
+        fine_grained_jaccard(
+            representation[w], representation[v]
+        )
+        for representation in pivots.representations
+    )
+    return probabilities[w] * best
+
+
+def score_matrix(
+    probabilities: Sequence[float],
+    start_vertices: Sequence[int],
+    pivots: PivotRepresentations,
+) -> list[list[float]]:
+    """The full ``SM`` matrix: ``SM[w][v] = SF(Tu_w, Tu_v)``."""
+    n = len(probabilities)
+    if len(start_vertices) != n:
+        raise ValueError("probabilities and start vertices must align")
+    matrix = [[0.0] * n for _ in range(n)]
+    for w in range(n):
+        for v in range(n):
+            if w != v:
+                matrix[w][v] = score(w, v, probabilities, start_vertices, pivots)
+    return matrix

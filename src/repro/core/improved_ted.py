@@ -1,0 +1,175 @@
+"""Improved TED representation of trajectory instances (§4.1, Table 3).
+
+Each instance ``Tu^j_w`` becomes the tuple
+``(SV, E, D, T', p)``:
+
+* ``SV`` — the start vertex id of the first traversed edge, split out of
+  the edge sequence (the paper separates ``SV(Tu)`` from ``E(Tu)`` "to
+  achieve a more compact format");
+* ``E`` — outgoing edge numbers along the path, where an edge carrying
+  ``r > 1`` mapped locations is followed by ``r - 1`` zeros (§2.2);
+* ``D`` — relative distances of the mapped locations (Definition 7);
+* ``T'`` — one bit per ``E`` entry marking entries that carry a mapped
+  location; the improved representation *stores* it without its first and
+  last bits, which are always 1 (the first and last edges must carry a
+  point);
+* ``p`` — the instance probability.
+
+``decode_instance`` reconstructs a :class:`TrajectoryInstance` from the
+tuple plus the road network, which makes the whole pipeline losslessly
+invertible (up to the D quantization chosen at compression time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..network.graph import RoadNetwork
+from ..trajectories.model import (
+    EdgeKey,
+    MappedLocation,
+    TrajectoryInstance,
+)
+
+
+@dataclass(frozen=True)
+class InstanceTuple:
+    """The improved TED tuple of one trajectory instance."""
+
+    start_vertex: int
+    edge_numbers: tuple[int, ...]
+    relative_distances: tuple[float, ...]
+    time_flags: tuple[int, ...]  # full T', including first/last bits
+    probability: float
+
+    def __post_init__(self) -> None:
+        if len(self.edge_numbers) != len(self.time_flags):
+            raise ValueError("T' must have exactly one bit per E entry")
+        if self.edge_numbers and self.edge_numbers[0] == 0:
+            raise ValueError("E cannot start with a repeat marker (0)")
+        ones = sum(self.time_flags)
+        if ones != len(self.relative_distances):
+            raise ValueError(
+                f"T' marks {ones} locations but D has "
+                f"{len(self.relative_distances)} entries"
+            )
+        if self.time_flags and (self.time_flags[0] != 1 or self.time_flags[-1] != 1):
+            raise ValueError("first and last T' bits must be 1")
+
+    @property
+    def trimmed_time_flags(self) -> tuple[int, ...]:
+        """T' as stored: without the (always-1) first and last bits."""
+        return self.time_flags[1:-1]
+
+    @property
+    def point_count(self) -> int:
+        return len(self.relative_distances)
+
+    @property
+    def edge_sequence_length(self) -> int:
+        return len(self.edge_numbers)
+
+
+def restore_time_flags(trimmed: tuple[int, ...] | list[int]) -> tuple[int, ...]:
+    """Re-attach the omitted first and last 1-bits to a stored T'."""
+    return (1, *trimmed, 1)
+
+
+def encode_instance(
+    network: RoadNetwork, instance: TrajectoryInstance
+) -> InstanceTuple:
+    """Derive the improved TED tuple of ``instance``."""
+    counts = instance.points_per_edge()
+    edge_numbers: list[int] = []
+    time_flags: list[int] = []
+    for path_index, edge in enumerate(instance.path):
+        number = network.out_number(*edge)
+        edge_numbers.append(number)
+        count = counts[path_index]
+        time_flags.append(1 if count >= 1 else 0)
+        for _ in range(max(count - 1, 0)):
+            edge_numbers.append(0)
+            time_flags.append(1)
+    return InstanceTuple(
+        start_vertex=instance.start_vertex,
+        edge_numbers=tuple(edge_numbers),
+        relative_distances=tuple(instance.relative_distances(network)),
+        time_flags=tuple(time_flags),
+        probability=instance.probability,
+    )
+
+
+def decode_instance(
+    network: RoadNetwork, encoded: InstanceTuple
+) -> TrajectoryInstance:
+    """Reconstruct a :class:`TrajectoryInstance` from its tuple."""
+    path: list[EdgeKey] = []
+    locations: list[MappedLocation] = []
+    edge_indices: list[int] = []
+    current_vertex = encoded.start_vertex
+    distance_cursor = 0
+    for number, flag in zip(encoded.edge_numbers, encoded.time_flags):
+        if number > 0:
+            edge = network.edge_by_number(current_vertex, number)
+            path.append(edge.key)
+            current_vertex = edge.end
+        elif not path:
+            raise ValueError("E starts with a repeat marker")
+        if flag == 1:
+            edge_key = path[-1]
+            rd = encoded.relative_distances[distance_cursor]
+            distance_cursor += 1
+            ndist = rd * network.edge_length(*edge_key)
+            # lossy distance codes may invert two same-edge locations by
+            # less than eta * length; clamping keeps the model's order
+            # invariant without leaving the error bound
+            if (
+                edge_indices
+                and edge_indices[-1] == len(path) - 1
+                and ndist < locations[-1].ndist
+            ):
+                ndist = locations[-1].ndist
+            locations.append(MappedLocation(edge_key, ndist))
+            edge_indices.append(len(path) - 1)
+    if distance_cursor != len(encoded.relative_distances):
+        raise ValueError("D has more entries than T' marks")
+    return TrajectoryInstance(
+        path=path,
+        locations=locations,
+        probability=encoded.probability,
+        location_edge_indices=edge_indices,
+    )
+
+
+def path_vertices(network: RoadNetwork, encoded: InstanceTuple) -> list[int]:
+    """The vertex sequence visited by the encoded path, starting at SV.
+
+    Used by the StIU spatial index, whose tuples store vertex ids (final
+    vertices and factor anchor vertices) alongside positions in ``E``.
+    """
+    vertices = [encoded.start_vertex]
+    current = encoded.start_vertex
+    for number in encoded.edge_numbers:
+        if number > 0:
+            edge = network.edge_by_number(current, number)
+            current = edge.end
+            vertices.append(current)
+    return vertices
+
+
+def edge_prefix(
+    network: RoadNetwork, encoded: InstanceTuple, entry_count: int
+) -> list[EdgeKey]:
+    """Decode only the first ``entry_count`` entries of ``E`` into edges.
+
+    Partial decompression helper: where/when queries rarely need the whole
+    path, only the stretch bracketing a timestamp or location.
+    """
+    edges: list[EdgeKey] = []
+    current = encoded.start_vertex
+    for number in encoded.edge_numbers[:entry_count]:
+        if number > 0:
+            edge = network.edge_by_number(current, number)
+            edges.append(edge.key)
+            current = edge.end
+    return edges

@@ -1,0 +1,202 @@
+"""Error-bounded binary-fraction coding of relative distances and
+probabilities (the paper's PDDP component, §2.3 / §4.4).
+
+The paper defines the code of a value ``x`` in [0, 1) as its truncated
+binary expansion ``C(x) = sum_i C(x)_i * 2^-i`` with the smallest number
+of bits ``I`` such that ``|C(x) - x| <= eta``.  This is the only *lossy*
+component of the framework; the error bounds ``eta_D`` (distances) and
+``eta_p`` (probabilities) are preset compression parameters.
+
+Storage of the variable-length codes follows the PDDP-tree idea
+(storage reduction for repeated codes) with two concrete modes, chosen
+per component by measured size (DESIGN.md documents this reconstruction):
+
+* **direct** — each value is a small fixed-width length field followed by
+  the code bits (the length field width is derived from ``eta``, since
+  ``I <= ceil(log2(1/eta))``);
+* **dictionary** — distinct codes are stored once in a header (a
+  serialized prefix tree, i.e. the code list), and each value is a
+  fixed-width index into it; wins when values repeat, as relative
+  distances do across instances of one uncertain trajectory.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..bits import expgolomb
+from ..bits.bitio import BitReader, BitWriter, uint_width
+
+
+def max_code_length(eta: float) -> int:
+    """The largest code length any value needs: ``ceil(log2(1/eta))``.
+
+    Truncating a binary expansion at ``I`` bits leaves an error strictly
+    below ``2^-I``, so ``2^-I <= eta`` always suffices.
+    """
+    if not 0.0 < eta < 1.0:
+        raise ValueError(f"eta must be in (0, 1), got {eta}")
+    return max(int(math.ceil(math.log2(1.0 / eta))), 1)
+
+
+def encode_fraction(x: float, eta: float) -> tuple[int, ...]:
+    """The truncated binary-expansion code of ``x`` (paper's ``C(rd)``).
+
+    Returns the shortest bit tuple whose value is within ``eta`` of ``x``.
+    Values are clamped into [0, 1) first; an ``x`` within ``eta`` of zero
+    encodes as the empty tuple.
+    """
+    limit = max_code_length(eta)
+    x = min(max(x, 0.0), 1.0 - 2.0 ** -(limit + 1))
+    bits: list[int] = []
+    value = 0.0
+    scale = 0.5
+    if abs(value - x) <= eta:
+        return ()
+    for _ in range(limit):
+        if value + scale <= x:
+            bits.append(1)
+            value += scale
+        else:
+            bits.append(0)
+        scale /= 2
+        if abs(value - x) <= eta:
+            break
+    return tuple(bits)
+
+
+def decode_fraction(bits: tuple[int, ...] | list[int]) -> float:
+    """Value of a truncated binary-expansion code."""
+    value = 0.0
+    scale = 0.5
+    for bit in bits:
+        if bit:
+            value += scale
+        scale /= 2
+    return value
+
+
+@dataclass
+class PddpEncoder:
+    """Collects values for one component, then serializes them compactly.
+
+    Usage: ``add`` every value during representation, then ``serialize``
+    once; ``positions`` afterwards maps value index to its bit offset
+    within the serialized payload (the StIU spatial index stores such
+    offsets as ``d.pos``).
+    """
+
+    eta: float
+
+    def __post_init__(self) -> None:
+        self.codes: list[tuple[int, ...]] = []
+        self._positions: list[int] | None = None
+
+    def add(self, value: float) -> int:
+        """Queue ``value``; returns its index."""
+        self.codes.append(encode_fraction(value, self.eta))
+        return len(self.codes) - 1
+
+    def add_all(self, values: list[float]) -> None:
+        for value in values:
+            self.add(value)
+
+    def _direct_size(self) -> int:
+        length_bits = uint_width(max_code_length(self.eta))
+        return sum(length_bits + len(code) for code in self.codes)
+
+    def _dictionary_size(self) -> tuple[int, list[tuple[int, ...]]]:
+        distinct = sorted(set(self.codes), key=lambda c: (len(c), c))
+        index_bits = uint_width(max(len(distinct) - 1, 0))
+        length_bits = uint_width(max_code_length(self.eta))
+        header = (
+            expgolomb.encoded_length(len(distinct))
+            + sum(length_bits + len(code) for code in distinct)
+        )
+        return header + index_bits * len(self.codes), distinct
+
+    def serialize(self, writer: BitWriter) -> None:
+        """Write mode flag, header, and all values; records positions."""
+        length_bits = uint_width(max_code_length(self.eta))
+        direct_size = self._direct_size()
+        dict_size, distinct = self._dictionary_size()
+        use_dictionary = dict_size < direct_size
+        writer.write_bit(1 if use_dictionary else 0)
+        expgolomb.encode_unsigned(writer, len(self.codes))
+        positions: list[int] = []
+        if use_dictionary:
+            expgolomb.encode_unsigned(writer, len(distinct))
+            for code in distinct:
+                writer.write_uint(len(code), length_bits)
+                writer.write_bits(code)
+            index_of = {code: i for i, code in enumerate(distinct)}
+            index_bits = uint_width(max(len(distinct) - 1, 0))
+            for code in self.codes:
+                positions.append(len(writer))
+                writer.write_uint(index_of[code], index_bits)
+        else:
+            for code in self.codes:
+                positions.append(len(writer))
+                writer.write_uint(len(code), length_bits)
+                writer.write_bits(code)
+        self._positions = positions
+
+    @property
+    def positions(self) -> list[int]:
+        if self._positions is None:
+            raise RuntimeError("serialize() must run before positions are known")
+        return self._positions
+
+    def serialized_size(self) -> int:
+        """Size in bits the cheaper mode will take (without serializing)."""
+        flag_and_count = 1 + expgolomb.encoded_length(len(self.codes))
+        return flag_and_count + min(self._direct_size(), self._dictionary_size()[0])
+
+
+class PddpDecoder:
+    """Decodes a stream produced by :class:`PddpEncoder`."""
+
+    def __init__(self, reader: BitReader, eta: float) -> None:
+        self.eta = eta
+        length_bits = uint_width(max_code_length(eta))
+        self.use_dictionary = reader.read_bit() == 1
+        self.count = expgolomb.decode_unsigned(reader)
+        self._values: list[float] = []
+        if self.use_dictionary:
+            distinct_count = expgolomb.decode_unsigned(reader)
+            dictionary = []
+            for _ in range(distinct_count):
+                code_length = reader.read_uint(length_bits)
+                dictionary.append(decode_fraction(reader.read_bits(code_length)))
+            index_bits = uint_width(max(distinct_count - 1, 0))
+            for _ in range(self.count):
+                self._values.append(dictionary[reader.read_uint(index_bits)])
+        else:
+            for _ in range(self.count):
+                code_length = reader.read_uint(length_bits)
+                self._values.append(decode_fraction(reader.read_bits(code_length)))
+
+    @property
+    def values(self) -> list[float]:
+        return self._values
+
+    def __getitem__(self, index: int) -> float:
+        return self._values[index]
+
+    def __len__(self) -> int:
+        return self.count
+
+
+def encode_values(values: list[float], eta: float) -> BitWriter:
+    """One-shot convenience: encode ``values`` into a fresh writer."""
+    encoder = PddpEncoder(eta)
+    encoder.add_all(values)
+    writer = BitWriter()
+    encoder.serialize(writer)
+    return writer
+
+
+def decode_values(reader: BitReader, eta: float) -> list[float]:
+    """One-shot convenience matching :func:`encode_values`."""
+    return PddpDecoder(reader, eta).values

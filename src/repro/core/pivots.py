@@ -1,0 +1,130 @@
+"""Pivot selection and (S, L) pivot representation (§4.3).
+
+Reference selection needs pairwise similarities between all instances of
+an uncertain trajectory, but computing exact similarities is too slow.
+Following FRESCO [35], every instance's edge sequence is referentially
+represented against a small set of *pivots*, and similarity is estimated
+from those representations (the Fine-grained Jaccard Distance,
+:mod:`repro.core.fjd`).
+
+Pivot representation uses the pure-match ``(S, L)`` format of [10]: at
+each position the longest match against the pivot becomes a factor.  When
+the current symbol does not occur in the pivot, the paper "omits the
+factor but increases the number of factors by 1" — represented here as a
+``None`` entry so the count ``H`` stays faithful.
+
+Pivot selection (§4.3): start from a random instance, and iteratively
+promote the instance whose representation against the latest pivot has
+the most factors (the farthest instance), re-representing everything
+against each new pivot.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+PivotFactor = tuple[int, int]  # (S, L); None entries mark omitted factors
+
+
+def pivot_factors(
+    target: Sequence[int], pivot: Sequence[int]
+) -> list[PivotFactor | None]:
+    """(S, L) factorization of ``target`` against ``pivot``."""
+    occurrences: dict[int, list[int]] = {}
+    for position, symbol in enumerate(pivot):
+        occurrences.setdefault(symbol, []).append(position)
+    factors: list[PivotFactor | None] = []
+    i = 0
+    n = len(target)
+    m = len(pivot)
+    while i < n:
+        best_start, best_length = 0, 0
+        for start in occurrences.get(target[i], ()):
+            length = 0
+            while (
+                i + length < n
+                and start + length < m
+                and target[i + length] == pivot[start + length]
+            ):
+                length += 1
+            if length > best_length:
+                best_start, best_length = start, length
+        if best_length == 0:
+            factors.append(None)
+            i += 1
+        else:
+            factors.append((best_start, best_length))
+            i += best_length
+    return factors
+
+
+def factor_count(factors: Sequence[PivotFactor | None]) -> int:
+    """The paper's ``H``: number of factors including omitted ones."""
+    return len(factors)
+
+
+@dataclass
+class PivotRepresentations:
+    """All instances of one uncertain trajectory represented against each
+    selected pivot.
+
+    ``representations[pivot_index][instance_index]`` is the (S, L) factor
+    list of that instance against that pivot; ``pivot_indices`` identifies
+    which instances serve as pivots.
+    """
+
+    pivot_indices: list[int]
+    representations: list[list[list[PivotFactor | None]]]
+
+    @property
+    def pivot_count(self) -> int:
+        return len(self.pivot_indices)
+
+
+def select_pivots(
+    edge_sequences: Sequence[Sequence[int]],
+    pivot_count: int,
+    rng: random.Random,
+) -> PivotRepresentations:
+    """Select pivots and build all pivot representations (§4.3 steps i-iv).
+
+    ``edge_sequences`` are the ``E`` sequences of the instances of one
+    uncertain trajectory.  At most ``min(pivot_count, N)`` distinct pivots
+    are selected.
+    """
+    if pivot_count < 1:
+        raise ValueError(f"pivot_count must be >= 1, got {pivot_count}")
+    n = len(edge_sequences)
+    if n == 0:
+        raise ValueError("cannot select pivots from zero instances")
+
+    # step i: a random starting instance; represent everything against it
+    seed_index = rng.randrange(n)
+    seed_factors = [
+        pivot_factors(sequence, edge_sequences[seed_index])
+        for sequence in edge_sequences
+    ]
+
+    pivot_indices: list[int] = []
+    representations: list[list[list[PivotFactor | None]]] = []
+    latest_factors = seed_factors
+    while len(pivot_indices) < min(pivot_count, n):
+        # step ii: the farthest instance (most factors) becomes a pivot
+        candidates = [
+            (factor_count(latest_factors[i]), i)
+            for i in range(n)
+            if i not in pivot_indices
+        ]
+        if not candidates:
+            break
+        _, chosen = max(candidates, key=lambda item: (item[0], -item[1]))
+        pivot_indices.append(chosen)
+        # step iii: re-represent all instances against the new pivot
+        latest_factors = [
+            pivot_factors(sequence, edge_sequences[chosen])
+            for sequence in edge_sequences
+        ]
+        representations.append(latest_factors)
+    return PivotRepresentations(pivot_indices, representations)

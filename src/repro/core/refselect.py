@@ -1,0 +1,110 @@
+"""Greedy reference selection (Algorithm 1 of the paper).
+
+Given the score matrix ``SM[w][v] = SF(Tu_w, Tu_v)``, repeatedly pick the
+highest-scoring pair, make ``w`` a reference and assign ``v`` to its
+referential representation set, then enforce the two constraints by
+deleting entries:
+
+* each non-reference has exactly one reference (delete column ``v`` and —
+  single-order compression — row ``v``);
+* references are never themselves represented (delete column ``w``).
+
+When only zero scores remain, instances that are neither references nor
+non-references are "formally added to the reference set ... but are not
+associated with a reference representation set" (Algorithm 1 lines
+11-13), i.e. they are stored standalone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+
+@dataclass
+class ReferenceSelection:
+    """The outcome of Algorithm 1 for one uncertain trajectory.
+
+    ``references`` lists instance indices in selection order (standalone
+    leftovers last); ``assignments`` maps each reference index to the
+    instance indices it represents (its ``Rrs``, possibly empty).
+    """
+
+    references: list[int] = field(default_factory=list)
+    assignments: dict[int, list[int]] = field(default_factory=dict)
+
+    @property
+    def non_references(self) -> list[int]:
+        return [v for members in self.assignments.values() for v in members]
+
+    def reference_of(self, instance_index: int) -> int | None:
+        """The reference representing ``instance_index`` (or itself)."""
+        if instance_index in self.assignments:
+            return instance_index
+        for reference, members in self.assignments.items():
+            if instance_index in members:
+                return reference
+        return None
+
+    def validate(self, instance_count: int) -> None:
+        """Check the Algorithm 1 invariants (used in tests)."""
+        covered = set(self.references) | set(self.non_references)
+        if covered != set(range(instance_count)):
+            raise AssertionError(
+                f"selection covers {sorted(covered)}, expected all of "
+                f"0..{instance_count - 1}"
+            )
+        if len(self.references) + len(self.non_references) != instance_count:
+            raise AssertionError("an instance is both reference and non-reference")
+
+
+def select_references(matrix: Sequence[Sequence[float]]) -> ReferenceSelection:
+    """Run Algorithm 1 on a score matrix.
+
+    ``matrix[w][v]`` scores representing instance ``v`` by instance ``w``;
+    diagonals must be zero (an instance never represents itself).
+    """
+    n = len(matrix)
+    for row in matrix:
+        if len(row) != n:
+            raise ValueError("score matrix must be square")
+    alive = [[True] * n for _ in range(n)]
+    selection = ReferenceSelection()
+    is_reference = [False] * n
+    is_non_reference = [False] * n
+
+    # Pre-sort all positive entries once (the paper notes pre-sorting as
+    # the efficiency improvement over repeated max scans).
+    order = sorted(
+        (
+            (matrix[w][v], w, v)
+            for w in range(n)
+            for v in range(n)
+            if w != v and matrix[w][v] > 0.0
+        ),
+        key=lambda item: (-item[0], item[1], item[2]),
+    )
+
+    for value, w, v in order:
+        if not alive[w][v]:
+            continue
+        if value <= 0.0:
+            break
+        if not is_reference[w]:
+            is_reference[w] = True
+            selection.references.append(w)
+            selection.assignments[w] = []
+            for v2 in range(n):
+                alive[v2][w] = False  # w can no longer be represented
+        selection.assignments[w].append(v)
+        is_non_reference[v] = True
+        for w2 in range(n):
+            alive[w2][v] = False  # v already has its reference
+            alive[v][w2] = False  # v cannot be a reference (single order)
+
+    # Lines 11-13: leftovers become standalone references.
+    for w in range(n):
+        if not is_reference[w] and not is_non_reference[w]:
+            selection.references.append(w)
+            selection.assignments[w] = []
+    return selection

@@ -1,0 +1,182 @@
+"""Sample Interval Adaptive Representation of time sequences (§4.1).
+
+TED stores a time sequence as ``(index, timestamp)`` boundary pairs and
+degrades badly when sample intervals fluctuate (the common case; Fig. 4a).
+SIAR instead keeps the first timestamp and, for each later timestamp, the
+deviation of its interval from the dataset's default interval ``Ts``:
+
+    T(Tu) = < t0, (t1-t0)-Ts, (t2-t1)-Ts, ... >
+
+The deviations concentrate near zero, which the improved Exp-Golomb codec
+(:mod:`repro.bits.expgolomb`) exploits.  ``t0`` is stored as a fixed-width
+seconds-in-day field (17 bits by default, exactly the paper's running
+example); day-crossing sequences use the ``t0_bits`` override.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..bits import expgolomb
+from ..bits.bitio import BitReader, BitWriter
+
+DEFAULT_T0_BITS = 17  # enough for 86400 seconds-in-day
+
+
+@dataclass(frozen=True)
+class SiarSequence:
+    """A time sequence in SIAR form."""
+
+    t0: int
+    deviations: tuple[int, ...]
+    default_interval: int
+
+    @property
+    def length(self) -> int:
+        return len(self.deviations) + 1
+
+
+def represent(times: list[int], default_interval: int) -> SiarSequence:
+    """Convert absolute timestamps to SIAR form."""
+    if not times:
+        raise ValueError("cannot represent an empty time sequence")
+    if default_interval < 1:
+        raise ValueError(f"default interval must be >= 1, got {default_interval}")
+    if any(b <= a for a, b in zip(times, times[1:])):
+        raise ValueError("timestamps must strictly increase")
+    deviations = tuple(
+        (b - a) - default_interval for a, b in zip(times, times[1:])
+    )
+    return SiarSequence(times[0], deviations, default_interval)
+
+
+def restore(sequence: SiarSequence) -> list[int]:
+    """Convert SIAR form back to absolute timestamps."""
+    times = [sequence.t0]
+    for deviation in sequence.deviations:
+        times.append(times[-1] + sequence.default_interval + deviation)
+    return times
+
+
+def encode(
+    writer: BitWriter,
+    times: list[int],
+    default_interval: int,
+    *,
+    t0_bits: int = DEFAULT_T0_BITS,
+) -> SiarSequence:
+    """Serialize ``times`` (SIAR + improved Exp-Golomb) onto ``writer``.
+
+    Layout: ``t0`` (fixed ``t0_bits``), point count (Exp-Golomb), then one
+    Exp-Golomb code per deviation.
+    """
+    sequence = represent(times, default_interval)
+    if sequence.t0 >= (1 << t0_bits):
+        raise ValueError(
+            f"t0 {sequence.t0} does not fit in {t0_bits} bits; "
+            "raise t0_bits or rebase timestamps"
+        )
+    writer.write_uint(sequence.t0, t0_bits)
+    expgolomb.encode_unsigned(writer, len(times))
+    for deviation in sequence.deviations:
+        expgolomb.encode(writer, deviation)
+    return sequence
+
+
+def decode(
+    reader: BitReader,
+    default_interval: int,
+    *,
+    t0_bits: int = DEFAULT_T0_BITS,
+) -> list[int]:
+    """Inverse of :func:`encode`."""
+    t0 = reader.read_uint(t0_bits)
+    count = expgolomb.decode_unsigned(reader)
+    deviations = tuple(expgolomb.decode(reader) for _ in range(count - 1))
+    return restore(SiarSequence(t0, deviations, default_interval))
+
+
+def decode_prefix(
+    reader: BitReader,
+    default_interval: int,
+    *,
+    t0_bits: int = DEFAULT_T0_BITS,
+    stop_after: int,
+) -> list[int]:
+    """Decode only the first ``stop_after`` timestamps.
+
+    Partial decompression for the temporal StIU index: a where query knows
+    from the index roughly where its timestamp falls and decodes only a
+    prefix of the time stream.
+    """
+    t0 = reader.read_uint(t0_bits)
+    count = expgolomb.decode_unsigned(reader)
+    take = min(max(stop_after, 1), count)
+    times = [t0]
+    for _ in range(take - 1):
+        deviation = expgolomb.decode(reader)
+        times.append(times[-1] + default_interval + deviation)
+    return times
+
+
+def decode_from_offset(
+    reader: BitReader,
+    *,
+    start_time: int,
+    start_index: int,
+    bit_position: int,
+    total_count: int,
+    default_interval: int,
+    stop_after: int | None = None,
+) -> list[int]:
+    """Resume decoding mid-stream from an StIU temporal tuple.
+
+    The tuple supplies the absolute ``start_time`` of timestamp number
+    ``start_index`` and the ``bit_position`` of the *next* deviation code;
+    decoding proceeds from there, yielding timestamps ``start_index..``.
+    """
+    reader.seek(bit_position)
+    remaining = total_count - start_index - 1
+    if stop_after is not None:
+        remaining = min(remaining, stop_after)
+    times = [start_time]
+    for _ in range(max(remaining, 0)):
+        deviation = expgolomb.decode(reader)
+        times.append(times[-1] + default_interval + deviation)
+    return times
+
+
+def encoded_size_bits(
+    times: list[int],
+    default_interval: int,
+    *,
+    t0_bits: int = DEFAULT_T0_BITS,
+) -> int:
+    """Exact serialized size of :func:`encode` without materializing it."""
+    sequence = represent(times, default_interval)
+    return (
+        t0_bits
+        + expgolomb.encoded_length(len(times))
+        + sum(expgolomb.encoded_length(d) for d in sequence.deviations)
+    )
+
+
+def deviation_bit_positions(
+    times: list[int],
+    default_interval: int,
+    *,
+    t0_bits: int = DEFAULT_T0_BITS,
+) -> list[int]:
+    """Bit offset (within the encoded stream) of each deviation code.
+
+    ``positions[i]`` is where the code for deviation ``i`` (between
+    timestamps ``i`` and ``i+1``) begins.  The StIU temporal index stores
+    these so queries can resume decoding mid-stream.
+    """
+    sequence = represent(times, default_interval)
+    positions: list[int] = []
+    offset = t0_bits + expgolomb.encoded_length(len(times))
+    for deviation in sequence.deviations:
+        positions.append(offset)
+        offset += expgolomb.encoded_length(deviation)
+    return positions

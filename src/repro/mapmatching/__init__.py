@@ -1,0 +1,15 @@
+"""Probabilistic map matching: candidates, k-best HMM, raw-GPS synthesis."""
+
+from .candidates import Candidate, candidates_for_point, emission_log_probability
+from .hmm import MatcherConfig, ProbabilisticMapMatcher
+from .noise import synthesize_raw_dataset, synthesize_raw_trajectory
+
+__all__ = [
+    "Candidate",
+    "candidates_for_point",
+    "emission_log_probability",
+    "MatcherConfig",
+    "ProbabilisticMapMatcher",
+    "synthesize_raw_dataset",
+    "synthesize_raw_trajectory",
+]

@@ -1,0 +1,264 @@
+"""Probabilistic map matching: k-best Viterbi over an HMM (refs [2, 15]).
+
+A raw trajectory becomes a *set* of network-constrained instances, each a
+full joint assignment of candidates with a likelihood — exactly the input
+Definition 5 expects.  The model is the standard map-matching HMM:
+
+* states at step ``i``: the candidate road positions of fix ``i``;
+* emissions: Gaussian in the fix-to-candidate distance;
+* transitions: exponential in the discrepancy between the great-circle
+  distance of consecutive fixes and the network distance between the
+  candidates (routes much longer than the crow flies are unlikely).
+
+Instead of the single best state sequence, a list-Viterbi pass keeps the
+``k`` best partial sequences per state, yielding the top-``k`` complete
+matchings; their likelihoods are normalized into instance probabilities.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..network.graph import RoadNetwork
+from ..network.shortest_path import shortest_path
+from ..network.spatial_index import EdgeSpatialIndex
+from ..trajectories.model import (
+    EdgeKey,
+    MappedLocation,
+    RawTrajectory,
+    TrajectoryInstance,
+    UncertainTrajectory,
+)
+from .candidates import Candidate, candidates_for_point
+
+
+@dataclass
+class MatcherConfig:
+    """Tunables of the probabilistic matcher."""
+
+    sigma: float = 25.0  # GPS noise scale (meters)
+    beta: float = 60.0  # transition tolerance (meters of detour)
+    search_radius: float = 60.0
+    max_candidates: int = 4
+    max_instances: int = 8
+    max_route_factor: float = 6.0  # cap on network/straight distance ratio
+
+    def __post_init__(self) -> None:
+        if self.sigma <= 0 or self.beta <= 0:
+            raise ValueError("sigma and beta must be positive")
+        if self.max_instances < 1:
+            raise ValueError("max_instances must be at least 1")
+
+
+@dataclass
+class _Partial:
+    """One partial state sequence kept by the list-Viterbi pass."""
+
+    log_probability: float
+    candidate_indices: tuple[int, ...]
+    paths: tuple[tuple[EdgeKey, ...], ...] = field(default_factory=tuple)
+
+
+class ProbabilisticMapMatcher:
+    """Matches raw trajectories to uncertain network trajectories."""
+
+    def __init__(
+        self, network: RoadNetwork, config: MatcherConfig | None = None
+    ) -> None:
+        self.network = network
+        self.config = config or MatcherConfig()
+        self.index = EdgeSpatialIndex(network)
+
+    # ------------------------------------------------------------------
+    def _transition(
+        self, a: Candidate, b: Candidate, straight: float
+    ) -> tuple[float, list[EdgeKey]] | None:
+        """Log transition probability and connecting path, or ``None``
+        when no plausible route exists."""
+        route = self._route_between(a, b, straight)
+        if route is None:
+            return None
+        path, network_distance = route
+        discrepancy = abs(network_distance - straight)
+        return -discrepancy / self.config.beta, path
+
+    def _route_between(
+        self, a: Candidate, b: Candidate, straight: float
+    ) -> tuple[list[EdgeKey], float] | None:
+        """Network route from position ``a`` to position ``b``.
+
+        Returns the intermediate edges (between, not including, the two
+        candidate edges — unless they differ) and the travel distance.
+        """
+        cutoff = max(straight * self.config.max_route_factor, 300.0)
+        if a.edge == b.edge and b.ndist >= a.ndist:
+            return [], b.ndist - a.ndist
+        # drive to the end of a's edge, route to the start of b's edge
+        remaining = self.network.edge_length(*a.edge) - a.ndist
+        found = shortest_path(
+            self.network, a.edge[1], b.edge[0], cutoff=cutoff
+        )
+        if found is None:
+            return None
+        path, length = found
+        if path and path[0] == a.edge:
+            # avoid immediately re-traversing a's edge backwards-forwards
+            pass
+        total = remaining + length + b.ndist
+        return path, total
+
+    # ------------------------------------------------------------------
+    def match(self, raw: RawTrajectory) -> UncertainTrajectory | None:
+        """Match one raw trajectory; ``None`` when no route connects the
+        candidate chain (e.g. the fixes span disconnected components)."""
+        config = self.config
+        steps: list[list[Candidate]] = []
+        for point in raw:
+            step = candidates_for_point(
+                self.index,
+                point,
+                search_radius=config.search_radius,
+                sigma=config.sigma,
+                max_candidates=config.max_candidates,
+            )
+            if not step:
+                return None
+            steps.append(step)
+
+        beams: list[list[_Partial]] = [
+            [
+                _Partial(candidate.emission_log_probability, (i,), ())
+                for i, candidate in enumerate(steps[0])
+            ]
+        ]
+        points = list(raw)
+        for step_index in range(1, len(steps)):
+            previous_beam = beams[-1]
+            straight = math.hypot(
+                points[step_index].x - points[step_index - 1].x,
+                points[step_index].y - points[step_index - 1].y,
+            )
+            extended: list[_Partial] = []
+            for candidate_index, candidate in enumerate(steps[step_index]):
+                for partial in previous_beam:
+                    previous_candidate = steps[step_index - 1][
+                        partial.candidate_indices[-1]
+                    ]
+                    transition = self._transition(
+                        previous_candidate, candidate, straight
+                    )
+                    if transition is None:
+                        continue
+                    log_transition, path = transition
+                    extended.append(
+                        _Partial(
+                            partial.log_probability
+                            + log_transition
+                            + candidate.emission_log_probability,
+                            partial.candidate_indices + (candidate_index,),
+                            partial.paths + (tuple(path),),
+                        )
+                    )
+            if not extended:
+                return None
+            extended.sort(key=lambda p: -p.log_probability)
+            beams.append(extended[: config.max_instances * 3])
+
+        finals = sorted(beams[-1], key=lambda p: -p.log_probability)
+        instances: list[TrajectoryInstance] = []
+        seen: set[tuple] = set()
+        weights: list[float] = []
+        best_log = finals[0].log_probability
+        for partial in finals:
+            instance = self._assemble(steps, partial)
+            if instance is None:
+                continue
+            signature = instance.signature()
+            if signature in seen:
+                continue
+            seen.add(signature)
+            instances.append(instance)
+            weights.append(math.exp(partial.log_probability - best_log))
+            if len(instances) == config.max_instances:
+                break
+        if not instances:
+            return None
+        total = sum(weights)
+        quantum = 1.0 / 1024
+        shares = [max(round(w / total / quantum), 1) for w in weights]
+        shares[0] += round(1.0 / quantum) - sum(shares)
+        if shares[0] < 1:
+            return None  # degenerate weight distribution
+        for instance, share in zip(instances, shares):
+            instance.probability = share * quantum
+        return UncertainTrajectory(0, instances, list(raw.times))
+
+    # ------------------------------------------------------------------
+    def _assemble(
+        self, steps: list[list[Candidate]], partial: _Partial
+    ) -> TrajectoryInstance | None:
+        """Stitch candidate positions and connecting routes into one
+        instance, tolerating same-edge consecutive fixes."""
+        first = steps[0][partial.candidate_indices[0]]
+        path: list[EdgeKey] = [first.edge]
+        first_length = self.network.edge_length(*first.edge)
+        locations = [
+            MappedLocation(
+                first.edge,
+                min(max(round(first.ndist, 1), 0.0), first_length),
+            )
+        ]
+        edge_indices = [0]
+        for step_index in range(1, len(partial.candidate_indices)):
+            candidate = steps[step_index][
+                partial.candidate_indices[step_index]
+            ]
+            connecting = list(partial.paths[step_index - 1])
+            if candidate.edge == path[-1] and not connecting:
+                # same edge, moving forward
+                edge_indices.append(len(path) - 1)
+            else:
+                for edge in connecting:
+                    if edge != path[-1]:
+                        path.append(edge)
+                if candidate.edge != path[-1]:
+                    if path[-1][1] != candidate.edge[0]:
+                        return None  # disconnected stitch: drop this one
+                    path.append(candidate.edge)
+                edge_indices.append(len(path) - 1)
+            length = self.network.edge_length(*candidate.edge)
+            ndist = min(max(round(candidate.ndist, 1), 0.0), length)
+            locations.append(MappedLocation(candidate.edge, ndist))
+        # enforce monotone ndist for same-edge neighbors
+        for i in range(1, len(locations)):
+            if (
+                edge_indices[i] == edge_indices[i - 1]
+                and locations[i].ndist < locations[i - 1].ndist
+            ):
+                locations[i] = MappedLocation(
+                    locations[i].edge, locations[i - 1].ndist
+                )
+        try:
+            return TrajectoryInstance(
+                path=path,
+                locations=locations,
+                probability=1.0,
+                location_edge_indices=edge_indices,
+            )
+        except ValueError:
+            return None
+
+    def match_many(
+        self, raws: list[RawTrajectory], *, start_id: int = 0
+    ) -> list[UncertainTrajectory]:
+        """Match a batch, renumbering trajectory ids and skipping failures."""
+        results: list[UncertainTrajectory] = []
+        next_id = start_id
+        for raw in raws:
+            matched = self.match(raw)
+            if matched is not None:
+                matched.trajectory_id = next_id
+                next_id += 1
+                results.append(matched)
+        return results

@@ -1,0 +1,34 @@
+"""Road-network substrate: graph model, grid regions, search, generators."""
+
+from .graph import BoundingBox, Edge, RoadNetwork, Vertex
+from .grid import GridPartition, Rect
+from .generators import dataset_network, grid_network, perturbed_grid_network
+from .shortest_path import (
+    dijkstra,
+    k_alternative_paths,
+    network_distance,
+    random_walk_path,
+    reachable_within,
+    shortest_path,
+)
+from .spatial_index import EdgeSpatialIndex, project_point_to_segment
+
+__all__ = [
+    "BoundingBox",
+    "Edge",
+    "RoadNetwork",
+    "Vertex",
+    "GridPartition",
+    "Rect",
+    "dataset_network",
+    "grid_network",
+    "perturbed_grid_network",
+    "dijkstra",
+    "k_alternative_paths",
+    "network_distance",
+    "random_walk_path",
+    "reachable_within",
+    "shortest_path",
+    "EdgeSpatialIndex",
+    "project_point_to_segment",
+]

@@ -1,0 +1,178 @@
+"""Road-network generators standing in for the paper's DK/CD/HZ networks.
+
+The real networks are OpenStreetMap extracts (Table 6: 61k-668k vertices,
+average out-degree 2.4-2.8).  Without network access we synthesize
+city-like networks whose properties that matter to the compressors are
+matched:
+
+* the *out-degree distribution* determines the edge-number bit width
+  ``ceil(log2(o))`` and the branching available to detour instances;
+* two-way streets dominate, producing the U-turn structure real map
+  matchers must handle;
+* coordinates live in a planar box so grid partitioning behaves as it
+  does on real city extents.
+
+``perturbed_grid_network`` is the workhorse: a rows x cols street grid
+with jittered intersections, a configurable fraction of removed streets
+(creating irregular blocks and degree variance), and optional diagonal
+shortcuts (raising the maximum out-degree the way real arterials do).
+"""
+
+from __future__ import annotations
+
+import random
+
+from .graph import RoadNetwork
+
+
+def grid_network(
+    rows: int,
+    cols: int,
+    spacing: float = 100.0,
+    *,
+    bidirectional: bool = True,
+) -> RoadNetwork:
+    """A regular rows x cols street grid with ``spacing``-meter blocks."""
+    if rows < 2 or cols < 2:
+        raise ValueError("grid_network needs at least a 2x2 grid")
+    network = RoadNetwork()
+    for r in range(rows):
+        for c in range(cols):
+            network.add_vertex(r * cols + c, c * spacing, r * spacing)
+    for r in range(rows):
+        for c in range(cols):
+            vid = r * cols + c
+            if c + 1 < cols:
+                _add_street(network, vid, vid + 1, bidirectional)
+            if r + 1 < rows:
+                _add_street(network, vid, vid + cols, bidirectional)
+    network.finalize()
+    return network
+
+
+def _add_street(network: RoadNetwork, a: int, b: int, bidirectional: bool) -> None:
+    network.add_edge(a, b)
+    if bidirectional:
+        network.add_edge(b, a)
+
+
+def perturbed_grid_network(
+    rows: int,
+    cols: int,
+    spacing: float = 100.0,
+    *,
+    jitter: float = 0.25,
+    removal_fraction: float = 0.12,
+    diagonal_fraction: float = 0.06,
+    seed: int = 7,
+) -> RoadNetwork:
+    """A city-like network: jittered grid, missing streets, some diagonals.
+
+    ``jitter`` moves intersections by up to ``jitter * spacing`` in each
+    axis.  ``removal_fraction`` of interior streets are deleted (both
+    directions) while keeping the network strongly connected enough for
+    trajectory generation (border streets are never removed).
+    ``diagonal_fraction`` of blocks gain one diagonal shortcut.
+    """
+    if rows < 3 or cols < 3:
+        raise ValueError("perturbed_grid_network needs at least a 3x3 grid")
+    rng = random.Random(seed)
+    network = RoadNetwork()
+    for r in range(rows):
+        for c in range(cols):
+            dx = rng.uniform(-jitter, jitter) * spacing
+            dy = rng.uniform(-jitter, jitter) * spacing
+            network.add_vertex(r * cols + c, c * spacing + dx, r * spacing + dy)
+
+    streets: list[tuple[int, int, bool]] = []  # (a, b, interior)
+    for r in range(rows):
+        for c in range(cols):
+            vid = r * cols + c
+            if c + 1 < cols:
+                interior = 0 < r < rows - 1
+                streets.append((vid, vid + 1, interior))
+            if r + 1 < rows:
+                interior = 0 < c < cols - 1
+                streets.append((vid, vid + cols, interior))
+
+    for a, b, interior in streets:
+        if interior and rng.random() < removal_fraction:
+            continue
+        _add_street(network, a, b, bidirectional=True)
+
+    for r in range(rows - 1):
+        for c in range(cols - 1):
+            if rng.random() < diagonal_fraction:
+                a = r * cols + c
+                b = (r + 1) * cols + (c + 1)
+                if rng.random() < 0.5:
+                    a, b = r * cols + (c + 1), (r + 1) * cols + c
+                _add_street(network, a, b, bidirectional=True)
+
+    _ensure_no_dead_ends(network, rows, cols, rng)
+    network.finalize()
+    return network
+
+
+def _ensure_no_dead_ends(
+    network: RoadNetwork, rows: int, cols: int, rng: random.Random
+) -> None:
+    """Reconnect vertices that lost all outgoing streets to a neighbor."""
+    for r in range(rows):
+        for c in range(cols):
+            vid = r * cols + c
+            if network.out_degree(vid) > 0:
+                continue
+            neighbors = []
+            if c + 1 < cols:
+                neighbors.append(vid + 1)
+            if c > 0:
+                neighbors.append(vid - 1)
+            if r + 1 < rows:
+                neighbors.append(vid + cols)
+            if r > 0:
+                neighbors.append(vid - cols)
+            target = rng.choice(neighbors)
+            if not network.has_edge(vid, target):
+                network.add_edge(vid, target)
+            if not network.has_edge(target, vid):
+                network.add_edge(target, vid)
+
+
+def dataset_network(profile_name: str, *, scale: int = 24, seed: int = 7) -> RoadNetwork:
+    """A network sized/shaped for one of the paper's dataset profiles.
+
+    Table 6 reports average out-degrees 2.449 (DK), 2.834 (CD), and 2.791
+    (HZ).  Denmark's network is sparser (rural roads); the Chinese city
+    networks are denser with more diagonals.  ``scale`` is the grid side
+    length; benchmarks use modest scales so a full sweep stays laptop-sized.
+    """
+    name = profile_name.upper()
+    if name == "DK":
+        return perturbed_grid_network(
+            scale,
+            scale,
+            spacing=220.0,
+            removal_fraction=0.22,
+            diagonal_fraction=0.02,
+            seed=seed,
+        )
+    if name == "CD":
+        return perturbed_grid_network(
+            scale,
+            scale,
+            spacing=120.0,
+            removal_fraction=0.06,
+            diagonal_fraction=0.10,
+            seed=seed + 1,
+        )
+    if name == "HZ":
+        return perturbed_grid_network(
+            scale,
+            scale,
+            spacing=140.0,
+            removal_fraction=0.08,
+            diagonal_fraction=0.08,
+            seed=seed + 2,
+        )
+    raise ValueError(f"unknown dataset profile {profile_name!r}; use DK, CD, or HZ")

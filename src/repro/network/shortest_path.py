@@ -1,0 +1,184 @@
+"""Shortest-path search over road networks.
+
+Used by the probabilistic map matcher (transition probabilities need
+network distances between candidate locations) and by the workload
+generators (alternative sub-paths for detour instances).  A bounded
+Dijkstra keeps map matching tractable: GPS sampling gaps limit how far a
+vehicle can travel between points, so searches are cut off at a radius.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+from .graph import RoadNetwork
+
+INFINITY = float("inf")
+
+
+def dijkstra(
+    network: RoadNetwork,
+    source: int,
+    *,
+    target: int | None = None,
+    cutoff: float = INFINITY,
+    forbidden_edges: set[tuple[int, int]] | None = None,
+) -> tuple[dict[int, float], dict[int, int]]:
+    """Single-source shortest path distances (and predecessors).
+
+    Stops early when ``target`` is settled or when the frontier exceeds
+    ``cutoff``.  ``forbidden_edges`` are skipped, which the detour
+    generator uses to force alternative routes.
+
+    Returns ``(distances, predecessors)`` where ``predecessors[v]`` is the
+    vertex preceding ``v`` on its shortest path from ``source``.
+    """
+    if not network.has_vertex(source):
+        raise KeyError(f"unknown source vertex {source}")
+    distances: dict[int, float] = {source: 0.0}
+    predecessors: dict[int, int] = {}
+    settled: set[int] = set()
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    while heap:
+        dist, vertex = heapq.heappop(heap)
+        if vertex in settled:
+            continue
+        settled.add(vertex)
+        if vertex == target:
+            break
+        for edge in network.out_edges(vertex):
+            if forbidden_edges and edge.key in forbidden_edges:
+                continue
+            candidate = dist + edge.length
+            if candidate > cutoff:
+                continue
+            if candidate < distances.get(edge.end, INFINITY):
+                distances[edge.end] = candidate
+                predecessors[edge.end] = vertex
+                heapq.heappush(heap, (candidate, edge.end))
+    return distances, predecessors
+
+
+def shortest_path(
+    network: RoadNetwork,
+    source: int,
+    target: int,
+    *,
+    cutoff: float = INFINITY,
+    forbidden_edges: set[tuple[int, int]] | None = None,
+) -> tuple[list[tuple[int, int]], float] | None:
+    """Shortest path from ``source`` to ``target`` as a list of edge keys.
+
+    Returns ``(edges, length)`` or ``None`` when ``target`` is unreachable
+    within ``cutoff``.  A trivial ``source == target`` query returns an
+    empty path of length zero.
+    """
+    if source == target:
+        return [], 0.0
+    distances, predecessors = dijkstra(
+        network,
+        source,
+        target=target,
+        cutoff=cutoff,
+        forbidden_edges=forbidden_edges,
+    )
+    if target not in distances:
+        return None
+    path: list[tuple[int, int]] = []
+    vertex = target
+    while vertex != source:
+        prev = predecessors[vertex]
+        path.append((prev, vertex))
+        vertex = prev
+    path.reverse()
+    return path, distances[target]
+
+
+def network_distance(
+    network: RoadNetwork,
+    source: int,
+    target: int,
+    *,
+    cutoff: float = INFINITY,
+) -> float:
+    """Network distance between two vertices, ``inf`` when unreachable."""
+    result = shortest_path(network, source, target, cutoff=cutoff)
+    return result[1] if result is not None else INFINITY
+
+
+def k_alternative_paths(
+    network: RoadNetwork,
+    source: int,
+    target: int,
+    k: int,
+    *,
+    cutoff: float = INFINITY,
+) -> list[tuple[list[tuple[int, int]], float]]:
+    """Up to ``k`` loop-free alternative paths, shortest first.
+
+    A simple edge-penalty variant: after each found path, one of its edges
+    is forbidden and the search repeated.  Sufficient for generating detour
+    instances; not a full k-shortest-paths implementation by design.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    results: list[tuple[list[tuple[int, int]], float]] = []
+    seen_paths: set[tuple[tuple[int, int], ...]] = set()
+    forbidden_sets: list[set[tuple[int, int]]] = [set()]
+    while forbidden_sets and len(results) < k:
+        forbidden = forbidden_sets.pop(0)
+        found = shortest_path(
+            network, source, target, cutoff=cutoff, forbidden_edges=forbidden
+        )
+        if found is None:
+            continue
+        path, length = found
+        key = tuple(path)
+        if key in seen_paths:
+            continue
+        seen_paths.add(key)
+        results.append((path, length))
+        for edge in path:
+            forbidden_sets.append(forbidden | {edge})
+    results.sort(key=lambda item: item[1])
+    return results[:k]
+
+
+def reachable_within(
+    network: RoadNetwork, source: int, radius: float
+) -> dict[int, float]:
+    """All vertices reachable from ``source`` within network distance
+    ``radius`` (used to bound candidate transitions in map matching)."""
+    distances, _ = dijkstra(network, source, cutoff=radius)
+    return {v: d for v, d in distances.items() if d <= radius}
+
+
+def random_walk_path(
+    network: RoadNetwork,
+    source: int,
+    edge_count: int,
+    rng_choice: Callable[[list], object],
+) -> list[tuple[int, int]]:
+    """A connected path of ``edge_count`` edges starting at ``source``.
+
+    ``rng_choice`` is ``random.Random.choice``-compatible.  Immediate
+    U-turns are avoided when another out-edge exists; the walk stops early
+    at dead ends.
+    """
+    if edge_count < 1:
+        raise ValueError(f"edge_count must be >= 1, got {edge_count}")
+    path: list[tuple[int, int]] = []
+    current = source
+    previous: int | None = None
+    for _ in range(edge_count):
+        candidates = list(network.out_edges(current))
+        if not candidates:
+            break
+        non_backtracking = [e for e in candidates if e.end != previous]
+        pool = non_backtracking or candidates
+        edge = rng_choice(pool)
+        path.append(edge.key)
+        previous = current
+        current = edge.end
+    return path

@@ -1,0 +1,46 @@
+"""Query layer: StIU index, probabilistic queries, oracle, and metrics."""
+
+from .brute import BruteForceOracle
+from .flagarrays import FlagArray, OriginalArray
+from .metrics import (
+    AccuracyReport,
+    f1_score,
+    range_accuracy,
+    when_accuracy,
+    where_accuracy,
+)
+from .queries import (
+    QueryCounters,
+    UTCQQueryProcessor,
+    WhenResult,
+    WhereResult,
+)
+from .stiu import (
+    INFINITE_VERTEX,
+    NonReferenceTuple,
+    ReferenceTuple,
+    RegionEntry,
+    StIUIndex,
+    TemporalTuple,
+)
+
+__all__ = [
+    "BruteForceOracle",
+    "FlagArray",
+    "OriginalArray",
+    "AccuracyReport",
+    "f1_score",
+    "range_accuracy",
+    "when_accuracy",
+    "where_accuracy",
+    "QueryCounters",
+    "UTCQQueryProcessor",
+    "WhenResult",
+    "WhereResult",
+    "INFINITE_VERTEX",
+    "NonReferenceTuple",
+    "ReferenceTuple",
+    "RegionEntry",
+    "StIUIndex",
+    "TemporalTuple",
+]

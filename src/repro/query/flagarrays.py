@@ -1,0 +1,184 @@
+"""Flag arrays and original arrays for partial T' decompression (§5.1).
+
+Time-flag bit-strings tie ``D``/``T`` to ``E``: answering a query needs
+"the number of 1s before any position" of an instance's T'.  For a
+reference this is a prefix-count (*flag array* ``omega``) over its stored
+trimmed bits.  For a non-reference, §5.1's Equations 4-6 compute the
+count (*original array* ``gamma``) directly from the factor stream by
+summing reference prefix-counts over each factor's match interval plus
+its (inferred) mismatch bit — decompressing at most one factor, never the
+whole bit-string.
+
+Conventions: ``omega`` indexes the *trimmed* reference bits
+(``omega[g]`` = ones among bits ``0..g-1``); ``gamma(g)`` counts ones of
+the *original* (untrimmed) string at positions ``0..g`` inclusive, so
+``gamma(g) - 1`` is the D-index of the location on entry ``g`` when entry
+``g`` carries one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.factors import FlagFactor
+
+
+@dataclass
+class FlagArray:
+    """The paper's ``omega``: prefix ones-counts of a reference's trimmed T'."""
+
+    bits: tuple[int, ...]
+    prefix: tuple[int, ...]
+
+    @classmethod
+    def from_bits(cls, bits: Sequence[int]) -> "FlagArray":
+        prefix = [0]
+        for bit in bits:
+            prefix.append(prefix[-1] + bit)
+        return cls(tuple(bits), tuple(prefix))
+
+    def __len__(self) -> int:
+        return len(self.bits)
+
+    def ones_before(self, g: int) -> int:
+        """Number of 1s among trimmed bits ``0..g-1``."""
+        if not 0 <= g <= len(self.bits):
+            raise IndexError(f"position {g} outside [0, {len(self.bits)}]")
+        return self.prefix[g]
+
+    def ones_in(self, start: int, end: int) -> int:
+        """Number of 1s among trimmed bits ``start..end-1``."""
+        return self.ones_before(end) - self.ones_before(start)
+
+    def original_ones_until(self, g: int, original_length: int) -> int:
+        """The paper's ``gamma`` for the reference itself.
+
+        ``g`` indexes the *original* (untrimmed) string of length
+        ``original_length``; counts 1s at positions ``0..g`` inclusive
+        (the first and last original bits are the omitted 1s).
+        """
+        if not 0 <= g < original_length:
+            raise IndexError(f"position {g} outside the original string")
+        count = 1  # the omitted leading 1
+        count += self.ones_before(min(g, len(self.bits)))
+        if g == original_length - 1:
+            count += 1  # the omitted trailing 1
+        return count
+
+
+class OriginalArray:
+    """The paper's ``gamma`` for a non-reference, computed from factors.
+
+    Holds the non-reference's T' in whichever form the archive stored it
+    (factor list or raw fallback bits) and answers ones-counts with at
+    most one factor's worth of work (Equations 4-6).
+    """
+
+    def __init__(
+        self,
+        reference: FlagArray,
+        factors: Sequence[FlagFactor] | None,
+        raw_bits: Sequence[int] | None,
+        original_length: int,
+    ) -> None:
+        if (factors is None) == (raw_bits is None):
+            raise ValueError("exactly one of factors/raw_bits must be given")
+        self.reference = reference
+        self.factors = list(factors) if factors is not None else None
+        self.original_length = original_length
+        if raw_bits is not None:
+            self._raw = FlagArray.from_bits(raw_bits)
+        else:
+            self._raw = None
+            # cumulative trimmed positions and ones up to each factor start
+            positions = [0]
+            ones = [0]
+            if self.factors:
+                for factor in self.factors:
+                    consumed = factor.length
+                    contributed = reference.ones_in(
+                        factor.start, factor.start + factor.length
+                    )
+                    if factor.mismatch is not None:
+                        consumed += 1
+                        contributed += factor.mismatch
+                    elif factor is not self.factors[-1]:
+                        consumed += 1
+                        end = factor.start + factor.length
+                        contributed += 1 - reference.bits[end]
+                    positions.append(positions[-1] + consumed)
+                    ones.append(ones[-1] + contributed)
+            self._factor_starts = positions
+            self._factor_ones = ones
+
+    # ------------------------------------------------------------------
+    def trimmed_ones_before(self, g: int) -> int:
+        """Ones among the non-reference's trimmed bits ``0..g-1``."""
+        if g < 0:
+            raise IndexError("negative position")
+        if self._raw is not None:
+            return self._raw.ones_before(min(g, len(self._raw)))
+        if self.factors is not None and not self.factors:
+            # empty factor list: exact copy of the reference
+            return self.reference.ones_before(min(g, len(self.reference)))
+        return self._ones_from_factors(g)
+
+    def _ones_from_factors(self, g: int) -> int:
+        starts = self._factor_starts
+        if g >= starts[-1]:
+            return self._factor_ones[-1]
+        # Equation 4: the factor whose span contains position g
+        h = 0
+        while h + 1 < len(starts) and starts[h + 1] <= g:
+            h += 1
+        factor = self.factors[h]
+        # Equation 5: ones contributed by complete factors before h
+        count = self._factor_ones[h]
+        # Equation 6: partial ones inside factor h via the reference array
+        offset = g - starts[h]
+        match_take = min(offset, factor.length)
+        count += self.reference.ones_in(
+            factor.start, factor.start + match_take
+        )
+        if offset > factor.length:
+            # g lies past the factor's mismatch bit
+            if factor.mismatch is not None:
+                count += factor.mismatch
+            else:
+                end = factor.start + factor.length
+                count += 1 - self.reference.bits[end]
+        return count
+
+    def ones_until(self, g: int) -> int:
+        """``gamma(g)``: ones of the original string at positions 0..g."""
+        if not 0 <= g < self.original_length:
+            raise IndexError(
+                f"position {g} outside the original string of length "
+                f"{self.original_length}"
+            )
+        count = 1 + self.trimmed_ones_before(min(g, self.original_length - 2))
+        if g == self.original_length - 1:
+            count += 1
+        return count
+
+    def location_index_of_entry(self, g: int) -> int | None:
+        """D-index of the location on original entry ``g`` (None if the
+        entry carries no location)."""
+        gamma = self.ones_until(g)
+        if g == 0 or g == self.original_length - 1:
+            return gamma - 1
+        previous = self.ones_until(g - 1)
+        if gamma == previous:
+            return None
+        return gamma - 1
+
+
+def reference_gamma(
+    array: FlagArray, original_length: int
+) -> list[int]:
+    """Materialized ``gamma`` of a reference (used in tests/validation)."""
+    return [
+        array.original_ones_until(g, original_length)
+        for g in range(original_length)
+    ]

@@ -1,0 +1,138 @@
+"""Query accuracy metrics for the Fig. 11 study.
+
+The *average difference* is the deviation between results computed on
+original versus compressed data — meters for where queries (position
+deviation along the shared edge, Euclidean across edges), seconds for
+when queries.  The *F1 score* treats the two result sets as retrieval
+results keyed by (trajectory, instance) — or trajectory id for range
+queries — and combines precision and recall.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..network.graph import RoadNetwork
+from .queries import WhenResult, WhereResult
+
+
+@dataclass(frozen=True)
+class AccuracyReport:
+    """Average difference + F1 of one query workload."""
+
+    average_difference: float
+    precision: float
+    recall: float
+    f1: float
+    matched: int
+    expected: int
+    returned: int
+
+
+def f1_score(precision: float, recall: float) -> float:
+    if precision + recall == 0:
+        return 0.0
+    return 2 * precision * recall / (precision + recall)
+
+
+def _set_scores(
+    expected_keys: set, returned_keys: set
+) -> tuple[float, float, float]:
+    matched = len(expected_keys & returned_keys)
+    precision = matched / len(returned_keys) if returned_keys else 1.0
+    recall = matched / len(expected_keys) if expected_keys else 1.0
+    return precision, recall, f1_score(precision, recall)
+
+
+def where_accuracy(
+    network: RoadNetwork,
+    expected: Sequence[WhereResult],
+    returned: Sequence[WhereResult],
+) -> AccuracyReport:
+    """Position deviation in meters plus retrieval scores."""
+    expected_by_key = {(r.trajectory_id, r.instance_index): r for r in expected}
+    returned_by_key = {(r.trajectory_id, r.instance_index): r for r in returned}
+    precision, recall, f1 = _set_scores(
+        set(expected_by_key), set(returned_by_key)
+    )
+    differences: list[float] = []
+    for key in set(expected_by_key) & set(returned_by_key):
+        a, b = expected_by_key[key], returned_by_key[key]
+        if a.edge == b.edge:
+            differences.append(abs(a.ndist - b.ndist))
+        else:
+            ax, ay = _position(network, a)
+            bx, by = _position(network, b)
+            differences.append(((ax - bx) ** 2 + (ay - by) ** 2) ** 0.5)
+    average = sum(differences) / len(differences) if differences else 0.0
+    return AccuracyReport(
+        average_difference=average,
+        precision=precision,
+        recall=recall,
+        f1=f1,
+        matched=len(differences),
+        expected=len(expected_by_key),
+        returned=len(returned_by_key),
+    )
+
+
+def _position(network: RoadNetwork, result: WhereResult) -> tuple[float, float]:
+    a = network.vertex(result.edge[0])
+    b = network.vertex(result.edge[1])
+    fraction = result.ndist / network.edge_length(*result.edge)
+    return a.x + (b.x - a.x) * fraction, a.y + (b.y - a.y) * fraction
+
+
+def when_accuracy(
+    expected: Sequence[WhenResult],
+    returned: Sequence[WhenResult],
+) -> AccuracyReport:
+    """Time deviation in seconds plus retrieval scores.
+
+    Results are matched per (trajectory, instance); an instance passing a
+    location several times matches its passes in order.
+    """
+    def grouped(results: Sequence[WhenResult]) -> dict[tuple, list[float]]:
+        groups: dict[tuple, list[float]] = {}
+        for result in results:
+            groups.setdefault(
+                (result.trajectory_id, result.instance_index), []
+            ).append(result.time)
+        return {key: sorted(times) for key, times in groups.items()}
+
+    expected_groups = grouped(expected)
+    returned_groups = grouped(returned)
+    precision, recall, f1 = _set_scores(
+        set(expected_groups), set(returned_groups)
+    )
+    differences: list[float] = []
+    for key in set(expected_groups) & set(returned_groups):
+        for a, b in zip(expected_groups[key], returned_groups[key]):
+            differences.append(abs(a - b))
+    average = sum(differences) / len(differences) if differences else 0.0
+    return AccuracyReport(
+        average_difference=average,
+        precision=precision,
+        recall=recall,
+        f1=f1,
+        matched=len(differences),
+        expected=len(expected_groups),
+        returned=len(returned_groups),
+    )
+
+
+def range_accuracy(
+    expected: Sequence[int], returned: Sequence[int]
+) -> AccuracyReport:
+    """Retrieval scores over trajectory-id result sets (no distance)."""
+    precision, recall, f1 = _set_scores(set(expected), set(returned))
+    return AccuracyReport(
+        average_difference=0.0,
+        precision=precision,
+        recall=recall,
+        f1=f1,
+        matched=len(set(expected) & set(returned)),
+        expected=len(set(expected)),
+        returned=len(set(returned)),
+    )

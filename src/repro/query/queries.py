@@ -1,0 +1,426 @@
+"""Probabilistic where / when / range queries over compressed data (§5.3-5.4).
+
+All three queries run against the :class:`~repro.query.stiu.StIUIndex`
+without full decompression:
+
+* **where(Tu_j, t, alpha)** — Definition 10.  The temporal index locates
+  the bracketing timestamps by resuming the SIAR stream mid-way (t.pos);
+  only instances with decoded probability >= alpha are materialized, and
+  each position is interpolated along the instance's path.
+* **when(Tu_j, <edge, rd>, alpha)** — Definition 11.  The spatial index
+  fetches the region's tuples; Lemma 1 skips a reference's whole
+  representation set when its ``p_max`` (and its own probability) is
+  below alpha.
+* **range(Tu, RE, t_q, alpha)** — Definition 12.  Candidates come from
+  the temporal interval; Lemma 4 prunes trajectories whose indexed
+  probability mass near RE cannot reach alpha; Lemma 2 classifies
+  instances by their bracketing sub-path (inside / disjoint / boundary,
+  the latter needing a D decode); Lemma 3 accepts as soon as the
+  confirmed mass reaches alpha.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..bits.bitio import BitReader
+from ..core import siar
+from ..core.archive import CompressedArchive, CompressedTrajectory
+from ..core.decoder import (
+    decode_non_reference_tuple,
+    decode_reference_tuple,
+)
+from ..core.improved_ted import InstanceTuple, decode_instance
+from ..network.graph import RoadNetwork
+from ..network.grid import Rect
+from ..trajectories.model import EdgeKey, TrajectoryInstance
+from ..trajectories.path import InstanceChainage
+from .stiu import INFINITE_VERTEX, StIUIndex
+
+
+@dataclass(frozen=True)
+class WhereResult:
+    """A located instance: the paper's ``<(vs -> ve), ndist>`` plus context."""
+
+    trajectory_id: int
+    instance_index: int
+    edge: EdgeKey
+    ndist: float
+    probability: float
+
+
+@dataclass(frozen=True)
+class WhenResult:
+    """A passing time of one instance for the queried location."""
+
+    trajectory_id: int
+    instance_index: int
+    time: float
+    probability: float
+
+
+@dataclass
+class QueryCounters:
+    """Instrumentation: how much work the filters avoided."""
+
+    instances_decoded: int = 0
+    instances_pruned: int = 0
+    trajectories_pruned: int = 0
+    lemma2_inside: int = 0
+    lemma2_disjoint: int = 0
+    lemma2_boundary: int = 0
+
+    def reset(self) -> None:
+        self.instances_decoded = 0
+        self.instances_pruned = 0
+        self.trajectories_pruned = 0
+        self.lemma2_inside = 0
+        self.lemma2_disjoint = 0
+        self.lemma2_boundary = 0
+
+
+class UTCQQueryProcessor:
+    """Query engine over a compressed archive + StIU index."""
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        archive: CompressedArchive,
+        index: StIUIndex,
+    ) -> None:
+        self.network = network
+        self.archive = archive
+        self.index = index
+        self.counters = QueryCounters()
+        self._reference_cache: dict[tuple[int, int], InstanceTuple] = {}
+        self._instance_cache: dict[tuple[int, int], TrajectoryInstance] = {}
+
+    # ------------------------------------------------------------------
+    # shared partial-decompression helpers
+    # ------------------------------------------------------------------
+    def _decode_times_around(
+        self, trajectory: CompressedTrajectory, t: int
+    ) -> list[int] | None:
+        """Timestamps from the indexed resume point up to just past ``t``.
+
+        Returns absolute timestamps starting at the temporal tuple's
+        ``t.no``; ``None`` when ``t`` is outside the trajectory's span.
+        """
+        if not trajectory.start_time <= t <= trajectory.end_time:
+            return None
+        entry = self.index.temporal_tuple_for(trajectory.trajectory_id, t)
+        if entry is None:
+            return None
+        reader = BitReader(
+            trajectory.time_payload, trajectory.time_payload_bits
+        )
+        times = siar.decode_from_offset(
+            reader,
+            start_time=entry.start,
+            start_index=entry.number,
+            bit_position=entry.bit_position,
+            total_count=trajectory.point_count,
+            default_interval=self.archive.params.default_interval,
+        )
+        return times
+
+    def _full_times(self, trajectory: CompressedTrajectory) -> list[int]:
+        reader = BitReader(
+            trajectory.time_payload, trajectory.time_payload_bits
+        )
+        return siar.decode(
+            reader,
+            self.archive.params.default_interval,
+            t0_bits=self.archive.params.t0_bits,
+        )
+
+    def _reference_tuple(
+        self, trajectory: CompressedTrajectory, ordinal: int
+    ) -> InstanceTuple:
+        key = (trajectory.trajectory_id, ordinal)
+        cached = self._reference_cache.get(key)
+        if cached is None:
+            cached = decode_reference_tuple(
+                trajectory.reference_by_ordinal(ordinal), self.archive.params
+            )
+            self._reference_cache[key] = cached
+        return cached
+
+    def _materialize(
+        self, trajectory: CompressedTrajectory, instance_index: int
+    ) -> TrajectoryInstance:
+        """Decode one instance (reference payload shared via cache)."""
+        key = (trajectory.trajectory_id, instance_index)
+        cached = self._instance_cache.get(key)
+        if cached is not None:
+            return cached
+        compressed = trajectory.instances[instance_index]
+        self.counters.instances_decoded += 1
+        if compressed.is_reference:
+            encoded = self._reference_tuple(
+                trajectory, compressed.reference_ordinal
+            )
+        else:
+            reference = self._reference_tuple(
+                trajectory, compressed.reference_ordinal
+            )
+            encoded = decode_non_reference_tuple(
+                compressed, reference, self.archive.params
+            )
+        instance = decode_instance(self.network, encoded)
+        self._instance_cache[key] = instance
+        return instance
+
+    # ------------------------------------------------------------------
+    # probabilistic where (Definition 10)
+    # ------------------------------------------------------------------
+    def where(
+        self, trajectory_id: int, t: int, alpha: float
+    ) -> list[WhereResult]:
+        trajectory = self.archive.trajectory(trajectory_id)
+        times = self._decode_times_around(trajectory, t)
+        if times is None:
+            return []
+        full_times = self._full_times(trajectory)
+        results: list[WhereResult] = []
+        for index, compressed in enumerate(trajectory.instances):
+            if compressed.probability < alpha:
+                self.counters.instances_pruned += 1
+                continue
+            instance = self._materialize(trajectory, index)
+            chain = InstanceChainage(self.network, instance)
+            position = chain.position_at_time(full_times, t)
+            if position is None:
+                continue
+            results.append(
+                WhereResult(
+                    trajectory_id,
+                    index,
+                    position.edge,
+                    position.ndist,
+                    compressed.probability,
+                )
+            )
+        return results
+
+    # ------------------------------------------------------------------
+    # probabilistic when (Definition 11)
+    # ------------------------------------------------------------------
+    def when(
+        self,
+        trajectory_id: int,
+        edge: EdgeKey,
+        relative_distance: float,
+        alpha: float,
+    ) -> list[WhenResult]:
+        trajectory = self.archive.trajectory(trajectory_id)
+        a = self.network.vertex(edge[0])
+        b = self.network.vertex(edge[1])
+        x = a.x + (b.x - a.x) * relative_distance
+        y = a.y + (b.y - a.y) * relative_distance
+        region = self.index.grid.cell_of_point(x, y)
+
+        candidate_indices: set[int] = set()
+        for interval in range(
+            self.index.interval_of(trajectory.start_time),
+            self.index.interval_of(trajectory.end_time) + 1,
+        ):
+            entry = self.index.entries_for_trajectory(
+                interval, region, trajectory_id
+            )
+            if entry is None:
+                continue
+            for reference in entry.references:
+                ref_compressed = trajectory.instances[reference.instance_index]
+                ref_qualifies = (
+                    reference.final_vertex != INFINITE_VERTEX
+                    and ref_compressed.probability >= alpha
+                )
+                if ref_qualifies:
+                    candidate_indices.add(reference.instance_index)
+                # Lemma 1: p_max < alpha means no represented instance
+                # qualifies; the reference set needs no decompression.
+                if reference.p_max < alpha:
+                    self.counters.instances_pruned += 1
+                    continue
+                candidate_indices.update(
+                    self._group_members(
+                        trajectory, ref_compressed.reference_ordinal
+                    )
+                )
+        results: list[WhenResult] = []
+        if not candidate_indices:
+            return results
+        full_times = self._full_times(trajectory)
+        edge_length = self.network.edge_length(*edge)
+        ndist = relative_distance * edge_length
+        # decoded chainages carry PDDP error up to eta per edge length
+        tolerance = self.archive.params.eta_distance * edge_length + 1e-6
+        for index in sorted(candidate_indices):
+            compressed = trajectory.instances[index]
+            if compressed.probability < alpha:
+                self.counters.instances_pruned += 1
+                continue
+            instance = self._materialize(trajectory, index)
+            chain = InstanceChainage(self.network, instance)
+            for passing in chain.times_at_position(
+                full_times, edge, ndist, tolerance=tolerance
+            ):
+                results.append(
+                    WhenResult(
+                        trajectory_id, index, passing, compressed.probability
+                    )
+                )
+        return results
+
+    def _group_members(
+        self, trajectory: CompressedTrajectory, ordinal: int
+    ) -> list[int]:
+        return [
+            index
+            for index, instance in enumerate(trajectory.instances)
+            if instance.reference_ordinal == ordinal
+            and not instance.is_reference
+        ]
+
+    # ------------------------------------------------------------------
+    # probabilistic range (Definition 12)
+    # ------------------------------------------------------------------
+    def range(self, region: Rect, t: int, alpha: float) -> list[int]:
+        interval = self.index.interval_of(t)
+        cells = self.index.grid.cells_of_rect(region)
+        results: list[int] = []
+        for trajectory_id in self.index.trajectories_in_interval(t):
+            trajectory = self.archive.trajectory(trajectory_id)
+            if not trajectory.start_time <= t <= trajectory.end_time:
+                continue
+            # Lemma 4: indexed probability mass near RE bounds the true
+            # overlap probability from above.
+            bound = 0.0
+            seen_groups: set[int] = set()
+            for cell in cells:
+                entry = self.index.entries_for_trajectory(
+                    interval, cell, trajectory_id
+                )
+                if entry is None:
+                    continue
+                for reference in entry.references:
+                    bound += reference.p_total
+            if min(bound, 1.0) < alpha:
+                self.counters.trajectories_pruned += 1
+                continue
+            if self._range_confirm(trajectory, region, t, alpha):
+                results.append(trajectory_id)
+        return results
+
+    def _range_confirm(
+        self,
+        trajectory: CompressedTrajectory,
+        region: Rect,
+        t: int,
+        alpha: float,
+    ) -> bool:
+        full_times = self._full_times(trajectory)
+        order = sorted(
+            range(len(trajectory.instances)),
+            key=lambda i: -trajectory.instances[i].probability,
+        )
+        confirmed = 0.0
+        remaining = sum(i.probability for i in trajectory.instances)
+        for index in order:
+            compressed = trajectory.instances[index]
+            remaining -= compressed.probability
+            overlap = self._instance_overlaps(
+                trajectory, index, region, t, full_times
+            )
+            if overlap:
+                confirmed += compressed.probability
+                if confirmed >= alpha:  # Lemma 3 early accept
+                    return True
+            if confirmed + remaining < alpha:  # cannot reach alpha anymore
+                return False
+        return confirmed >= alpha
+
+    def _instance_overlaps(
+        self,
+        trajectory: CompressedTrajectory,
+        index: int,
+        region: Rect,
+        t: int,
+        full_times: list[int],
+    ) -> bool:
+        instance = self._materialize(trajectory, index)
+        chain = InstanceChainage(self.network, instance)
+        position = chain.position_at_time(full_times, t)
+        if position is None:
+            return False
+        # Lemma 2 over the bracketing sub-path
+        import bisect
+
+        bracket = bisect.bisect_right(full_times, t) - 1
+        lo = chain.location_chainages[max(bracket, 0)]
+        hi = chain.location_chainages[
+            min(bracket + 1, len(chain.location_chainages) - 1)
+        ]
+        subpath = chain.subpath_between(lo, hi)
+        inside, disjoint = self._classify_subpath(subpath, region)
+        if inside:
+            self.counters.lemma2_inside += 1
+            return True
+        if disjoint:
+            self.counters.lemma2_disjoint += 1
+            return False
+        self.counters.lemma2_boundary += 1
+        a = self.network.vertex(position.edge[0])
+        b = self.network.vertex(position.edge[1])
+        fraction = position.ndist / self.network.edge_length(*position.edge)
+        x = a.x + (b.x - a.x) * fraction
+        y = a.y + (b.y - a.y) * fraction
+        return region.contains(x, y)
+
+    def _classify_subpath(
+        self, subpath: list[EdgeKey], region: Rect
+    ) -> tuple[bool, bool]:
+        """(fully inside, fully disjoint) classification of Lemma 2."""
+        all_inside = True
+        any_touch = False
+        for edge in subpath:
+            a = self.network.vertex(edge[0])
+            b = self.network.vertex(edge[1])
+            a_in = region.contains(a.x, a.y)
+            b_in = region.contains(b.x, b.y)
+            if a_in and b_in:
+                any_touch = True
+                continue
+            all_inside = False
+            if a_in or b_in or _segment_intersects_rect(
+                a.x, a.y, b.x, b.y, region
+            ):
+                any_touch = True
+        return all_inside, not any_touch
+
+
+def _segment_intersects_rect(
+    x0: float, y0: float, x1: float, y1: float, rect: Rect
+) -> bool:
+    """Liang-Barsky style segment/rectangle intersection test."""
+    dx, dy = x1 - x0, y1 - y0
+    t_min, t_max = 0.0, 1.0
+    for p, q in (
+        (-dx, x0 - rect.min_x),
+        (dx, rect.max_x - x0),
+        (-dy, y0 - rect.min_y),
+        (dy, rect.max_y - y0),
+    ):
+        if p == 0:
+            if q < 0:
+                return False
+            continue
+        r = q / p
+        if p < 0:
+            t_min = max(t_min, r)
+        else:
+            t_max = min(t_max, r)
+        if t_min > t_max:
+            return False
+    return True

@@ -1,0 +1,413 @@
+"""The StIU index: Spatio-temporal Information based Uncertain Trajectory
+Index (§5.2).
+
+Two layers, built at compression time:
+
+* **temporal** — the day is split into equal intervals; each uncertain
+  trajectory stores, per intersecting interval, a tuple ``(t.start,
+  t.no, t.pos)``: its earliest timestamp in the interval, that
+  timestamp's index, and the bit position of the *next* deviation code in
+  the compressed time stream, so decoding can resume mid-stream.
+* **spatial** — the network is partitioned into grid regions; within each
+  time interval, every trajectory links to the regions its instances
+  traverse.  Reference tuples carry the final vertex (the vertex
+  traversed immediately before entering the region, Definition 9), its
+  position in ``E``, the bit position of the corresponding relative
+  distance in ``D̂``, and the pruning aggregates ``p_total`` / ``p_max``
+  over the reference's representation set.  A reference that never enters
+  the region itself (but whose non-references do) stores the ``fv = inf``
+  form.  Non-reference tuples carry the anchor vertex of the E-factor
+  covering the region entry and that factor's bit position (``ma.pos``);
+  a factor spanning several regions is indexed only at the first (§5.2).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+from ..core.archive import CompressedArchive, CompressedTrajectory
+from ..core.decoder import decode_trajectory_tuples
+from ..core.improved_ted import InstanceTuple
+from ..network.graph import RoadNetwork
+from ..network.grid import GridPartition
+
+INFINITE_VERTEX = -1  # the paper's "fv.id = infinity" marker
+
+
+@dataclass(frozen=True)
+class TemporalTuple:
+    """(t.start, t.no, t.pos) for one trajectory in one time interval."""
+
+    start: int
+    number: int
+    bit_position: int
+
+
+@dataclass(frozen=True)
+class ReferenceTuple:
+    """Spatial tuple of a reference w.r.t. one region.
+
+    ``final_vertex`` is :data:`INFINITE_VERTEX` when the reference itself
+    never enters the region (§5.2 case ii).
+    """
+
+    instance_index: int
+    final_vertex: int
+    entry_number: int  # fv.no: E-entry index of the edge entering the region
+    distance_position: int  # d.pos: bit offset of the d.no-th rd in D̂
+    p_total: float
+    p_max: float
+
+
+@dataclass(frozen=True)
+class NonReferenceTuple:
+    """Spatial tuple of a non-reference w.r.t. one region."""
+
+    instance_index: int
+    anchor_vertex: int  # rv.id
+    anchor_number: int  # rv.no: position of rv in E(Nref)
+    factor_position: int  # ma.pos: bit offset of the covering factor
+
+
+@dataclass
+class RegionEntry:
+    """All tuples of one trajectory for one (interval, region) pair."""
+
+    references: list[ReferenceTuple] = field(default_factory=list)
+    non_references: list[NonReferenceTuple] = field(default_factory=list)
+
+
+class StIUIndex:
+    """The paper's StIU index over a compressed archive."""
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        archive: CompressedArchive,
+        *,
+        grid_cells_per_side: int = 32,
+        time_partition_seconds: int = 1800,
+    ) -> None:
+        if time_partition_seconds < 1:
+            raise ValueError("time partition must be at least one second")
+        self.network = network
+        self.archive = archive
+        self.time_partition_seconds = time_partition_seconds
+        self.grid = GridPartition.for_network(network, grid_cells_per_side)
+        # temporal[interval][trajectory_id] -> TemporalTuple
+        self.temporal: dict[int, dict[int, TemporalTuple]] = {}
+        # per-trajectory sorted temporal tuples for binary search
+        self._trajectory_tuples: dict[int, list[TemporalTuple]] = {}
+        # spatial[interval][region][trajectory_id] -> RegionEntry
+        self.spatial: dict[int, dict[int, dict[int, RegionEntry]]] = {}
+        self._build()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def interval_of(self, t: int) -> int:
+        return t // self.time_partition_seconds
+
+    def _build(self) -> None:
+        from ..core import siar
+        from ..bits.bitio import BitReader
+
+        for trajectory in self.archive.trajectories:
+            reader = BitReader(
+                trajectory.time_payload, trajectory.time_payload_bits
+            )
+            times = siar.decode(
+                reader,
+                self.archive.params.default_interval,
+                t0_bits=self.archive.params.t0_bits,
+            )
+            self._build_temporal(trajectory, times)
+            self._build_spatial(trajectory, times)
+
+    def _build_temporal(
+        self, trajectory: CompressedTrajectory, times: list[int]
+    ) -> None:
+        tuples: list[TemporalTuple] = []
+        seen_intervals: set[int] = set()
+        positions = trajectory.deviation_positions
+        end_position = trajectory.time_payload_bits
+        for number, t in enumerate(times):
+            interval = self.interval_of(t)
+            if interval in seen_intervals:
+                continue
+            seen_intervals.add(interval)
+            bit_position = (
+                positions[number] if number < len(positions) else end_position
+            )
+            entry = TemporalTuple(t, number, bit_position)
+            tuples.append(entry)
+            self.temporal.setdefault(interval, {})[
+                trajectory.trajectory_id
+            ] = entry
+        self._trajectory_tuples[trajectory.trajectory_id] = tuples
+
+    def _active_intervals(self, trajectory: CompressedTrajectory) -> range:
+        first = self.interval_of(trajectory.start_time)
+        last = self.interval_of(trajectory.end_time)
+        return range(first, last + 1)
+
+    def _build_spatial(
+        self, trajectory: CompressedTrajectory, times: list[int]
+    ) -> None:
+        params = self.archive.params
+        tuples = decode_trajectory_tuples(trajectory, params)
+        # regions visited per instance, with entry metadata
+        visits: list[list[tuple[int, int, int]]] = []  # (region, entry, fv)
+        for encoded in tuples:
+            visits.append(self._region_visits(encoded))
+
+        # group instances by their reference ordinal
+        groups: dict[int, list[int]] = {}
+        for index, instance in enumerate(trajectory.instances):
+            groups.setdefault(instance.reference_ordinal, []).append(index)
+
+        for interval in self._active_intervals(trajectory):
+            interval_map = self.spatial.setdefault(interval, {})
+            for ordinal, members in groups.items():
+                self._index_group(
+                    trajectory,
+                    tuples,
+                    visits,
+                    interval_map,
+                    ordinal,
+                    members,
+                )
+
+    def _region_visits(
+        self, encoded: InstanceTuple
+    ) -> list[tuple[int, int, int]]:
+        """(region, E-entry index, final vertex) for each region entered.
+
+        The final vertex of the first region is the start vertex (the
+        paper's ``(SV, 0, 0)`` convention).
+        """
+        visits: list[tuple[int, int, int]] = []
+        seen: set[int] = set()
+        current_vertex = encoded.start_vertex
+        for entry_index, number in enumerate(encoded.edge_numbers):
+            if number == 0:
+                continue
+            edge = self.network.edge_by_number(current_vertex, number)
+            for region in self.grid.cells_of_edge(
+                self.network, edge.start, edge.end
+            ):
+                if region not in seen:
+                    seen.add(region)
+                    visits.append((region, entry_index, current_vertex))
+            current_vertex = edge.end
+        return visits
+
+    def _index_group(
+        self,
+        trajectory: CompressedTrajectory,
+        tuples: list[InstanceTuple],
+        visits: list[list[tuple[int, int, int]]],
+        interval_map: dict[int, dict[int, RegionEntry]],
+        ordinal: int,
+        members: list[int],
+    ) -> None:
+        reference_index = next(
+            i
+            for i in members
+            if trajectory.instances[i].is_reference
+            and trajectory.instances[i].reference_ordinal == ordinal
+        )
+        reference_instance = trajectory.instances[reference_index]
+        non_reference_indices = [i for i in members if i != reference_index]
+
+        # regions touched by anyone in the group
+        group_regions: dict[int, list[int]] = {}
+        for member in members:
+            for region, _, _ in visits[member]:
+                group_regions.setdefault(region, []).append(member)
+
+        reference_visit_by_region = {
+            region: (entry, fv) for region, entry, fv in visits[reference_index]
+        }
+
+        for region, overlapping in group_regions.items():
+            p_total = sum(
+                trajectory.instances[m].probability for m in set(overlapping)
+            )
+            nonref_probabilities = [
+                trajectory.instances[m].probability
+                for m in set(overlapping)
+                if m != reference_index
+            ]
+            p_max = max(nonref_probabilities, default=0.0)
+
+            if region in reference_visit_by_region:
+                entry_number, final_vertex = reference_visit_by_region[region]
+                distance_position = self._distance_position(
+                    reference_instance, tuples[reference_index], entry_number
+                )
+                tuple_ = ReferenceTuple(
+                    reference_index,
+                    final_vertex,
+                    entry_number,
+                    distance_position,
+                    p_total,
+                    p_max,
+                )
+            else:
+                tuple_ = ReferenceTuple(
+                    reference_index, INFINITE_VERTEX, 0, 0, p_total, p_max
+                )
+            entry_map = interval_map.setdefault(region, {})
+            entry = entry_map.setdefault(
+                trajectory.trajectory_id, RegionEntry()
+            )
+            entry.references.append(tuple_)
+
+        # non-reference tuples: anchor factor per region (first region only
+        # when one factor spans several regions)
+        for member in non_reference_indices:
+            compressed = trajectory.instances[member]
+            factor_spans = self._factor_spans(
+                compressed, tuples[reference_index]
+            )
+            used_factors: set[int] = set()
+            for region, entry_index, _ in visits[member]:
+                factor_index = self._covering_factor(factor_spans, entry_index)
+                if factor_index is None or factor_index in used_factors:
+                    continue
+                used_factors.add(factor_index)
+                span_start, _ = factor_spans[factor_index]
+                anchor_vertex = self._vertex_at_entry(
+                    tuples[member], span_start
+                )
+                entry_map = interval_map.setdefault(region, {})
+                entry = entry_map.setdefault(
+                    trajectory.trajectory_id, RegionEntry()
+                )
+                entry.non_references.append(
+                    NonReferenceTuple(
+                        member,
+                        anchor_vertex,
+                        span_start,
+                        compressed.factor_positions[factor_index]
+                        if factor_index < len(compressed.factor_positions)
+                        else 0,
+                    )
+                )
+
+    def _distance_position(
+        self,
+        compressed_reference,
+        encoded: InstanceTuple,
+        entry_number: int,
+    ) -> int:
+        """``d.pos``: bit offset of the ``gamma[fv.no]``-th rd in D̂(Ref)."""
+        ones = sum(encoded.time_flags[: entry_number + 1])
+        d_no = max(min(ones - 1, len(compressed_reference.distance_positions) - 1), 0)
+        if not compressed_reference.distance_positions:
+            return 0
+        return compressed_reference.distance_positions[d_no]
+
+    def _factor_spans(
+        self, compressed, reference_encoded: InstanceTuple
+    ) -> list[tuple[int, int]]:
+        """(start, end) E-entry span of the non-reference's sequence each
+        of its factors reproduces, read from the factor stream."""
+        from ..bits.bitio import BitReader
+        from ..core.factors import read_edge_factors
+
+        if compressed.is_reference:
+            return []
+        reader = BitReader(compressed.payload, compressed.payload_bits)
+        reader.seek(compressed.edge_offset)
+        factors = read_edge_factors(
+            reader,
+            len(reference_encoded.edge_numbers),
+            self.archive.params.symbol_width,
+        )
+        spans: list[tuple[int, int]] = []
+        cursor = 0
+        for factor in factors:
+            spans.append((cursor, cursor + factor.consumed))
+            cursor += factor.consumed
+        return spans
+
+    def _covering_factor(
+        self, spans: list[tuple[int, int]], entry_index: int
+    ) -> int | None:
+        for index, (start, end) in enumerate(spans):
+            if start <= entry_index < end:
+                return index
+        return None
+
+    def _vertex_at_entry(self, encoded: InstanceTuple, entry_index: int) -> int:
+        current = encoded.start_vertex
+        for number in encoded.edge_numbers[:entry_index]:
+            if number > 0:
+                current = self.network.edge_by_number(current, number).end
+        return current
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+    def temporal_tuple_for(
+        self, trajectory_id: int, t: int
+    ) -> TemporalTuple | None:
+        """Binary-search the trajectory's tuples for the latest one with
+        ``t.start <= t`` (the paper's Example 3 lookup)."""
+        tuples = self._trajectory_tuples.get(trajectory_id)
+        if not tuples:
+            return None
+        starts = [entry.start for entry in tuples]
+        position = bisect.bisect_right(starts, t) - 1
+        if position < 0:
+            return None
+        return tuples[position]
+
+    def trajectories_in_interval(self, t: int) -> list[int]:
+        return sorted(self.temporal.get(self.interval_of(t), {}).keys())
+
+    def region_entries(
+        self, interval: int, region: int
+    ) -> dict[int, RegionEntry]:
+        return self.spatial.get(interval, {}).get(region, {})
+
+    def entries_for_trajectory(
+        self, interval: int, region: int, trajectory_id: int
+    ) -> RegionEntry | None:
+        return self.region_entries(interval, region).get(trajectory_id)
+
+    # ------------------------------------------------------------------
+    # size accounting (Fig. 9)
+    # ------------------------------------------------------------------
+    TEMPORAL_TUPLE_BYTES = 4 + 2 + 4  # t.start, t.no, t.pos
+    REFERENCE_TUPLE_BYTES = 4 + 2 + 4 + 4 + 4  # fv.id, fv.no, d.pos, pt, pm
+    REFERENCE_INF_TUPLE_BYTES = 4 + 4 + 4  # fv=inf form
+    NONREFERENCE_TUPLE_BYTES = 4 + 2 + 4  # rv.id, rv.no, ma.pos
+
+    def temporal_size_bytes(self) -> int:
+        return sum(
+            self.TEMPORAL_TUPLE_BYTES * len(entries) + 8
+            for entries in self.temporal.values()
+        )
+
+    def spatial_size_bytes(self) -> int:
+        total = 0
+        for interval_map in self.spatial.values():
+            for region_map in interval_map.values():
+                total += 8  # region key
+                for entry in region_map.values():
+                    for reference in entry.references:
+                        if reference.final_vertex == INFINITE_VERTEX:
+                            total += self.REFERENCE_INF_TUPLE_BYTES
+                        else:
+                            total += self.REFERENCE_TUPLE_BYTES
+                    total += self.NONREFERENCE_TUPLE_BYTES * len(
+                        entry.non_references
+                    )
+        return total
+
+    def size_bytes(self) -> int:
+        return self.temporal_size_bytes() + self.spatial_size_bytes()

@@ -1,0 +1,28 @@
+"""The TED baseline (Yang et al., TKDE 2017) adapted to uncertain data."""
+
+from .compressor import (
+    TEDCompressor,
+    TedArchive,
+    TedInstance,
+    TedTrajectory,
+    decode_ted_instance_tuple,
+    decode_ted_times,
+    decode_ted_trajectory,
+)
+from .index import TedQueryIndex, TedWhenResult, TedWhereResult
+from .matrix import MatrixGroup, MatrixStore
+
+__all__ = [
+    "TEDCompressor",
+    "TedArchive",
+    "TedInstance",
+    "TedTrajectory",
+    "decode_ted_instance_tuple",
+    "decode_ted_times",
+    "decode_ted_trajectory",
+    "TedQueryIndex",
+    "TedWhenResult",
+    "TedWhereResult",
+    "MatrixGroup",
+    "MatrixStore",
+]

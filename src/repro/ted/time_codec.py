@@ -1,0 +1,108 @@
+"""TED's time-sequence compression: boundary pairs of constant-interval runs.
+
+TED (§2.2) "omits the consecutive timestamps with unchanged sample
+intervals": ``<t_i, t_{i+1}, t_{i+2}>`` becomes ``<(i, t_i), (i+2,
+t_{i+2})>`` when the two intervals are equal.  A kept pair costs
+``index_bits + time_bits`` (the paper assumes at most 2^12 timestamps per
+trajectory and 17-bit times, hence 12 + 17 = 29 bits per pair).
+
+The codec is lossless: intermediate timestamps are linear between the
+kept endpoints of each run.  Its weakness — the paper's motivation for
+SIAR — is that real sample intervals change every few samples, so almost
+every timestamp becomes a boundary.
+"""
+
+from __future__ import annotations
+
+from ..bits import expgolomb
+from ..bits.bitio import BitReader, BitWriter
+
+DEFAULT_INDEX_BITS = 12  # paper: trajectories have at most 2^12 timestamps
+
+
+def boundary_pairs(times: list[int]) -> list[tuple[int, int]]:
+    """The kept ``(index, timestamp)`` pairs for ``times``."""
+    if not times:
+        raise ValueError("cannot compress an empty time sequence")
+    n = len(times)
+    if n == 1:
+        return [(0, times[0])]
+    kept = [(0, times[0])]
+    run_start = 0
+    for i in range(2, n):
+        if times[i] - times[i - 1] != times[i - 1] - times[i - 2]:
+            if run_start != i - 1:
+                kept.append((i - 1, times[i - 1]))
+            run_start = i - 1
+    kept.append((n - 1, times[n - 1]))
+    return kept
+
+
+def restore_from_pairs(pairs: list[tuple[int, int]]) -> list[int]:
+    """Reconstruct the full time sequence from boundary pairs."""
+    if not pairs:
+        raise ValueError("cannot restore from zero pairs")
+    times: list[int] = []
+    for (i0, t0), (i1, t1) in zip(pairs, pairs[1:]):
+        span = i1 - i0
+        if span <= 0:
+            raise ValueError("pair indices must strictly increase")
+        if (t1 - t0) % span != 0:
+            raise ValueError(
+                f"non-integral interval between pairs ({i0},{t0}) and ({i1},{t1})"
+            )
+        step = (t1 - t0) // span
+        for k in range(span):
+            times.append(t0 + k * step)
+    times.append(pairs[-1][1])
+    return times
+
+
+def encode(
+    writer: BitWriter,
+    times: list[int],
+    *,
+    index_bits: int = DEFAULT_INDEX_BITS,
+    time_bits: int = 17,
+) -> int:
+    """Serialize ``times`` as boundary pairs; returns the pair count."""
+    pairs = boundary_pairs(times)
+    if len(times) > (1 << index_bits):
+        raise ValueError(
+            f"{len(times)} timestamps exceed the {index_bits}-bit index space"
+        )
+    if any(t >= (1 << time_bits) for _, t in pairs):
+        raise ValueError(f"timestamp does not fit in {time_bits} bits")
+    expgolomb.encode_unsigned(writer, len(pairs))
+    for index, timestamp in pairs:
+        writer.write_uint(index, index_bits)
+        writer.write_uint(timestamp, time_bits)
+    return len(pairs)
+
+
+def decode(
+    reader: BitReader,
+    *,
+    index_bits: int = DEFAULT_INDEX_BITS,
+    time_bits: int = 17,
+) -> list[int]:
+    """Inverse of :func:`encode`."""
+    count = expgolomb.decode_unsigned(reader)
+    pairs = [
+        (reader.read_uint(index_bits), reader.read_uint(time_bits))
+        for _ in range(count)
+    ]
+    return restore_from_pairs(pairs)
+
+
+def encoded_size_bits(
+    times: list[int],
+    *,
+    index_bits: int = DEFAULT_INDEX_BITS,
+    time_bits: int = 17,
+) -> int:
+    """Serialized size without materializing the stream."""
+    pairs = boundary_pairs(times)
+    return expgolomb.encoded_length(len(pairs)) + len(pairs) * (
+        index_bits + time_bits
+    )

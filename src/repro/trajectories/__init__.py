@@ -1,0 +1,58 @@
+"""Trajectory substrate: data model, generators, datasets, statistics."""
+
+from .model import (
+    EdgeKey,
+    MappedLocation,
+    RawPoint,
+    RawTrajectory,
+    TrajectoryInstance,
+    UncertainTrajectory,
+)
+from .path import InstanceChainage, PathChainage, PathPosition
+from .edit_distance import edit_distance, normalized_edit_distance
+from .generators import (
+    GenerationConfig,
+    generate_dataset,
+    generate_uncertain_trajectory,
+)
+from .datasets import (
+    CD,
+    DK,
+    HZ,
+    PROFILES,
+    DatasetProfile,
+    filter_min_edges,
+    filter_min_instances,
+    load_dataset,
+    profile,
+    subsample_instances,
+    truncate_trajectory,
+)
+
+__all__ = [
+    "EdgeKey",
+    "MappedLocation",
+    "RawPoint",
+    "RawTrajectory",
+    "TrajectoryInstance",
+    "UncertainTrajectory",
+    "InstanceChainage",
+    "PathChainage",
+    "PathPosition",
+    "edit_distance",
+    "normalized_edit_distance",
+    "GenerationConfig",
+    "generate_dataset",
+    "generate_uncertain_trajectory",
+    "CD",
+    "DK",
+    "HZ",
+    "PROFILES",
+    "DatasetProfile",
+    "filter_min_edges",
+    "filter_min_instances",
+    "load_dataset",
+    "profile",
+    "subsample_instances",
+    "truncate_trajectory",
+]

@@ -1,0 +1,212 @@
+"""Dataset profiles mirroring the paper's DK / CD / HZ corpora (Tables 5-6).
+
+Each profile captures the published statistics the compressors are
+sensitive to; see DESIGN.md §2 for the substitution argument.
+
+==========  =====  ==========================  ============  ===========
+profile     Ts     interval deviation (Fig 4a)  avg instances  avg edges
+==========  =====  ==========================  ============  ===========
+DK          1 s    93% within ±1 s             9 (2-139)      14 (2-434*)
+CD          10 s   62% within ±1 s             3 (2-192)      11 (2-148)
+HZ          20 s   54% within ±1 s             13 (2-1500*)   13 (2-189)
+==========  =====  ==========================  ============  ===========
+
+(*) maxima are scaled down by default so sweeps remain laptop-sized; the
+profile dataclass exposes them for larger runs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+
+from ..network.generators import dataset_network
+from ..network.graph import RoadNetwork
+from .generators import GenerationConfig, generate_dataset
+from .model import UncertainTrajectory
+
+
+@dataclass(frozen=True)
+class DatasetProfile:
+    """Statistical profile of one of the paper's datasets."""
+
+    name: str
+    default_interval: int
+    deviation_fractions: tuple[float, float, float, float, float]
+    mean_instances: float
+    max_instances: int
+    mean_edges: float
+    max_edges: int
+    network_scale: int
+    default_eta_probability: float
+    interval_run_mean: float = 2.0  # §2.2: samples between interval changes
+
+    def generation_config(self) -> GenerationConfig:
+        return GenerationConfig(
+            default_interval=self.default_interval,
+            deviation_fractions=self.deviation_fractions,
+            mean_instances=self.mean_instances,
+            max_instances=self.max_instances,
+            mean_edges=self.mean_edges,
+            max_edges=self.max_edges,
+            interval_run_mean=self.interval_run_mean,
+        )
+
+    def scaled(self, **overrides) -> "DatasetProfile":
+        """A copy with selected fields overridden (larger sweeps, tests)."""
+        return replace(self, **overrides)
+
+
+#: Denmark: 1 s sampling, extremely stable intervals, many instances.
+DK = DatasetProfile(
+    name="DK",
+    default_interval=1,
+    deviation_fractions=(0.66, 0.27, 0.055, 0.010, 0.005),
+    mean_instances=9,
+    max_instances=20,
+    mean_edges=14,
+    max_edges=40,
+    network_scale=26,
+    default_eta_probability=1 / 512,
+    interval_run_mean=6.80,
+)
+
+#: Chengdu: 10 s sampling, moderately stable intervals, few instances.
+CD = DatasetProfile(
+    name="CD",
+    default_interval=10,
+    deviation_fractions=(0.38, 0.24, 0.30, 0.05, 0.03),
+    mean_instances=3,
+    max_instances=10,
+    mean_edges=11,
+    max_edges=32,
+    network_scale=22,
+    default_eta_probability=1 / 512,
+    interval_run_mean=2.32,
+)
+
+#: Hangzhou: 20 s sampling, unstable intervals, the most instances.
+HZ = DatasetProfile(
+    name="HZ",
+    default_interval=20,
+    deviation_fractions=(0.33, 0.21, 0.36, 0.07, 0.03),
+    mean_instances=13,
+    max_instances=26,
+    mean_edges=13,
+    max_edges=36,
+    network_scale=22,
+    default_eta_probability=1 / 2048,
+    interval_run_mean=1.97,
+)
+
+PROFILES: dict[str, DatasetProfile] = {"DK": DK, "CD": CD, "HZ": HZ}
+
+
+def profile(name: str) -> DatasetProfile:
+    """Look up a profile by (case-insensitive) name."""
+    try:
+        return PROFILES[name.upper()]
+    except KeyError:
+        raise ValueError(
+            f"unknown profile {name!r}; available: {sorted(PROFILES)}"
+        ) from None
+
+
+def load_dataset(
+    profile_name: str,
+    trajectory_count: int = 200,
+    *,
+    seed: int = 11,
+    network: RoadNetwork | None = None,
+    network_scale: int | None = None,
+) -> tuple[RoadNetwork, list[UncertainTrajectory]]:
+    """Generate a ``(network, trajectories)`` pair for a dataset profile.
+
+    This is the synthetic stand-in for reading the paper's GPS corpora.
+    """
+    prof = profile(profile_name)
+    if network is None:
+        network = dataset_network(
+            prof.name,
+            scale=network_scale or prof.network_scale,
+            seed=seed,
+        )
+    trajectories = generate_dataset(
+        network, prof.generation_config(), trajectory_count, seed=seed
+    )
+    return network, trajectories
+
+
+def filter_min_instances(
+    trajectories: list[UncertainTrajectory], minimum: int
+) -> list[UncertainTrajectory]:
+    """Trajectories with at least ``minimum`` instances (Fig. 6 filter)."""
+    return [t for t in trajectories if t.instance_count >= minimum]
+
+
+def filter_min_edges(
+    trajectories: list[UncertainTrajectory], minimum: int
+) -> list[UncertainTrajectory]:
+    """Trajectories whose best instance has >= ``minimum`` edges (Fig. 7)."""
+    return [t for t in trajectories if len(t.best_instance().path) >= minimum]
+
+
+def subsample_instances(
+    trajectory: UncertainTrajectory, fraction: float, seed: int = 0
+) -> UncertainTrajectory:
+    """Keep a fraction of instances, renormalizing probabilities (Fig. 6)."""
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    keep = max(1, round(trajectory.instance_count * fraction))
+    rng = random.Random(seed * 7919 + trajectory.trajectory_id)
+    order = sorted(
+        range(trajectory.instance_count),
+        key=lambda i: (-trajectory.instances[i].probability, rng.random()),
+    )
+    chosen = sorted(order[:keep])
+    return trajectory.renormalized([trajectory.instances[i] for i in chosen])
+
+
+def truncate_trajectory(
+    network: RoadNetwork, trajectory: UncertainTrajectory, fraction: float
+) -> UncertainTrajectory | None:
+    """Truncate every instance to a prefix of the shared points (Fig. 7).
+
+    Keeps the first ``ceil(fraction * |T|)`` mapped locations (at least 2)
+    and the corresponding path prefix of every instance.  Returns ``None``
+    when truncation collapses two instances into identical sequences in a
+    way that leaves a single instance with probability below one.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    keep_points = max(2, round(len(trajectory.times) * fraction))
+    if keep_points >= len(trajectory.times):
+        return trajectory
+    from .model import TrajectoryInstance
+
+    new_instances: list[TrajectoryInstance] = []
+    seen: set[tuple] = set()
+    for instance in trajectory.instances:
+        indices = instance.location_edge_indices[:keep_points]
+        last_edge_index = indices[-1]
+        truncated = TrajectoryInstance(
+            path=instance.path[: last_edge_index + 1],
+            locations=instance.locations[:keep_points],
+            probability=instance.probability,
+            location_edge_indices=indices,
+        )
+        signature = truncated.signature()
+        if signature in seen:
+            # merge probability into the earlier identical instance
+            for existing in new_instances:
+                if existing.signature() == signature:
+                    existing.probability += truncated.probability
+                    break
+            continue
+        seen.add(signature)
+        new_instances.append(truncated)
+    return UncertainTrajectory(
+        trajectory.trajectory_id,
+        new_instances,
+        list(trajectory.times[:keep_points]),
+    )

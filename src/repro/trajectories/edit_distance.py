@@ -1,0 +1,59 @@
+"""Sequence edit distance, used for the Fig. 4b similarity statistics.
+
+The paper measures similarity of edge sequences ``E(.)`` between
+trajectory instances with edit distance (as in [37, 43]).  A plain
+Levenshtein over hashable symbols suffices; an optional early-exit bound
+keeps the all-pairs dataset statistics cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+
+def edit_distance(
+    a: Sequence[Hashable],
+    b: Sequence[Hashable],
+    *,
+    upper_bound: int | None = None,
+) -> int:
+    """Levenshtein distance between two sequences.
+
+    When ``upper_bound`` is given and the true distance exceeds it, any
+    value strictly greater than ``upper_bound`` may be returned (banded
+    computation); callers bucketing distances into ranges use this to skip
+    work for clearly dissimilar pairs.
+    """
+    if len(a) < len(b):
+        a, b = b, a  # ensure b is the shorter sequence (less memory)
+    if not b:
+        return len(a)
+    if upper_bound is not None and abs(len(a) - len(b)) > upper_bound:
+        return upper_bound + 1
+
+    previous = list(range(len(b) + 1))
+    for i, symbol_a in enumerate(a, start=1):
+        current = [i] + [0] * len(b)
+        row_min = i
+        for j, symbol_b in enumerate(b, start=1):
+            cost = 0 if symbol_a == symbol_b else 1
+            current[j] = min(
+                previous[j] + 1,  # deletion
+                current[j - 1] + 1,  # insertion
+                previous[j - 1] + cost,  # substitution
+            )
+            row_min = min(row_min, current[j])
+        if upper_bound is not None and row_min > upper_bound:
+            return upper_bound + 1
+        previous = current
+    return previous[len(b)]
+
+
+def normalized_edit_distance(
+    a: Sequence[Hashable], b: Sequence[Hashable]
+) -> float:
+    """Edit distance scaled to [0, 1] by the longer length."""
+    longest = max(len(a), len(b))
+    if longest == 0:
+        return 0.0
+    return edit_distance(a, b) / longest

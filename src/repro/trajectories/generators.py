@@ -1,0 +1,536 @@
+"""Uncertain-trajectory workload generation.
+
+The paper's datasets are proprietary GPS corpora; this module synthesizes
+network-constrained uncertain trajectories with the *published* statistical
+properties (see ``datasets.py`` for the per-dataset profiles):
+
+* a base path is a non-backtracking random walk over the road network;
+* mapped locations are placed along the path by chainage, always covering
+  the first and last edge (the paper exploits this in the trimmed T');
+* the shared time sequence starts at a random second-of-day and advances
+  by ``Ts + deviation`` with deviations drawn from the Fig. 4a categories;
+* alternative instances are *local detours* of the base path (replacing a
+  short window of edges with an alternative route) or *tail switches*
+  (re-routing the final edge), mirroring Fig. 2's Tu^1_2 / Tu^1_3; points
+  outside the modified window keep their exact (edge, ndist), which is why
+  the paper's positional D-factors pay off;
+* instance probabilities are a decreasing random allocation with the base
+  instance most likely, summing to one.
+
+Everything is driven by an explicit ``random.Random`` so datasets are
+reproducible from a seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..network.graph import RoadNetwork
+from ..network.shortest_path import random_walk_path, shortest_path
+from .model import (
+    EdgeKey,
+    MappedLocation,
+    TrajectoryInstance,
+    UncertainTrajectory,
+)
+from .path import PathChainage
+
+SECONDS_PER_DAY = 86400
+
+#: Fig. 4a deviation categories: |deviation| of 0, 1, 2..50, 51..100, >100 s.
+DEVIATION_CATEGORIES = ((0, 0), (1, 1), (2, 50), (51, 100), (101, 180))
+
+
+@dataclass(frozen=True)
+class GenerationConfig:
+    """Knobs controlling one generated uncertain trajectory."""
+
+    default_interval: int
+    deviation_fractions: tuple[float, float, float, float, float]
+    mean_instances: float
+    max_instances: int
+    mean_edges: float
+    max_edges: int
+    min_edges: int = 2
+    points_per_edge: tuple[float, float] = (0.45, 0.95)
+    head_switch_fraction: float = 0.08
+    #: mean number of samples between interval changes (§2.2 reports
+    #: 6.80 / 2.32 / 1.97 for DK / CD / HZ) — intervals are "sticky".
+    interval_run_mean: float = 2.0
+
+    def __post_init__(self) -> None:
+        if abs(sum(self.deviation_fractions) - 1.0) > 1e-9:
+            raise ValueError("deviation fractions must sum to 1")
+        if self.default_interval < 1:
+            raise ValueError("default interval must be at least 1 second")
+        if self.min_edges < 2:
+            raise ValueError("trajectories need at least 2 edges")
+
+
+def draw_deviation(config: GenerationConfig, rng: random.Random) -> int:
+    """One signed sample-interval deviation from the Fig. 4a categories.
+
+    The resulting interval ``Ts + deviation`` is always at least 1 second,
+    which bounds how negative a deviation may be.
+    """
+    roll = rng.random()
+    cumulative = 0.0
+    magnitude = 0
+    for (lo, hi), fraction in zip(DEVIATION_CATEGORIES, config.deviation_fractions):
+        cumulative += fraction
+        if roll <= cumulative:
+            magnitude = rng.randint(lo, hi)
+            break
+    else:
+        magnitude = rng.randint(*DEVIATION_CATEGORIES[-1])
+    if magnitude == 0:
+        return 0
+    max_negative = config.default_interval - 1
+    if max_negative >= magnitude and rng.random() < 0.5:
+        return -magnitude
+    return magnitude
+
+
+def draw_time_sequence(
+    config: GenerationConfig, point_count: int, rng: random.Random
+) -> list[int]:
+    """A strictly increasing time sequence with profile-shaped intervals.
+
+    Intervals are *sticky*: each sample keeps the previous interval with
+    probability ``1 - 1/interval_run_mean`` and redraws it otherwise, so
+    the mean run length between interval changes matches the dataset
+    statistic in §2.2 (which is what TED's boundary-pair codec exploits).
+    """
+    start = rng.randrange(0, SECONDS_PER_DAY // 2)
+    times = [start]
+    change_probability = 1.0 / max(config.interval_run_mean, 1.0)
+    interval = max(config.default_interval + draw_deviation(config, rng), 1)
+    for step in range(point_count - 1):
+        if step > 0 and rng.random() < change_probability:
+            interval = max(
+                config.default_interval + draw_deviation(config, rng), 1
+            )
+        times.append(times[-1] + interval)
+    return times
+
+
+def draw_count(mean: float, minimum: int, maximum: int, rng: random.Random) -> int:
+    """A count with the given mean, geometric-tailed like the paper's data."""
+    if maximum <= minimum:
+        return minimum
+    span_mean = max(mean - minimum, 0.25)
+    p = 1.0 / (1.0 + span_mean)
+    count = minimum
+    while count < maximum and rng.random() > p:
+        count += 1
+    return count
+
+
+def place_locations(
+    network: RoadNetwork,
+    path: list[EdgeKey],
+    point_count: int,
+    rng: random.Random,
+) -> tuple[list[MappedLocation], list[int]]:
+    """Place ``point_count`` locations along ``path`` by sorted chainage.
+
+    The first location lies on the first edge and the last on the final
+    edge (model invariant).  ``ndist`` values are quantized to 0.1 m, the
+    way consumer GPS pipelines round, which makes relative distances
+    repeat across instances.
+    """
+    if point_count < 2:
+        raise ValueError("need at least 2 mapped locations")
+    chain = PathChainage(network, path)
+    first_limit = network.edge_length(*path[0])
+    last_start = chain.total_length - network.edge_length(*path[-1])
+    first = rng.uniform(0.0, first_limit * 0.95)
+    last = rng.uniform(
+        last_start + 1e-6, chain.total_length - 1e-6
+    )
+    middles = sorted(
+        rng.uniform(first, last) for _ in range(point_count - 2)
+    )
+    chainages = [first, *middles, last]
+    locations: list[MappedLocation] = []
+    edge_indices: list[int] = []
+    for chainage in chainages:
+        position = chain.position_at(chainage)
+        edge_length = network.edge_length(*position.edge)
+        ndist = min(max(round(position.ndist, 1), 0.0), edge_length)
+        locations.append(MappedLocation(position.edge, ndist))
+        edge_indices.append(position.edge_index)
+    # Quantization could push a location across an edge boundary ordering;
+    # enforce monotone ndist within an edge.
+    for i in range(1, len(locations)):
+        if (
+            edge_indices[i] == edge_indices[i - 1]
+            and locations[i].ndist < locations[i - 1].ndist
+        ):
+            locations[i] = MappedLocation(
+                locations[i].edge, locations[i - 1].ndist
+            )
+    return locations, edge_indices
+
+
+def _detour_window(
+    path: list[EdgeKey], rng: random.Random
+) -> tuple[int, int] | None:
+    """A candidate [i, j) window of interior path edges to re-route."""
+    if len(path) < 4:
+        return None
+    width = rng.randint(1, min(3, len(path) - 3))
+    start = rng.randint(1, len(path) - 1 - width - 1)
+    return start, start + width
+
+
+def make_detour_instance(
+    network: RoadNetwork,
+    base: TrajectoryInstance,
+    rng: random.Random,
+    *,
+    attempts: int = 6,
+) -> TrajectoryInstance | None:
+    """A variant of ``base`` that re-routes a short interior window.
+
+    Locations outside the window are copied verbatim.  When the
+    replacement sub-path has the same number of edges (a parallel street —
+    the common probabilistic-map-matching ambiguity), window locations map
+    edge-by-edge *preserving their relative distance*, reproducing the
+    paper's observation that alternative matchings often share ``rd``
+    values (§4.2).  Otherwise they are re-projected by chainage fraction.
+    Returns ``None`` when the network offers no alternative.
+    """
+    fallback: tuple[tuple[int, int], list[EdgeKey], float, float] | None = None
+    for _ in range(attempts):
+        window = _detour_window(base.path, rng)
+        if window is None:
+            return None
+        i, j = window
+        source = base.path[i][0]
+        target = base.path[j - 1][1]
+        original = base.path[i:j]
+        original_length = network.path_length(original)
+        forbidden = {rng.choice(original)}
+        found = shortest_path(
+            network,
+            source,
+            target,
+            cutoff=original_length * 4 + 1.0,
+            forbidden_edges=forbidden,
+        )
+        if found is None or not found[0] or found[0] == original:
+            continue
+        replacement, replacement_length = found
+        if len(replacement) == j - i:
+            instance = _relocate_window_parallel(
+                network, base, (i, j), replacement
+            )
+            if instance is not None:
+                return instance
+        if fallback is None:
+            fallback = ((i, j), replacement, replacement_length, original_length)
+    if fallback is None:
+        return None
+    (i, j), replacement, replacement_length, original_length = fallback
+    new_path = base.path[:i] + replacement + base.path[j:]
+    return _relocate_window(
+        network,
+        base,
+        new_path,
+        window=(i, j),
+        replacement_span=(len(replacement), replacement_length),
+        original_length=original_length,
+    )
+
+
+def _relocate_window_parallel(
+    network: RoadNetwork,
+    base: TrajectoryInstance,
+    window: tuple[int, int],
+    replacement: list[EdgeKey],
+) -> TrajectoryInstance | None:
+    """Equal-edge-count detour: keep each window location's relative
+    distance on the corresponding replacement edge."""
+    i, j = window
+    new_path = base.path[:i] + replacement + base.path[j:]
+    locations: list[MappedLocation] = []
+    for loc, idx in zip(base.locations, base.location_edge_indices):
+        if i <= idx < j:
+            new_edge = replacement[idx - i]
+            rd = loc.ndist / network.edge_length(*base.path[idx])
+            new_length = network.edge_length(*new_edge)
+            ndist = min(max(round(rd * new_length, 1), 0.0), new_length)
+            locations.append(MappedLocation(new_edge, ndist))
+        else:
+            locations.append(loc)
+    try:
+        return TrajectoryInstance(
+            path=new_path,
+            locations=locations,
+            probability=base.probability,
+            location_edge_indices=list(base.location_edge_indices),
+        )
+    except ValueError:
+        return None
+
+
+def _relocate_window(
+    network: RoadNetwork,
+    base: TrajectoryInstance,
+    new_path: list[EdgeKey],
+    *,
+    window: tuple[int, int],
+    replacement_span: tuple[int, float],
+    original_length: float,
+) -> TrajectoryInstance | None:
+    i, j = window
+    replacement_edges, replacement_length = replacement_span
+    old_chain = PathChainage(network, base.path)
+    new_chain = PathChainage(network, new_path)
+    window_start_old = old_chain.edge_start(i)
+    window_start_new = new_chain.edge_start(i)
+    shift_after = (
+        new_chain.edge_start(i + replacement_edges)
+        - old_chain.edge_start(j)
+    )
+    locations: list[MappedLocation] = []
+    edge_indices: list[int] = []
+    for loc, idx in zip(base.locations, base.location_edge_indices):
+        if idx < i:
+            locations.append(loc)
+            edge_indices.append(idx)
+        elif idx >= j:
+            locations.append(loc)
+            edge_indices.append(idx + replacement_edges - (j - i))
+        else:
+            old_chainage = old_chain.chainage_of(idx, loc.ndist)
+            fraction = (
+                (old_chainage - window_start_old) / original_length
+                if original_length > 0
+                else 0.0
+            )
+            new_chainage = window_start_new + fraction * replacement_length
+            position = new_chain.position_at(new_chainage)
+            edge_length = network.edge_length(*position.edge)
+            ndist = min(max(round(position.ndist, 1), 0.0), edge_length)
+            locations.append(MappedLocation(position.edge, ndist))
+            edge_indices.append(position.edge_index)
+    for k in range(1, len(locations)):
+        if edge_indices[k] < edge_indices[k - 1]:
+            return None
+        if (
+            edge_indices[k] == edge_indices[k - 1]
+            and locations[k].ndist < locations[k - 1].ndist
+        ):
+            locations[k] = MappedLocation(
+                locations[k].edge, locations[k - 1].ndist
+            )
+    try:
+        return TrajectoryInstance(
+            path=new_path,
+            locations=locations,
+            probability=base.probability,
+            location_edge_indices=edge_indices,
+        )
+    except ValueError:
+        return None
+
+
+def make_tail_switch_instance(
+    network: RoadNetwork,
+    base: TrajectoryInstance,
+    rng: random.Random,
+) -> TrajectoryInstance | None:
+    """A variant that re-routes the final edge (Fig. 2's Tu^1_3 pattern).
+
+    The last mapped location moves to an alternative outgoing edge of the
+    second-to-last vertex, preserving its relative distance.
+    """
+    last_edge = base.path[-1]
+    alternatives = [
+        e for e in network.out_edges(last_edge[0]) if e.key != last_edge
+    ]
+    if len(base.path) >= 2:
+        previous_vertex = base.path[-2][0]
+        alternatives = [e for e in alternatives if e.end != previous_vertex]
+    if not alternatives:
+        return None
+    new_edge = rng.choice(alternatives)
+    last_count = sum(
+        1 for idx in base.location_edge_indices if idx == len(base.path) - 1
+    )
+    if last_count != 1:
+        return None  # several points on the last edge: keep it simple
+    old_rd = base.locations[-1].ndist / network.edge_length(*last_edge)
+    new_ndist = min(
+        max(round(old_rd * new_edge.length, 1), 0.0), new_edge.length
+    )
+    locations = base.locations[:-1] + [MappedLocation(new_edge.key, new_ndist)]
+    new_path = base.path[:-1] + [new_edge.key]
+    try:
+        return TrajectoryInstance(
+            path=new_path,
+            locations=locations,
+            probability=base.probability,
+            location_edge_indices=list(base.location_edge_indices),
+        )
+    except ValueError:
+        return None
+
+
+def make_head_switch_instance(
+    network: RoadNetwork,
+    base: TrajectoryInstance,
+    rng: random.Random,
+) -> TrajectoryInstance | None:
+    """A variant that enters the path from a different first edge.
+
+    This changes the start vertex, exercising the compressor's rule that
+    instances with different ``SV`` never share a reference.
+    """
+    first_edge = base.path[0]
+    join_vertex = first_edge[1]
+    alternatives = [e for e in network.in_edges(join_vertex) if e.key != first_edge]
+    if not alternatives:
+        return None
+    new_edge = rng.choice(alternatives)
+    first_count = sum(1 for idx in base.location_edge_indices if idx == 0)
+    if first_count != 1:
+        return None
+    old_rd = base.locations[0].ndist / network.edge_length(*first_edge)
+    new_ndist = min(
+        max(round(old_rd * new_edge.length, 1), 0.0), new_edge.length
+    )
+    locations = [MappedLocation(new_edge.key, new_ndist)] + base.locations[1:]
+    new_path = [new_edge.key] + base.path[1:]
+    try:
+        return TrajectoryInstance(
+            path=new_path,
+            locations=locations,
+            probability=base.probability,
+            location_edge_indices=list(base.location_edge_indices),
+        )
+    except ValueError:
+        return None
+
+
+def _draw_probabilities(count: int, rng: random.Random) -> list[float]:
+    """Decreasing probabilities summing to 1, base instance first.
+
+    Values are quantized to a 1/128 grid, mimicking the truncated
+    likelihoods probabilistic map matchers report (and keeping PDDP
+    probability codes short, as in the paper's Table 8).
+    """
+    if count == 1:
+        return [1.0]
+    grid = 128
+    weights = sorted(
+        (rng.random() ** 1.5 + 0.05 for _ in range(count)), reverse=True
+    )
+    total = sum(weights)
+    shares = [max(round(w / total * grid), 1) for w in weights]
+    shares[0] += grid - sum(shares)
+    if shares[0] < 1:  # rounding pushed the head below the floor
+        deficit = 1 - shares[0]
+        shares[0] = 1
+        for i in range(1, count):
+            take = min(deficit, shares[i] - 1)
+            shares[i] -= take
+            deficit -= take
+            if deficit == 0:
+                break
+    shares.sort(reverse=True)
+    return [s / grid for s in shares]
+
+
+def generate_uncertain_trajectory(
+    network: RoadNetwork,
+    config: GenerationConfig,
+    trajectory_id: int,
+    rng: random.Random,
+    *,
+    max_attempts: int = 40,
+) -> UncertainTrajectory:
+    """Generate one uncertain trajectory per the module docstring."""
+    vertex_ids = getattr(network, "_vertex_id_cache", None)
+    if vertex_ids is None:
+        vertex_ids = list(network.vertex_ids())
+        network._vertex_id_cache = vertex_ids  # memoized: generators loop a lot
+
+    edge_count = draw_count(
+        config.mean_edges, config.min_edges, config.max_edges, rng
+    )
+    path: list[EdgeKey] = []
+    for _ in range(max_attempts):
+        source = rng.choice(vertex_ids)
+        path = random_walk_path(network, source, edge_count, rng.choice)
+        if len(path) >= config.min_edges:
+            break
+    if len(path) < config.min_edges:
+        raise RuntimeError("network too sparse to generate a trajectory path")
+
+    point_count = max(
+        2,
+        round(len(path) * rng.uniform(*config.points_per_edge)),
+    )
+    locations, edge_indices = place_locations(network, path, point_count, rng)
+    base = TrajectoryInstance(
+        path=path,
+        locations=locations,
+        probability=1.0,
+        location_edge_indices=edge_indices,
+    )
+
+    target_instances = draw_count(
+        config.mean_instances, 1, config.max_instances, rng
+    )
+    variants: list[TrajectoryInstance] = [base]
+    signatures = {base.signature()}
+    attempts = 0
+    while len(variants) < target_instances and attempts < max_attempts:
+        attempts += 1
+        roll = rng.random()
+        if roll < config.head_switch_fraction:
+            candidate = make_head_switch_instance(network, base, rng)
+        elif roll < 0.5:
+            candidate = make_tail_switch_instance(
+                network, rng.choice(variants), rng
+            )
+        else:
+            candidate = make_detour_instance(network, rng.choice(variants), rng)
+        if candidate is None:
+            continue
+        signature = candidate.signature()
+        if signature in signatures:
+            continue
+        signatures.add(signature)
+        variants.append(candidate)
+
+    probabilities = _draw_probabilities(len(variants), rng)
+    instances = [
+        TrajectoryInstance(
+            path=list(inst.path),
+            locations=list(inst.locations),
+            probability=p,
+            location_edge_indices=list(inst.location_edge_indices),
+        )
+        for inst, p in zip(variants, probabilities)
+    ]
+    times = draw_time_sequence(config, point_count, rng)
+    return UncertainTrajectory(trajectory_id, instances, times)
+
+
+def generate_dataset(
+    network: RoadNetwork,
+    config: GenerationConfig,
+    trajectory_count: int,
+    seed: int = 11,
+) -> list[UncertainTrajectory]:
+    """Generate ``trajectory_count`` uncertain trajectories."""
+    rng = random.Random(seed)
+    return [
+        generate_uncertain_trajectory(network, config, tid, rng)
+        for tid in range(trajectory_count)
+    ]

@@ -1,0 +1,157 @@
+"""Chainage arithmetic along instance paths.
+
+The where/when queries interpolate an object's position between two
+mapped locations under a constant-speed assumption along the network
+path.  ``PathChainage`` precomputes cumulative edge lengths so that
+``(edge index, ndist) <-> absolute chainage`` conversions are O(1)/O(log n).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+from ..network.graph import RoadNetwork
+from .model import EdgeKey, MappedLocation, TrajectoryInstance
+
+
+@dataclass(frozen=True)
+class PathPosition:
+    """A position on a path: the edge (by index and key) plus ``ndist``."""
+
+    edge_index: int
+    edge: EdgeKey
+    ndist: float
+
+
+class PathChainage:
+    """Cumulative-length view of a connected edge path."""
+
+    def __init__(self, network: RoadNetwork, path: list[EdgeKey]) -> None:
+        if not path:
+            raise ValueError("cannot build chainage over an empty path")
+        self.network = network
+        self.path = path
+        self._prefix = [0.0]
+        for edge in path:
+            self._prefix.append(self._prefix[-1] + network.edge_length(*edge))
+
+    @property
+    def total_length(self) -> float:
+        return self._prefix[-1]
+
+    def edge_start(self, edge_index: int) -> float:
+        """Chainage at which path edge ``edge_index`` begins."""
+        return self._prefix[edge_index]
+
+    def chainage_of(self, edge_index: int, ndist: float) -> float:
+        """Absolute chainage of a point ``ndist`` into path edge
+        ``edge_index``."""
+        if not 0 <= edge_index < len(self.path):
+            raise IndexError(f"edge index {edge_index} outside the path")
+        return self._prefix[edge_index] + ndist
+
+    def chainage_of_location(
+        self, location: MappedLocation, edge_index: int
+    ) -> float:
+        if self.path[edge_index] != location.edge:
+            raise ValueError("location does not lie on the given path edge")
+        return self.chainage_of(edge_index, location.ndist)
+
+    def position_at(self, chainage: float) -> PathPosition:
+        """The path position at an absolute chainage (clamped to the path)."""
+        chainage = min(max(chainage, 0.0), self.total_length)
+        index = bisect.bisect_right(self._prefix, chainage) - 1
+        index = min(index, len(self.path) - 1)
+        ndist = chainage - self._prefix[index]
+        return PathPosition(index, self.path[index], ndist)
+
+    def subpath_between(self, lo_chainage: float, hi_chainage: float) -> list[EdgeKey]:
+        """Path edges intersected by the chainage interval (inclusive)."""
+        if lo_chainage > hi_chainage:
+            lo_chainage, hi_chainage = hi_chainage, lo_chainage
+        lo = self.position_at(lo_chainage)
+        hi = self.position_at(hi_chainage)
+        return self.path[lo.edge_index : hi.edge_index + 1]
+
+
+class InstanceChainage(PathChainage):
+    """Chainage over an instance's path with its locations pre-resolved."""
+
+    def __init__(self, network: RoadNetwork, instance: TrajectoryInstance) -> None:
+        super().__init__(network, instance.path)
+        self.instance = instance
+        self.location_chainages = [
+            self.chainage_of(idx, loc.ndist)
+            for idx, loc in zip(
+                instance.location_edge_indices, instance.locations
+            )
+        ]
+
+    def position_at_time(self, times: list[int], t: int) -> PathPosition | None:
+        """Constant-speed position of the object at time ``t``.
+
+        Returns ``None`` when ``t`` falls outside the instance's time span.
+        """
+        if t < times[0] or t > times[-1]:
+            return None
+        index = bisect.bisect_right(times, t) - 1
+        if index >= len(times) - 1:
+            return self.position_at(self.location_chainages[-1])
+        t0, t1 = times[index], times[index + 1]
+        c0 = self.location_chainages[index]
+        c1 = self.location_chainages[index + 1]
+        fraction = (t - t0) / (t1 - t0)
+        return self.position_at(c0 + (c1 - c0) * fraction)
+
+    def time_at_chainage(
+        self, times: list[int], chainage: float, *, tolerance: float = 1e-9
+    ) -> float | None:
+        """Inverse of :meth:`position_at_time` for a chainage on the path.
+
+        Returns the (possibly fractional) time at which the object passes
+        ``chainage``; ``None`` if the chainage precedes the first or
+        follows the last mapped location by more than ``tolerance``
+        (queries over lossily stored distances pass an eta-derived
+        tolerance so boundary locations are not missed).  Where
+        consecutive locations share a chainage (the object idled), the
+        earlier time is returned.
+        """
+        chains = self.location_chainages
+        if chainage < chains[0] - tolerance or chainage > chains[-1] + tolerance:
+            return None
+        chainage = min(max(chainage, chains[0]), chains[-1])
+        for i in range(len(chains) - 1):
+            c0, c1 = chains[i], chains[i + 1]
+            if c0 - 1e-9 <= chainage <= c1 + 1e-9:
+                if c1 == c0:
+                    return float(times[i])
+                fraction = (chainage - c0) / (c1 - c0)
+                fraction = min(max(fraction, 0.0), 1.0)
+                return times[i] + (times[i + 1] - times[i]) * fraction
+        return float(times[-1])
+
+    def times_at_position(
+        self,
+        times: list[int],
+        edge: EdgeKey,
+        ndist: float,
+        *,
+        tolerance: float = 1e-9,
+    ) -> list[float]:
+        """All times at which the instance passes ``(edge, ndist)``.
+
+        A path may traverse the same edge more than once, hence a list.
+        """
+        results: list[float] = []
+        for edge_index, path_edge in enumerate(self.path):
+            if path_edge != edge:
+                continue
+            t = self.time_at_chainage(
+                times,
+                self.chainage_of(edge_index, ndist),
+                tolerance=tolerance,
+            )
+            if t is not None:
+                results.append(t)
+        return results

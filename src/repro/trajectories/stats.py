@@ -1,0 +1,182 @@
+"""Dataset statistics reproducing Fig. 4 of the paper.
+
+Fig. 4a counts the differences between actual and default sample
+intervals; Fig. 4b buckets edit distances between instances *within* an
+uncertain trajectory versus *between* different uncertain trajectories.
+These statistics motivate SIAR and the referential representation, and the
+corresponding benchmark validates that the synthetic datasets reproduce
+them.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from .edit_distance import edit_distance
+from .model import TrajectoryInstance, UncertainTrajectory
+
+#: Fig. 4a deviation buckets (absolute seconds).
+DEVIATION_BUCKETS = ("0", "1", "(1,50]", "(50,100]", ">100")
+
+#: Fig. 4b edit-distance buckets.
+EDIT_BUCKETS = ("[0,2]", "[3,5]", "[6,8]", ">=9")
+
+
+@dataclass(frozen=True)
+class IntervalStats:
+    """Deviation fractions plus the mean run length between changes."""
+
+    fractions: dict[str, float]
+    change_every: float
+    within_one_second: float
+
+
+def _deviation_bucket(magnitude: int) -> str:
+    if magnitude == 0:
+        return "0"
+    if magnitude == 1:
+        return "1"
+    if magnitude <= 50:
+        return "(1,50]"
+    if magnitude <= 100:
+        return "(50,100]"
+    return ">100"
+
+
+def interval_statistics(
+    trajectories: list[UncertainTrajectory], default_interval: int
+) -> IntervalStats:
+    """Fig. 4a statistics over the shared time sequences."""
+    counts = {bucket: 0 for bucket in DEVIATION_BUCKETS}
+    total = 0
+    runs: list[int] = []
+    for trajectory in trajectories:
+        times = trajectory.times
+        intervals = [b - a for a, b in zip(times, times[1:])]
+        run = 1
+        for index, interval in enumerate(intervals):
+            counts[_deviation_bucket(abs(interval - default_interval))] += 1
+            total += 1
+            if index > 0:
+                if interval == intervals[index - 1]:
+                    run += 1
+                else:
+                    runs.append(run)
+                    run = 1
+        if intervals:
+            runs.append(run)
+    fractions = {
+        bucket: (counts[bucket] / total if total else 0.0)
+        for bucket in DEVIATION_BUCKETS
+    }
+    change_every = sum(runs) / len(runs) if runs else 0.0
+    return IntervalStats(
+        fractions=fractions,
+        change_every=change_every,
+        within_one_second=fractions["0"] + fractions["1"],
+    )
+
+
+def _edge_symbols(instance: TrajectoryInstance) -> list[tuple[int, int]]:
+    return instance.path
+
+
+def _edit_bucket(distance: int) -> str:
+    if distance <= 2:
+        return "[0,2]"
+    if distance <= 5:
+        return "[3,5]"
+    if distance <= 8:
+        return "[6,8]"
+    return ">=9"
+
+
+def within_trajectory_similarity(
+    trajectories: list[UncertainTrajectory],
+    *,
+    max_pairs_per_trajectory: int = 50,
+    seed: int = 3,
+) -> dict[str, float]:
+    """Fig. 4b (left): edit distances between instances of one trajectory."""
+    rng = random.Random(seed)
+    counts = {bucket: 0 for bucket in EDIT_BUCKETS}
+    total = 0
+    for trajectory in trajectories:
+        instances = trajectory.instances
+        pairs = [
+            (i, j)
+            for i in range(len(instances))
+            for j in range(i + 1, len(instances))
+        ]
+        if len(pairs) > max_pairs_per_trajectory:
+            pairs = rng.sample(pairs, max_pairs_per_trajectory)
+        for i, j in pairs:
+            distance = edit_distance(
+                _edge_symbols(instances[i]),
+                _edge_symbols(instances[j]),
+                upper_bound=9,
+            )
+            counts[_edit_bucket(distance)] += 1
+            total += 1
+    return {
+        bucket: (counts[bucket] / total if total else 0.0)
+        for bucket in EDIT_BUCKETS
+    }
+
+
+def between_trajectory_similarity(
+    trajectories: list[UncertainTrajectory],
+    *,
+    sample_pairs: int = 400,
+    seed: int = 5,
+) -> dict[str, float]:
+    """Fig. 4b (right): edit distances across different trajectories."""
+    rng = random.Random(seed)
+    counts = {bucket: 0 for bucket in EDIT_BUCKETS}
+    total = 0
+    if len(trajectories) < 2:
+        return {bucket: 0.0 for bucket in EDIT_BUCKETS}
+    for _ in range(sample_pairs):
+        a, b = rng.sample(range(len(trajectories)), 2)
+        instance_a = rng.choice(trajectories[a].instances)
+        instance_b = rng.choice(trajectories[b].instances)
+        distance = edit_distance(
+            _edge_symbols(instance_a),
+            _edge_symbols(instance_b),
+            upper_bound=9,
+        )
+        counts[_edit_bucket(distance)] += 1
+        total += 1
+    return {
+        bucket: (counts[bucket] / total if total else 0.0)
+        for bucket in EDIT_BUCKETS
+    }
+
+
+def dataset_summary(trajectories: list[UncertainTrajectory]) -> dict[str, float]:
+    """Table 5-style summary of a generated dataset."""
+    if not trajectories:
+        return {
+            "trajectories": 0,
+            "avg_instances": 0.0,
+            "max_instances": 0,
+            "avg_edges": 0.0,
+            "max_edges": 0,
+            "avg_points": 0.0,
+        }
+    instance_counts = [t.instance_count for t in trajectories]
+    edge_counts = [
+        len(instance.path)
+        for t in trajectories
+        for instance in t.instances
+    ]
+    point_counts = [len(t.times) for t in trajectories]
+    return {
+        "trajectories": len(trajectories),
+        "avg_instances": sum(instance_counts) / len(instance_counts),
+        "max_instances": max(instance_counts),
+        "avg_edges": sum(edge_counts) / len(edge_counts),
+        "max_edges": max(edge_counts),
+        "avg_points": sum(point_counts) / len(point_counts),
+    }

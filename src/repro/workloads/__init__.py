@@ -1,0 +1,27 @@
+"""Evaluation harness: measured runs, query workloads, and reporting."""
+
+from .harness import (
+    CompressionRun,
+    QueryTimings,
+    QueryWorkload,
+    build_query_workload,
+    run_ted_compression,
+    run_utcq_compression,
+    time_ted_queries,
+    time_utcq_queries,
+)
+from .reporting import EXPERIMENT_LOG, ExperimentLog, render_table
+
+__all__ = [
+    "CompressionRun",
+    "QueryTimings",
+    "QueryWorkload",
+    "build_query_workload",
+    "run_ted_compression",
+    "run_utcq_compression",
+    "time_ted_queries",
+    "time_utcq_queries",
+    "EXPERIMENT_LOG",
+    "ExperimentLog",
+    "render_table",
+]

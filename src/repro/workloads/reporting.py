@@ -1,0 +1,69 @@
+"""Table/series rendering for paper-style experiment output.
+
+Each benchmark prints the rows the paper's tables and figures report.
+``render_table`` produces plain-text tables; ``ExperimentLog`` gathers
+them so a pytest terminal-summary hook can echo everything at the end of
+a benchmark session.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+
+def format_value(value) -> str:
+    if isinstance(value, float):
+        if value == float("inf"):
+            return "inf"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.2f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_table(
+    title: str, headers: Sequence[str], rows: Sequence[Sequence]
+) -> str:
+    """Render one fixed-width table."""
+    text_rows = [[format_value(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in text_rows), 3)
+        if text_rows
+        else max(len(str(headers[i])), 3)
+        for i in range(len(headers))
+    ]
+    lines = [title]
+    lines.append(
+        "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    )
+    lines.append("  ".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+@dataclass
+class ExperimentLog:
+    """Accumulates rendered tables across a benchmark session."""
+
+    tables: list[str] = field(default_factory=list)
+
+    def record(
+        self, title: str, headers: Sequence[str], rows: Sequence[Sequence]
+    ) -> str:
+        table = render_table(title, headers, rows)
+        self.tables.append(table)
+        return table
+
+    def dump(self) -> str:
+        return "\n\n".join(self.tables)
+
+    def clear(self) -> None:
+        self.tables.clear()
+
+
+#: process-wide log the benchmark conftest hooks into
+EXPERIMENT_LOG = ExperimentLog()

@@ -1,0 +1,208 @@
+"""Tests for the bit-level I/O substrate."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bits.bitio import (
+    BitReader,
+    BitWriter,
+    bits_to_bytes,
+    bits_to_string,
+    string_to_bits,
+    uint_width,
+)
+
+
+class TestBitWriter:
+    def test_empty_writer_has_no_bits(self):
+        writer = BitWriter()
+        assert len(writer) == 0
+        assert writer.getvalue() == b""
+
+    def test_write_single_bits(self):
+        writer = BitWriter()
+        writer.write_bit(1)
+        writer.write_bit(0)
+        writer.write_bit(1)
+        assert writer.to_bits() == [1, 0, 1]
+        assert len(writer) == 3
+
+    def test_rejects_non_bit_values(self):
+        writer = BitWriter()
+        with pytest.raises(ValueError):
+            writer.write_bit(2)
+        with pytest.raises(ValueError):
+            writer.write_bit(-1)
+
+    def test_write_bits_iterable(self):
+        writer = BitWriter()
+        writer.write_bits([1, 1, 0, 0, 1])
+        assert writer.to_bits() == [1, 1, 0, 0, 1]
+
+    def test_byte_packing_msb_first(self):
+        writer = BitWriter()
+        writer.write_bits([1, 0, 1, 0, 1, 0, 1, 0])
+        assert writer.getvalue() == bytes([0b10101010])
+
+    def test_partial_byte_zero_padded(self):
+        writer = BitWriter()
+        writer.write_bits([1, 1, 1])
+        assert writer.getvalue() == bytes([0b11100000])
+        assert len(writer) == 3
+
+    def test_write_uint_exact_width(self):
+        writer = BitWriter()
+        writer.write_uint(5, 3)
+        assert writer.to_bits() == [1, 0, 1]
+
+    def test_write_uint_leading_zeros(self):
+        writer = BitWriter()
+        writer.write_uint(1, 5)
+        assert writer.to_bits() == [0, 0, 0, 0, 1]
+
+    def test_write_uint_overflow_rejected(self):
+        writer = BitWriter()
+        with pytest.raises(ValueError):
+            writer.write_uint(8, 3)
+
+    def test_write_uint_zero_width_zero_value(self):
+        writer = BitWriter()
+        writer.write_uint(0, 0)
+        assert len(writer) == 0
+
+    def test_write_uint_negative_rejected(self):
+        writer = BitWriter()
+        with pytest.raises(ValueError):
+            writer.write_uint(-1, 4)
+
+    def test_write_unary(self):
+        writer = BitWriter()
+        writer.write_unary(3)
+        assert writer.to_bits() == [1, 1, 1, 0]
+
+    def test_write_unary_zero(self):
+        writer = BitWriter()
+        writer.write_unary(0)
+        assert writer.to_bits() == [0]
+
+    def test_extend_concatenates(self):
+        a, b = BitWriter(), BitWriter()
+        a.write_bits([1, 0])
+        b.write_bits([0, 1, 1])
+        a.extend(b)
+        assert a.to_bits() == [1, 0, 0, 1, 1]
+
+
+class TestBitReader:
+    def test_round_trip_bits(self):
+        writer = BitWriter()
+        pattern = [1, 0, 0, 1, 1, 1, 0, 1, 0, 1, 1]
+        writer.write_bits(pattern)
+        reader = BitReader.from_writer(writer)
+        assert reader.read_bits(len(pattern)) == pattern
+
+    def test_read_past_end_raises(self):
+        reader = BitReader(b"", 0)
+        with pytest.raises(EOFError):
+            reader.read_bit()
+
+    def test_bit_count_limits_reads(self):
+        writer = BitWriter()
+        writer.write_bits([1, 1, 1])
+        reader = BitReader.from_writer(writer)
+        reader.read_bits(3)
+        with pytest.raises(EOFError):
+            reader.read_bit()
+
+    def test_seek_and_position(self):
+        writer = BitWriter()
+        writer.write_bits([0, 1, 0, 1])
+        reader = BitReader.from_writer(writer)
+        reader.seek(2)
+        assert reader.position == 2
+        assert reader.read_bit() == 0
+        assert reader.read_bit() == 1
+
+    def test_seek_out_of_range(self):
+        reader = BitReader(b"\x00", 8)
+        with pytest.raises(ValueError):
+            reader.seek(9)
+        with pytest.raises(ValueError):
+            reader.seek(-1)
+
+    def test_read_uint(self):
+        writer = BitWriter()
+        writer.write_uint(37, 7)
+        reader = BitReader.from_writer(writer)
+        assert reader.read_uint(7) == 37
+
+    def test_read_unary(self):
+        writer = BitWriter()
+        writer.write_unary(5)
+        reader = BitReader.from_writer(writer)
+        assert reader.read_unary() == 5
+
+    def test_remaining(self):
+        writer = BitWriter()
+        writer.write_bits([1] * 10)
+        reader = BitReader.from_writer(writer)
+        reader.read_bits(4)
+        assert reader.remaining == 6
+
+    def test_bit_count_exceeding_data_rejected(self):
+        with pytest.raises(ValueError):
+            BitReader(b"\x00", 9)
+
+
+class TestHelpers:
+    def test_bits_to_string(self):
+        assert bits_to_string([1, 0, 1]) == "101"
+
+    def test_string_to_bits(self):
+        assert string_to_bits("0110") == [0, 1, 1, 0]
+
+    def test_string_to_bits_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            string_to_bits("01x1")
+
+    def test_bits_to_bytes(self):
+        assert bits_to_bytes([1, 0, 0, 0, 0, 0, 0, 1]) == bytes([0x81])
+
+    @pytest.mark.parametrize(
+        "max_value,width",
+        [(0, 0), (1, 1), (2, 2), (3, 2), (4, 3), (7, 3), (8, 4), (255, 8)],
+    )
+    def test_uint_width(self, max_value, width):
+        assert uint_width(max_value) == width
+
+    def test_uint_width_negative_rejected(self):
+        with pytest.raises(ValueError):
+            uint_width(-1)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=1), max_size=300))
+def test_property_bit_round_trip(bits):
+    writer = BitWriter()
+    writer.write_bits(bits)
+    reader = BitReader.from_writer(writer)
+    assert reader.read_bits(len(bits)) == bits
+
+
+@given(st.lists(st.tuples(st.integers(0, 2**20), st.integers(0, 24))))
+def test_property_uint_round_trip(pairs):
+    writer = BitWriter()
+    valid = [(v, w) for v, w in pairs if v < (1 << w) or (w == 0 and v == 0)]
+    for value, width in valid:
+        writer.write_uint(value, width)
+    reader = BitReader.from_writer(writer)
+    for value, width in valid:
+        assert reader.read_uint(width) == value
+
+
+@given(st.integers(0, 2**30))
+def test_property_uint_width_is_sufficient_and_tight(value):
+    width = uint_width(value)
+    assert value < (1 << width) or (value == 0 and width == 0)
+    if width > 0:
+        assert value >= (1 << (width - 1))

@@ -1,0 +1,88 @@
+"""Tests for the word-aligned bitmap codec."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bits import bitmap
+from repro.bits.bitio import BitReader
+
+
+def round_trip(bits, word_size=bitmap.DEFAULT_WORD_SIZE):
+    writer = bitmap.compress(bits, word_size)
+    reader = BitReader.from_writer(writer)
+    return bitmap.decompress(reader, word_size)
+
+
+class TestBitmapRoundTrip:
+    def test_empty(self):
+        assert round_trip([]) == []
+
+    def test_all_ones(self):
+        bits = [1] * 100
+        assert round_trip(bits) == bits
+
+    def test_all_zeros(self):
+        bits = [0] * 100
+        assert round_trip(bits) == bits
+
+    def test_mixed(self):
+        bits = [1, 0] * 37 + [1]
+        assert round_trip(bits) == bits
+
+    def test_non_multiple_of_word_size(self):
+        bits = [1] * 13
+        assert round_trip(bits) == bits
+
+    def test_alternating_fills_and_literals(self):
+        bits = [1] * 32 + [0, 1, 1, 0, 1, 0, 0, 1] + [0] * 64 + [1, 1, 1]
+        assert round_trip(bits) == bits
+
+    def test_custom_word_size(self):
+        bits = [0] * 20 + [1] * 20
+        assert round_trip(bits, word_size=4) == bits
+
+    def test_word_size_validation(self):
+        with pytest.raises(ValueError):
+            bitmap.compress([1, 0], word_size=1)
+        with pytest.raises(ValueError):
+            bitmap.decompress(BitReader(b"", 0), word_size=0)
+
+
+class TestBitmapCompression:
+    def test_long_fills_compress_well(self):
+        bits = [1] * 4096
+        assert bitmap.compressed_size(bits) < len(bits) / 10
+
+    def test_random_data_does_not_explode(self):
+        import random
+
+        rng = random.Random(0)
+        bits = [rng.randint(0, 1) for _ in range(512)]
+        # literal overhead is 1 flag bit per 8-bit word plus the header
+        assert bitmap.compressed_size(bits) <= len(bits) * 1.2 + 32
+
+    def test_sparse_flag_strings_compress(self):
+        # T'-like strings: mostly ones with occasional zeros
+        bits = ([1] * 31 + [0]) * 16
+        assert bitmap.compressed_size(bits) < len(bits)
+
+
+@given(st.lists(st.integers(0, 1), max_size=600))
+def test_property_round_trip(bits):
+    assert round_trip(bits) == bits
+
+
+@given(
+    st.lists(st.integers(0, 1), max_size=200),
+    st.integers(min_value=2, max_value=16),
+)
+def test_property_round_trip_any_word_size(bits, word_size):
+    assert round_trip(bits, word_size) == bits
+
+
+@given(st.integers(1, 2000), st.integers(0, 1))
+def test_property_uniform_fill_logarithmic(length, fill):
+    bits = [fill] * length
+    # one fill word encodes the whole run: size grows ~log(length)
+    assert bitmap.compressed_size(bits) <= 40 + 2 * length.bit_length() + length % 8

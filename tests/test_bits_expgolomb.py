@@ -1,0 +1,133 @@
+"""Tests for the improved Exp-Golomb codec, including the paper's examples."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bits import expgolomb
+from repro.bits.bitio import BitReader, BitWriter, bits_to_string
+
+
+def encode_to_string(value: int) -> str:
+    writer = BitWriter()
+    expgolomb.encode(writer, value)
+    return bits_to_string(writer.to_bits())
+
+
+class TestPaperExamples:
+    """§4.4: (5:03:25, 0, 1, 0, -1, 0, 0) encodes as 17 + 12 bits."""
+
+    def test_zero_is_single_bit(self):
+        assert encode_to_string(0) == "0"
+
+    def test_positive_one(self):
+        assert encode_to_string(1) == "1000"
+
+    def test_negative_one(self):
+        assert encode_to_string(-1) == "1010"
+
+    def test_siar_example_total_bits(self):
+        deltas = [0, 1, 0, -1, 0, 0]
+        writer = expgolomb.encode_sequence(deltas)
+        assert len(writer) == 12
+
+    def test_paper_compression_ratio_example(self):
+        # CR of T(Tu^1) = 32*7 / (12 + 17) = 7.72 with a 17-bit t0.
+        deltas = [0, 1, 0, -1, 0, 0]
+        compressed_bits = 17 + len(expgolomb.encode_sequence(deltas))
+        ratio = 32 * 7 / compressed_bits
+        assert ratio == pytest.approx(7.72, abs=0.01)
+
+
+class TestGroups:
+    @pytest.mark.parametrize(
+        "magnitude,group",
+        [(0, 0), (1, 1), (2, 1), (3, 2), (6, 2), (7, 3), (14, 3), (15, 4)],
+    )
+    def test_group_boundaries(self, magnitude, group):
+        assert expgolomb.group_of(magnitude) == group
+
+    def test_group_rejects_negative(self):
+        with pytest.raises(ValueError):
+            expgolomb.group_of(-1)
+
+    @pytest.mark.parametrize("value,length", [(0, 1), (1, 4), (-2, 4), (3, 6), (-6, 6), (7, 8)])
+    def test_encoded_length(self, value, length):
+        assert expgolomb.encoded_length(value) == length
+        writer = BitWriter()
+        expgolomb.encode(writer, value)
+        assert len(writer) == length
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("value", [0, 1, -1, 2, -2, 3, -3, 7, -7, 100, -100, 86399])
+    def test_single_values(self, value):
+        writer = BitWriter()
+        expgolomb.encode(writer, value)
+        reader = BitReader.from_writer(writer)
+        assert expgolomb.decode(reader) == value
+
+    def test_sequence_round_trip(self):
+        values = [0, 5, -3, 0, 0, 120, -59, 1, 2, 0]
+        writer = expgolomb.encode_sequence(values)
+        reader = BitReader.from_writer(writer)
+        assert expgolomb.decode_sequence(reader, len(values)) == values
+
+    def test_decode_sequence_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            expgolomb.decode_sequence(BitReader(b"", 0), -1)
+
+    def test_unsigned_helpers(self):
+        writer = BitWriter()
+        expgolomb.encode_unsigned(writer, 42)
+        reader = BitReader.from_writer(writer)
+        assert expgolomb.decode_unsigned(reader) == 42
+
+    def test_unsigned_rejects_negative(self):
+        with pytest.raises(ValueError):
+            expgolomb.encode_unsigned(BitWriter(), -1)
+
+    def test_unsigned_decode_rejects_negative_code(self):
+        writer = BitWriter()
+        expgolomb.encode(writer, -5)
+        reader = BitReader.from_writer(writer)
+        with pytest.raises(ValueError):
+            expgolomb.decode_unsigned(reader)
+
+
+class TestCodeProperties:
+    def test_small_deviations_are_cheaper(self):
+        # the motivation for the scheme: frequent small deviations.
+        assert expgolomb.encoded_length(0) < expgolomb.encoded_length(1)
+        assert expgolomb.encoded_length(1) < expgolomb.encoded_length(3)
+        assert expgolomb.encoded_length(3) < expgolomb.encoded_length(10)
+
+    def test_sign_symmetry(self):
+        for value in range(1, 50):
+            assert expgolomb.encoded_length(value) == expgolomb.encoded_length(-value)
+
+    def test_prefix_freedom_over_a_range(self):
+        # no code is a prefix of another (codes are uniquely decodable)
+        codes = {encode_to_string(v) for v in range(-40, 41)}
+        assert len(codes) == 81
+        for a in codes:
+            for b in codes:
+                if a != b:
+                    assert not b.startswith(a) or len(a) == len(b)
+
+
+@given(st.integers(min_value=-(10**6), max_value=10**6))
+def test_property_round_trip(value):
+    writer = BitWriter()
+    expgolomb.encode(writer, value)
+    reader = BitReader.from_writer(writer)
+    assert expgolomb.decode(reader) == value
+    assert reader.remaining == 0
+
+
+@given(st.lists(st.integers(min_value=-(10**4), max_value=10**4), max_size=80))
+def test_property_sequence_round_trip(values):
+    writer = expgolomb.encode_sequence(values)
+    reader = BitReader.from_writer(writer)
+    assert expgolomb.decode_sequence(reader, len(values)) == values
+    assert reader.remaining == 0

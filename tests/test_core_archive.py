@@ -1,0 +1,105 @@
+"""Tests for archive containers and compression-ratio accounting."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.archive import (
+    ComponentBits,
+    CompressionParams,
+    CompressionStats,
+)
+
+
+class TestComponentBits:
+    def test_total_sums_all_fields(self):
+        bits = ComponentBits(
+            time=1, edge=2, distance=4, flags=8, probability=16, overhead=32
+        )
+        assert bits.total == 63
+
+    def test_add_accumulates(self):
+        a = ComponentBits(time=10, edge=20)
+        b = ComponentBits(time=1, edge=2, probability=5)
+        a.add(b)
+        assert a.time == 11
+        assert a.edge == 22
+        assert a.probability == 5
+
+    def test_default_is_zero(self):
+        assert ComponentBits().total == 0
+
+
+class TestCompressionStats:
+    def test_ratios(self):
+        stats = CompressionStats(
+            original=ComponentBits(time=320, edge=640),
+            compressed=ComponentBits(time=32, edge=64),
+        )
+        assert stats.time_ratio == 10.0
+        assert stats.edge_ratio == 10.0
+        assert stats.total_ratio == 10.0
+
+    def test_zero_compressed_component(self):
+        stats = CompressionStats(original=ComponentBits(time=100))
+        assert stats.time_ratio == float("inf")
+
+    def test_zero_both_is_ratio_one(self):
+        stats = CompressionStats()
+        assert stats.flags_ratio == 1.0
+
+    def test_as_row_keys(self):
+        row = CompressionStats().as_row()
+        assert list(row) == ["Total", "T", "E", "D", "T'", "p"]
+
+    def test_add_merges_both_sides(self):
+        a = CompressionStats(
+            original=ComponentBits(time=100), compressed=ComponentBits(time=10)
+        )
+        b = CompressionStats(
+            original=ComponentBits(time=50), compressed=ComponentBits(time=40)
+        )
+        a.add(b)
+        assert a.original.time == 150
+        assert a.compressed.time == 50
+        assert a.time_ratio == 3.0
+
+
+class TestCompressionParams:
+    def test_defaults(self):
+        params = CompressionParams(
+            eta_distance=1 / 128,
+            eta_probability=1 / 512,
+            default_interval=10,
+            symbol_width=3,
+        )
+        assert params.t0_bits == 17
+        assert params.pivot_count == 1
+
+    def test_frozen(self):
+        params = CompressionParams(1 / 128, 1 / 512, 10, 3)
+        with pytest.raises(AttributeError):
+            params.symbol_width = 5
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(0, 10**6),
+            st.integers(0, 10**6),
+        ),
+        min_size=1,
+        max_size=20,
+    )
+)
+def test_property_stats_addition_is_sum(parts):
+    total = CompressionStats()
+    for original, compressed in parts:
+        total.add(
+            CompressionStats(
+                original=ComponentBits(edge=original),
+                compressed=ComponentBits(edge=compressed),
+            )
+        )
+    assert total.original.edge == sum(o for o, _ in parts)
+    assert total.compressed.edge == sum(c for _, c in parts)

@@ -1,0 +1,251 @@
+"""Tests for referential factors, validated against the paper's examples."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bits.bitio import BitReader, BitWriter
+from repro.core.factors import (
+    EdgeFactor,
+    FlagFactor,
+    apply_distance_patches,
+    apply_edge_factors,
+    apply_flag_factors,
+    distance_patches,
+    factorize_edges,
+    factorize_flags,
+    read_distance_patches,
+    read_edge_factors,
+    read_flag_stream,
+    write_distance_patches,
+    write_edge_factors,
+    write_flag_stream,
+)
+
+# the paper's running example (Table 3)
+E_TU11 = [1, 2, 1, 2, 2, 0, 4, 1, 0]  # reference Ref^1_1
+E_TU12 = [1, 1, 1, 2, 2, 0, 4, 1, 0]  # Nref^1_11
+E_TU13 = [1, 2, 1, 2, 2, 0, 4, 1, 2]  # Nref^1_12
+E_TU14 = [3, 2, 1, 2, 2]  # §4.2 case B example
+
+
+class TestPaperEdgeFactorizations:
+    def test_table4_nref11(self):
+        """Table 4: ComE(Nref^1_11, Ref^1_1) = <(0,1,1),(2,7)>."""
+        factors = factorize_edges(E_TU12, E_TU11)
+        assert factors == [
+            EdgeFactor(0, 1, 1),
+            EdgeFactor(2, 7, None),
+        ]
+
+    def test_table4_nref12(self):
+        """Table 4: ComE(Nref^1_12, Ref^1_1) = <(0,8,2)>."""
+        factors = factorize_edges(E_TU13, E_TU11)
+        assert factors == [EdgeFactor(0, 8, 2)]
+
+    def test_case_b_out_of_reference_symbol(self):
+        """§4.2 case B: E(Tu^1_4) = <3,2,1,2,2> has 3 not in the reference;
+        the first factor is (S=9, M=3)."""
+        factors = factorize_edges(E_TU14, E_TU11)
+        assert factors[0] == EdgeFactor(9, None, 3)
+
+    def test_identical_sequences_single_factor(self):
+        factors = factorize_edges(E_TU11, E_TU11)
+        assert factors == [EdgeFactor(0, 9, None)]
+
+    @pytest.mark.parametrize("target", [E_TU12, E_TU13, E_TU14, E_TU11])
+    def test_factors_reconstruct_target(self, target):
+        factors = factorize_edges(target, E_TU11)
+        assert apply_edge_factors(factors, E_TU11) == target
+
+
+class TestEdgeFactorValidation:
+    def test_factor_needs_content(self):
+        with pytest.raises(ValueError):
+            EdgeFactor(0, None, None)
+
+    def test_consumed_counts(self):
+        assert EdgeFactor(0, 5, 1).consumed == 6
+        assert EdgeFactor(0, 5, None).consumed == 5
+        assert EdgeFactor(9, None, 3).consumed == 1
+
+    def test_apply_rejects_overlong_factor(self):
+        with pytest.raises(ValueError):
+            apply_edge_factors([EdgeFactor(5, 10, None)], E_TU11)
+
+
+class TestEdgeFactorSerialization:
+    def _round_trip(self, target, reference, symbol_width=4):
+        factors = factorize_edges(target, reference)
+        writer = BitWriter()
+        write_edge_factors(writer, factors, len(reference), symbol_width)
+        reader = BitReader.from_writer(writer)
+        decoded = read_edge_factors(reader, len(reference), symbol_width)
+        assert reader.remaining == 0
+        return decoded
+
+    @pytest.mark.parametrize("target", [E_TU12, E_TU13, E_TU14, E_TU11])
+    def test_round_trip(self, target):
+        decoded = self._round_trip(target, E_TU11)
+        assert apply_edge_factors(decoded, E_TU11) == target
+
+    def test_empty_factor_list(self):
+        writer = BitWriter()
+        write_edge_factors(writer, [], 9, 4)
+        reader = BitReader.from_writer(writer)
+        assert read_edge_factors(reader, 9, 4) == []
+
+    def test_similar_sequences_encode_smaller(self):
+        similar = BitWriter()
+        write_edge_factors(
+            similar, factorize_edges(E_TU13, E_TU11), len(E_TU11), 4
+        )
+        different = BitWriter()
+        write_edge_factors(
+            different,
+            factorize_edges([3, 3, 5, 3, 5, 3, 5, 5, 3], E_TU11),
+            len(E_TU11),
+            4,
+        )
+        assert len(similar) < len(different)
+
+
+class TestFlagFactors:
+    def test_identical_is_empty(self):
+        """Table 4: ComT'(Nref^1_12, Ref^1_1) = empty set."""
+        ref = [0, 1, 0, 1, 1, 1, 1]
+        assert factorize_flags(ref, ref) == []
+
+    def test_paper_nref11_flags(self):
+        """T'(Tu^1_2) vs T'(Tu^1_1) from Table 3 (untrimmed here)."""
+        ref = [0, 1, 0, 1, 1, 1, 1]
+        target = [1, 0, 0, 1, 1, 1, 1]
+        factors = factorize_flags(target, ref)
+        assert factors is not None
+        assert apply_flag_factors(factors, ref) == target
+
+    def test_inferred_mismatch_reconstruction(self):
+        ref = [1, 1, 0, 1, 0, 1]
+        target = [1, 1, 1, 1, 0, 1]
+        factors = factorize_flags(target, ref)
+        assert factors is not None
+        assert apply_flag_factors(factors, ref) == target
+
+    def test_degenerate_case_returns_none(self):
+        # ref "01", target "011": only match runs to the reference end
+        assert factorize_flags([0, 1, 1], [0, 1]) is None
+
+    def test_apply_empty_copies_reference(self):
+        ref = [1, 0, 1]
+        assert apply_flag_factors([], ref) == ref
+
+    def test_apply_rejects_non_inferable_nonfinal(self):
+        with pytest.raises(ValueError):
+            apply_flag_factors(
+                [FlagFactor(0, 3, None), FlagFactor(0, 1, None)], [1, 0, 1]
+            )
+
+
+class TestFlagStreamSerialization:
+    @pytest.mark.parametrize(
+        "target,ref",
+        [
+            ([0, 1, 0, 1, 1], [0, 1, 0, 1, 1]),
+            ([1, 0, 0, 1, 1], [0, 1, 0, 1, 1]),
+            ([0, 1, 1], [0, 1]),  # raw fallback
+            ([], []),
+            ([1], [0]),
+            ([0, 0, 0, 0], [1, 1, 1, 1]),
+        ],
+    )
+    def test_round_trip(self, target, ref):
+        writer = BitWriter()
+        write_flag_stream(writer, target, ref)
+        reader = BitReader.from_writer(writer)
+        assert read_flag_stream(reader, ref, len(target)) == target
+        assert reader.remaining == 0
+
+    def test_identical_flags_cost_almost_nothing(self):
+        ref = [1, 0, 1, 1, 0, 1, 1, 1, 0, 1] * 4
+        writer = BitWriter()
+        write_flag_stream(writer, ref, ref)
+        assert len(writer) < 6  # mode bit + EG(0)
+
+
+class TestDistancePatches:
+    def test_no_patches_when_within_eta(self):
+        target = [0.5, 0.25, 0.75]
+        assert distance_patches(target, target, 1 / 128) == []
+
+    def test_patches_where_needed(self):
+        reference = [0.5, 0.25, 0.75]
+        target = [0.5, 0.9, 0.75]
+        patches = distance_patches(target, reference, 1 / 128)
+        assert len(patches) == 1
+        assert patches[0][0] == 1
+        assert patches[0][1] == 0.9
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            distance_patches([0.5], [0.5, 0.6], 1 / 128)
+
+    def test_round_trip_with_serialization(self):
+        reference = [0.1, 0.2, 0.3, 0.4]
+        target = [0.1, 0.8, 0.3, 0.05]
+        patches = distance_patches(target, reference, 1 / 128)
+        writer = BitWriter()
+        write_distance_patches(writer, patches, len(reference), 1 / 128)
+        reader = BitReader.from_writer(writer)
+        decoded_patches = read_distance_patches(reader, len(reference), 1 / 128)
+        result = apply_distance_patches(reference, decoded_patches)
+        for got, expected in zip(result, target):
+            assert abs(got - expected) <= 1 / 128 + 1e-9
+
+    def test_table4_paper_example(self):
+        """Table 4: ComD(Nref^1_12, Ref^1_1) = <(6, 0.5)>."""
+        d_ref = [0.875, 0.25, 0.5, 0.875, 0.5, 0.0, 0.875]
+        d_nref = [0.875, 0.25, 0.5, 0.875, 0.5, 0.0, 0.5]
+        patches = distance_patches(d_nref, d_ref, 1 / 128)
+        assert patches == [(6, 0.5)]
+
+
+@given(
+    st.lists(st.integers(0, 7), min_size=1, max_size=40),
+    st.lists(st.integers(0, 7), min_size=1, max_size=40),
+)
+def test_property_edge_factors_lossless(target, reference):
+    factors = factorize_edges(target, reference)
+    assert apply_edge_factors(factors, reference) == target
+    writer = BitWriter()
+    write_edge_factors(writer, factors, len(reference), 3)
+    decoded = read_edge_factors(
+        BitReader.from_writer(writer), len(reference), 3
+    )
+    assert apply_edge_factors(decoded, reference) == target
+
+
+@given(
+    st.lists(st.integers(0, 1), max_size=40),
+    st.lists(st.integers(0, 1), max_size=40),
+)
+def test_property_flag_stream_lossless(target, reference):
+    writer = BitWriter()
+    write_flag_stream(writer, target, reference)
+    reader = BitReader.from_writer(writer)
+    assert read_flag_stream(reader, reference, len(target)) == target
+
+
+@given(
+    st.lists(st.floats(0, 0.999), min_size=1, max_size=30),
+    st.data(),
+)
+def test_property_distance_patches_error_bounded(reference, data):
+    eta = 1 / 128
+    target = [
+        data.draw(st.floats(0, 0.999)) if data.draw(st.booleans()) else value
+        for value in reference
+    ]
+    patches = distance_patches(target, reference, eta)
+    result = apply_distance_patches(reference, patches)
+    for got, expected in zip(result, target):
+        assert abs(got - expected) <= eta + 1e-9

@@ -1,0 +1,225 @@
+"""Tests for pivots, FJD, and reference selection — the paper's Examples 1-2."""
+
+import random
+
+import pytest
+
+from repro.core.fjd import (
+    fine_grained_jaccard,
+    overlap,
+    score,
+    score_matrix,
+    similarity,
+)
+from repro.core.pivots import (
+    PivotRepresentations,
+    factor_count,
+    pivot_factors,
+    select_pivots,
+)
+from repro.core.refselect import ReferenceSelection, select_references
+
+# the paper's running example (Table 3 / Example 1)
+E_TU11 = [1, 2, 1, 2, 2, 0, 4, 1, 0]
+E_TU12 = [1, 1, 1, 2, 2, 0, 4, 1, 0]
+E_TU13 = [1, 2, 1, 2, 2, 0, 4, 1, 2]  # piv_1
+E_TU15 = [1, 2, 1, 2, 2, 0, 4]
+
+
+class TestPivotFactors:
+    def test_paper_com_tu11(self):
+        """ComE(Tu^1_1, piv_1) = <(0,8),(5,1)>."""
+        assert pivot_factors(E_TU11, E_TU13) == [(0, 8), (5, 1)]
+
+    def test_paper_com_tu12(self):
+        """ComE(Tu^1_2, piv_1) = <(0,1),(0,1),(2,6),(5,1)>."""
+        assert pivot_factors(E_TU12, E_TU13) == [(0, 1), (0, 1), (2, 6), (5, 1)]
+
+    def test_paper_com_tu15(self):
+        """§4.3: ComE(Tu^1_5, piv_1) = <(0,7)>."""
+        assert pivot_factors(E_TU15, E_TU13) == [(0, 7)]
+
+    def test_missing_symbol_becomes_none(self):
+        factors = pivot_factors([9, 1, 2], E_TU13)
+        assert factors[0] is None
+        assert factor_count(factors) == 2
+
+    def test_factor_count_includes_omitted(self):
+        assert factor_count([None, (0, 1), None]) == 3
+
+
+class TestOverlapAndSimilarity:
+    def test_overlap_disjoint(self):
+        assert overlap((0, 3), (5, 2)) == 0
+
+    def test_overlap_partial(self):
+        assert overlap((0, 8), (2, 6)) == 6
+
+    def test_overlap_contained(self):
+        assert overlap((0, 8), (3, 2)) == 2
+
+    def test_similarity_example1_first_factor(self):
+        """sim(E^1_12(Ma_1), ComE(Tu^1_1, piv_1)) = 1/8."""
+        com_w = [(0, 8), (5, 1)]
+        assert similarity((0, 1), com_w) == pytest.approx(1 / 8)
+
+    def test_similarity_example1_third_factor(self):
+        """sim((2,6), ...) = 3/4."""
+        com_w = [(0, 8), (5, 1)]
+        assert similarity((2, 6), com_w) == pytest.approx(3 / 4)
+
+    def test_similarity_example1_fourth_factor_tie_takes_min_length(self):
+        """sim((5,1), ...) = 1: ties on overlap take the minimum L."""
+        com_w = [(0, 8), (5, 1)]
+        assert similarity((5, 1), com_w) == pytest.approx(1.0)
+
+    def test_similarity_of_none_factor(self):
+        assert similarity(None, [(0, 8)]) == 0.0
+
+    def test_similarity_no_overlap(self):
+        assert similarity((20, 3), [(0, 8)]) == 0.0
+
+
+class TestFJD:
+    def test_paper_example_1(self):
+        """FJD(Tu^1_1 -> Tu^1_2, piv_1) = 1/2."""
+        com_w = pivot_factors(E_TU11, E_TU13)
+        com_v = pivot_factors(E_TU12, E_TU13)
+        assert fine_grained_jaccard(com_w, com_v) == pytest.approx(0.5)
+
+    def test_fjd_detects_similarity_jaccard_misses(self):
+        """§4.3's motivation: Tu^1_1 vs Tu^1_5 share no factor, yet FJD > 0."""
+        com_w = pivot_factors(E_TU11, E_TU13)  # <(0,8),(5,1)>
+        com_v = pivot_factors(E_TU15, E_TU13)  # <(0,7)>
+        value = fine_grained_jaccard(com_w, com_v)
+        assert value > 0.4  # plain Jaccard distance would be 1 (similarity 0)
+
+    def test_fjd_identity(self):
+        com = pivot_factors(E_TU11, E_TU13)
+        assert fine_grained_jaccard(com, com) == pytest.approx(1.0)
+
+
+class TestScore:
+    def _pivots(self):
+        sequences = [E_TU11, E_TU12, E_TU13]
+        return PivotRepresentations(
+            pivot_indices=[2],
+            representations=[
+                [pivot_factors(seq, E_TU13) for seq in sequences]
+            ],
+        )
+
+    def test_example_2_score(self):
+        """SF(Tu^1_1, Tu^1_2) = 0.75 * 1/2 = 3/8."""
+        pivots = self._pivots()
+        value = score(0, 1, [0.75, 0.2, 0.05], [7, 7, 7], pivots)
+        assert value == pytest.approx(3 / 8)
+
+    def test_self_score_zero(self):
+        pivots = self._pivots()
+        assert score(1, 1, [0.75, 0.2, 0.05], [7, 7, 7], pivots) == 0.0
+
+    def test_different_start_vertices_score_zero(self):
+        pivots = self._pivots()
+        assert score(0, 1, [0.75, 0.2, 0.05], [7, 8, 7], pivots) == 0.0
+
+    def test_score_matrix_shape_and_diagonal(self):
+        pivots = self._pivots()
+        matrix = score_matrix([0.75, 0.2, 0.05], [7, 7, 7], pivots)
+        assert len(matrix) == 3
+        assert all(matrix[i][i] == 0.0 for i in range(3))
+        assert matrix[0][1] == pytest.approx(3 / 8)
+
+
+class TestSelectPivots:
+    def test_selects_requested_number(self):
+        rng = random.Random(0)
+        sequences = [E_TU11, E_TU12, E_TU13, E_TU15]
+        pivots = select_pivots(sequences, 2, rng)
+        assert pivots.pivot_count == 2
+        assert len(set(pivots.pivot_indices)) == 2
+        assert len(pivots.representations) == 2
+        for representation in pivots.representations:
+            assert len(representation) == len(sequences)
+
+    def test_caps_at_instance_count(self):
+        rng = random.Random(1)
+        pivots = select_pivots([E_TU11, E_TU12], 5, rng)
+        assert pivots.pivot_count == 2
+
+    def test_single_instance(self):
+        rng = random.Random(2)
+        pivots = select_pivots([E_TU11], 1, rng)
+        assert pivots.pivot_indices == [0]
+
+    def test_validation(self):
+        rng = random.Random(3)
+        with pytest.raises(ValueError):
+            select_pivots([E_TU11], 0, rng)
+        with pytest.raises(ValueError):
+            select_pivots([], 1, rng)
+
+
+class TestSelectReferences:
+    def test_paper_example_2(self):
+        """Example 2: Tu^1_1 becomes the reference of both Tu^1_2 and Tu^1_3."""
+        pivots = PivotRepresentations(
+            pivot_indices=[2],
+            representations=[
+                [pivot_factors(seq, E_TU13) for seq in (E_TU11, E_TU12, E_TU13)]
+            ],
+        )
+        matrix = score_matrix([0.75, 0.2, 0.05], [7, 7, 7], pivots)
+        selection = select_references(matrix)
+        assert selection.references == [0]
+        assert sorted(selection.assignments[0]) == [1, 2]
+        selection.validate(3)
+
+    def test_zero_matrix_all_standalone(self):
+        matrix = [[0.0] * 3 for _ in range(3)]
+        selection = select_references(matrix)
+        assert sorted(selection.references) == [0, 1, 2]
+        assert all(not members for members in selection.assignments.values())
+        selection.validate(3)
+
+    def test_single_instance(self):
+        selection = select_references([[0.0]])
+        assert selection.references == [0]
+        selection.validate(1)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            select_references([[0.0, 1.0]])
+
+    def test_chain_constraint_single_order(self):
+        # 0 would best represent 1, 1 would best represent 2; single-order
+        # compression forbids 1 being both non-reference and reference.
+        matrix = [
+            [0.0, 0.9, 0.1],
+            [0.0, 0.0, 0.8],
+            [0.0, 0.0, 0.0],
+        ]
+        selection = select_references(matrix)
+        assert selection.assignments[0] == [1] or 1 in selection.assignments[0]
+        assert 2 not in selection.assignments.get(1, [])
+        selection.validate(3)
+
+    def test_each_non_reference_has_one_reference(self):
+        matrix = [
+            [0.0, 0.5, 0.4],
+            [0.5, 0.0, 0.3],
+            [0.4, 0.3, 0.0],
+        ]
+        selection = select_references(matrix)
+        selection.validate(3)
+        non_refs = selection.non_references
+        assert len(non_refs) == len(set(non_refs))
+
+    def test_reference_of(self):
+        selection = ReferenceSelection(
+            references=[0, 3], assignments={0: [1, 2], 3: []}
+        )
+        assert selection.reference_of(1) == 0
+        assert selection.reference_of(0) == 0
+        assert selection.reference_of(3) == 3
+        assert selection.reference_of(9) is None

@@ -1,0 +1,149 @@
+"""Tests for PDDP fraction coding (error-bounded binary fractions)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bits.bitio import BitReader, BitWriter
+from repro.core.pddp import (
+    PddpDecoder,
+    PddpEncoder,
+    decode_fraction,
+    decode_values,
+    encode_fraction,
+    encode_values,
+    max_code_length,
+)
+
+
+class TestFractionCodes:
+    def test_zero_is_empty_code(self):
+        assert encode_fraction(0.0, 1 / 128) == ()
+
+    def test_half_is_one_bit(self):
+        assert encode_fraction(0.5, 1 / 128) == (1,)
+
+    def test_quarter(self):
+        assert encode_fraction(0.25, 1 / 128) == (0, 1)
+
+    def test_decode_fraction(self):
+        assert decode_fraction((1, 0, 1)) == pytest.approx(0.625)
+        assert decode_fraction(()) == 0.0
+
+    @pytest.mark.parametrize("eta", [1 / 8, 1 / 16, 1 / 32, 1 / 64, 1 / 128])
+    def test_error_bounded(self, eta):
+        for i in range(101):
+            x = i / 100.0
+            code = encode_fraction(x, eta)
+            decoded = decode_fraction(code)
+            target = min(x, 1.0 - 2 ** -(max_code_length(eta) + 1))
+            assert abs(decoded - target) <= eta + 1e-12
+
+    @pytest.mark.parametrize("eta", [1 / 8, 1 / 128, 1 / 2048])
+    def test_code_length_bounded(self, eta):
+        limit = max_code_length(eta)
+        for i in range(101):
+            assert len(encode_fraction(i / 100.0, eta)) <= limit
+
+    def test_codes_are_minimal(self):
+        # 0.875 = 0.111b exactly; a coarser eta may stop earlier
+        assert encode_fraction(0.875, 1 / 128) == (1, 1, 1)
+        assert len(encode_fraction(0.875, 1 / 4)) <= 2
+
+    def test_max_code_length_values(self):
+        assert max_code_length(1 / 128) == 7
+        assert max_code_length(1 / 512) == 9
+        assert max_code_length(1 / 2048) == 11
+
+    def test_max_code_length_validation(self):
+        with pytest.raises(ValueError):
+            max_code_length(0.0)
+        with pytest.raises(ValueError):
+            max_code_length(1.0)
+
+    def test_out_of_range_values_clamped(self):
+        assert decode_fraction(encode_fraction(-0.5, 1 / 128)) <= 1 / 128
+        assert decode_fraction(encode_fraction(1.7, 1 / 128)) >= 1 - 2 / 128
+
+
+class TestSerializedStreams:
+    def test_round_trip_direct(self):
+        values = [0.1, 0.9, 0.33, 0.77, 0.02]
+        writer = encode_values(values, 1 / 128)
+        decoded = decode_values(BitReader.from_writer(writer), 1 / 128)
+        assert len(decoded) == len(values)
+        for got, expected in zip(decoded, values):
+            assert abs(got - expected) <= 1 / 128 + 1e-12
+
+    def test_round_trip_repetitive_uses_dictionary(self):
+        values = [0.25, 0.5, 0.25, 0.5] * 40
+        encoder = PddpEncoder(1 / 128)
+        encoder.add_all(values)
+        writer = BitWriter()
+        encoder.serialize(writer)
+        reader = BitReader.from_writer(writer)
+        decoder = PddpDecoder(reader, 1 / 128)
+        assert decoder.use_dictionary
+        for got, expected in zip(decoder.values, values):
+            assert abs(got - expected) <= 1 / 128
+
+    def test_dictionary_beats_direct_on_repetitive_data(self):
+        repetitive = [0.125, 0.625] * 50
+        varied = [i / 100 for i in range(100)]
+        assert len(encode_values(repetitive, 1 / 128)) < len(
+            encode_values(varied, 1 / 128)
+        )
+
+    def test_empty_stream(self):
+        writer = encode_values([], 1 / 128)
+        assert decode_values(BitReader.from_writer(writer), 1 / 128) == []
+
+    def test_positions_point_at_values(self):
+        values = [0.3, 0.6, 0.9]
+        encoder = PddpEncoder(1 / 128)
+        encoder.add_all(values)
+        writer = BitWriter()
+        encoder.serialize(writer)
+        assert len(encoder.positions) == 3
+        assert encoder.positions == sorted(encoder.positions)
+        assert all(0 < p < len(writer) for p in encoder.positions)
+
+    def test_positions_before_serialize_raise(self):
+        encoder = PddpEncoder(1 / 128)
+        encoder.add(0.5)
+        with pytest.raises(RuntimeError):
+            _ = encoder.positions
+
+    def test_serialized_size_matches_reality(self):
+        values = [0.17, 0.42, 0.42, 0.9, 0.17]
+        encoder = PddpEncoder(1 / 128)
+        encoder.add_all(values)
+        predicted = encoder.serialized_size()
+        writer = BitWriter()
+        encoder.serialize(writer)
+        assert len(writer) == predicted
+
+    def test_getitem_and_len(self):
+        writer = encode_values([0.5, 0.25], 1 / 64)
+        decoder = PddpDecoder(BitReader.from_writer(writer), 1 / 64)
+        assert len(decoder) == 2
+        assert decoder[0] == pytest.approx(0.5, abs=1 / 64)
+
+
+@given(
+    st.lists(st.floats(min_value=0.0, max_value=0.999999), max_size=60),
+    st.sampled_from([1 / 8, 1 / 32, 1 / 128, 1 / 512, 1 / 2048]),
+)
+def test_property_stream_round_trip_error_bounded(values, eta):
+    writer = encode_values(values, eta)
+    decoded = decode_values(BitReader.from_writer(writer), eta)
+    assert len(decoded) == len(values)
+    for got, expected in zip(decoded, values):
+        assert abs(got - expected) <= eta + 1e-9
+
+
+@given(st.floats(min_value=0.0, max_value=0.999999))
+def test_property_tighter_eta_never_lengthens_error(x):
+    loose = decode_fraction(encode_fraction(x, 1 / 16))
+    tight = decode_fraction(encode_fraction(x, 1 / 1024))
+    assert abs(tight - x) <= abs(loose - x) + 1e-12

@@ -1,0 +1,90 @@
+"""Property tests for Algorithm 1 over arbitrary score matrices."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.refselect import select_references
+
+
+def matrices(max_n=8):
+    return st.integers(1, max_n).flatmap(
+        lambda n: st.lists(
+            st.lists(
+                st.floats(min_value=0.0, max_value=1.0),
+                min_size=n,
+                max_size=n,
+            ),
+            min_size=n,
+            max_size=n,
+        ).map(lambda m: _zero_diagonal(m))
+    )
+
+
+def _zero_diagonal(matrix):
+    for i in range(len(matrix)):
+        matrix[i][i] = 0.0
+    return matrix
+
+
+@given(matrices())
+def test_property_every_instance_is_covered_exactly_once(matrix):
+    n = len(matrix)
+    selection = select_references(matrix)
+    selection.validate(n)
+    refs = set(selection.references)
+    nonrefs = selection.non_references
+    assert refs.isdisjoint(nonrefs)
+    assert refs | set(nonrefs) == set(range(n))
+    assert len(nonrefs) == len(set(nonrefs))  # one reference each
+
+
+@given(matrices())
+def test_property_single_order_compression(matrix):
+    """No instance is both a reference and represented by another."""
+    selection = select_references(matrix)
+    for reference, members in selection.assignments.items():
+        assert reference in selection.references
+        for member in members:
+            assert member not in selection.references
+            assert member not in selection.assignments
+
+
+@given(matrices())
+def test_property_assignments_have_positive_scores(matrix):
+    selection = select_references(matrix)
+    for reference, members in selection.assignments.items():
+        for member in members:
+            assert matrix[reference][member] > 0.0
+
+
+@given(matrices())
+def test_property_zero_rows_become_standalone(matrix):
+    """An instance with all-zero row and column ends up standalone."""
+    n = len(matrix)
+    selection = select_references(matrix)
+    for i in range(n):
+        row_zero = all(matrix[i][j] == 0.0 for j in range(n))
+        col_zero = all(matrix[j][i] == 0.0 for j in range(n))
+        if row_zero and col_zero:
+            assert i in selection.references
+            assert selection.assignments[i] == []
+
+
+@given(matrices(max_n=6))
+def test_property_first_pick_is_global_maximum(matrix):
+    """The first assignment follows the greedy rule: the best non-zero
+    score becomes a (reference, member) pair."""
+    best = 0.0
+    best_pair = None
+    n = len(matrix)
+    for w in range(n):
+        for v in range(n):
+            if w != v and matrix[w][v] > best:
+                best = matrix[w][v]
+                best_pair = (w, v)
+    selection = select_references(matrix)
+    if best_pair is None:
+        assert all(not m for m in selection.assignments.values())
+    else:
+        w, v = best_pair
+        assert v in selection.assignments[w]

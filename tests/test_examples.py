@@ -1,0 +1,50 @@
+"""Smoke tests for the example scripts.
+
+The quickstart runs end to end in-process; the heavier examples are
+compile-checked and their entry points imported (their full runs are
+exercised manually / by CI at benchmark cadence).
+"""
+
+import pathlib
+import py_compile
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+ALL_EXAMPLES = [
+    "quickstart.py",
+    "taxi_fleet_compression.py",
+    "query_without_decompression.py",
+    "map_matching_pipeline.py",
+]
+
+
+@pytest.mark.parametrize("name", ALL_EXAMPLES)
+def test_example_compiles(name):
+    py_compile.compile(str(EXAMPLES_DIR / name), doraise=True)
+
+
+def test_quickstart_runs():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "compression ratios" in result.stdout
+    assert "round-trip check passed" in result.stdout
+
+
+def test_query_example_runs():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "query_without_decompression.py")],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "StIU index" in result.stdout
+    assert "where(" in result.stdout

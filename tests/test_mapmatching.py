@@ -1,0 +1,190 @@
+"""Tests for the probabilistic map-matching substrate."""
+
+import random
+
+import pytest
+
+from repro.mapmatching import (
+    MatcherConfig,
+    ProbabilisticMapMatcher,
+    candidates_for_point,
+    synthesize_raw_dataset,
+    synthesize_raw_trajectory,
+)
+from repro.mapmatching.candidates import emission_log_probability
+from repro.network.generators import grid_network
+from repro.network.spatial_index import EdgeSpatialIndex
+from repro.trajectories.datasets import CD
+from repro.trajectories.model import RawPoint
+
+
+@pytest.fixture(scope="module")
+def network():
+    return grid_network(8, 8, spacing=100.0)
+
+
+@pytest.fixture(scope="module")
+def spatial_index(network):
+    return EdgeSpatialIndex(network)
+
+
+@pytest.fixture(scope="module")
+def matcher(network):
+    return ProbabilisticMapMatcher(
+        network, MatcherConfig(sigma=20.0, search_radius=50.0)
+    )
+
+
+class TestCandidates:
+    def test_candidates_near_an_edge(self, spatial_index):
+        # a point 10 m off the edge (0 -> 1)
+        point = RawPoint(50.0, 10.0, 0)
+        candidates = candidates_for_point(
+            spatial_index, point, search_radius=30.0, sigma=20.0
+        )
+        assert candidates
+        assert candidates[0].distance <= 30.0
+        edges = {c.edge for c in candidates}
+        assert (0, 1) in edges or (1, 0) in edges
+
+    def test_candidates_sorted_by_distance(self, spatial_index):
+        point = RawPoint(150.0, 40.0, 0)
+        candidates = candidates_for_point(
+            spatial_index, point, search_radius=80.0, sigma=20.0
+        )
+        distances = [c.distance for c in candidates]
+        assert distances == sorted(distances)
+
+    def test_fallback_to_nearest_edge(self, spatial_index):
+        # far outside the network: still returns the nearest edge
+        point = RawPoint(-500.0, -500.0, 0)
+        candidates = candidates_for_point(
+            spatial_index, point, search_radius=10.0, sigma=20.0
+        )
+        assert len(candidates) >= 1
+
+    def test_emission_prefers_closer(self):
+        assert emission_log_probability(5.0, 20.0) > emission_log_probability(
+            50.0, 20.0
+        )
+
+
+class TestMatcherConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MatcherConfig(sigma=0.0)
+        with pytest.raises(ValueError):
+            MatcherConfig(beta=-1.0)
+        with pytest.raises(ValueError):
+            MatcherConfig(max_instances=0)
+
+
+class TestSynthesis:
+    def test_raw_trajectory_has_increasing_times(self, network):
+        rng = random.Random(1)
+        raw = synthesize_raw_trajectory(
+            network, CD.generation_config(), rng, noise_sigma=10.0
+        )
+        times = raw.times
+        assert all(b > a for a, b in zip(times, times[1:]))
+        assert len(raw) >= 2
+
+    def test_noise_moves_points_off_road(self, network):
+        rng = random.Random(2)
+        raw = synthesize_raw_trajectory(
+            network, CD.generation_config(), rng, noise_sigma=20.0
+        )
+        # grid streets are axis-aligned at multiples of 100: noisy points
+        # should rarely sit exactly on one
+        off_road = sum(
+            1
+            for p in raw
+            if min(p.x % 100, 100 - p.x % 100) > 1
+            and min(p.y % 100, 100 - p.y % 100) > 1
+        )
+        assert off_road >= len(raw) // 2
+
+    def test_dataset_batch(self, network):
+        raws = synthesize_raw_dataset(
+            network, CD.generation_config(), 5, seed=3
+        )
+        assert len(raws) == 5
+
+
+class TestMatching:
+    def test_match_produces_valid_uncertain_trajectory(self, network, matcher):
+        rng = random.Random(4)
+        raw = synthesize_raw_trajectory(
+            network, CD.generation_config(), rng, noise_sigma=10.0
+        )
+        matched = matcher.match(raw)
+        assert matched is not None
+        assert matched.times == list(raw.times)
+        total = sum(i.probability for i in matched.instances)
+        assert total == pytest.approx(1.0, abs=1e-6)
+        for instance in matched.instances:
+            assert network.validate_path(instance.path)
+            assert instance.point_count == len(raw)
+
+    def test_best_instance_is_near_ground_truth(self, network, matcher):
+        rng = random.Random(5)
+        raw = synthesize_raw_trajectory(
+            network, CD.generation_config(), rng, noise_sigma=5.0
+        )
+        matched = matcher.match(raw)
+        assert matched is not None
+        best = matched.best_instance()
+        # each matched location should be close to its raw fix
+        for point, location in zip(raw, best.locations):
+            x, y = location.position(network)
+            assert ((x - point.x) ** 2 + (y - point.y) ** 2) ** 0.5 < 60.0
+
+    def test_noisy_points_yield_multiple_instances(self, network, matcher):
+        rng = random.Random(6)
+        multi = 0
+        for _ in range(8):
+            raw = synthesize_raw_trajectory(
+                network, CD.generation_config(), rng, noise_sigma=35.0
+            )
+            matched = matcher.match(raw)
+            if matched is not None and matched.instance_count > 1:
+                multi += 1
+        assert multi >= 3  # ambiguity should be common at high noise
+
+    def test_instances_are_distinct(self, network, matcher):
+        rng = random.Random(7)
+        raw = synthesize_raw_trajectory(
+            network, CD.generation_config(), rng, noise_sigma=30.0
+        )
+        matched = matcher.match(raw)
+        assert matched is not None
+        signatures = {i.signature() for i in matched.instances}
+        assert len(signatures) == matched.instance_count
+
+    def test_match_many_renumbers(self, network, matcher):
+        raws = synthesize_raw_dataset(
+            network, CD.generation_config(), 4, seed=8, noise_sigma=10.0
+        )
+        matched = matcher.match_many(raws, start_id=100)
+        assert [t.trajectory_id for t in matched] == list(
+            range(100, 100 + len(matched))
+        )
+        assert len(matched) >= 3  # the odd failure is tolerated
+
+    def test_matched_output_compresses(self, network, matcher):
+        """The full pipeline: raw GPS -> matcher -> UTCQ compression."""
+        from repro.core.compressor import compress_dataset
+        from repro.core.decoder import decode_archive
+
+        raws = synthesize_raw_dataset(
+            network, CD.generation_config(), 6, seed=9, noise_sigma=20.0
+        )
+        matched = matcher.match_many(raws)
+        assert matched
+        archive = compress_dataset(network, matched, default_interval=10)
+        decoded = decode_archive(network, archive)
+        for original, restored in zip(matched, decoded):
+            for orig_inst, rest_inst in zip(
+                original.instances, restored.instances
+            ):
+                assert rest_inst.path == orig_inst.path

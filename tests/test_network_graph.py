@@ -1,0 +1,160 @@
+"""Tests for the road network model and outgoing-edge numbering."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.network.graph import RoadNetwork
+
+
+@pytest.fixture
+def diamond() -> RoadNetwork:
+    """A small diamond network: 0 -> {1, 2} -> 3, plus 3 -> 0."""
+    network = RoadNetwork()
+    network.add_vertex(0, 0.0, 0.0)
+    network.add_vertex(1, 1.0, 1.0)
+    network.add_vertex(2, 1.0, -1.0)
+    network.add_vertex(3, 2.0, 0.0)
+    network.add_edge(0, 1)
+    network.add_edge(0, 2)
+    network.add_edge(1, 3)
+    network.add_edge(2, 3)
+    network.add_edge(3, 0)
+    network.finalize()
+    return network
+
+
+class TestConstruction:
+    def test_vertex_lookup(self, diamond):
+        assert diamond.vertex(1).x == 1.0
+        assert diamond.has_vertex(2)
+        assert not diamond.has_vertex(99)
+
+    def test_duplicate_vertex_same_position_is_noop(self, diamond):
+        diamond.add_vertex(0, 0.0, 0.0)
+        assert diamond.vertex_count == 4
+
+    def test_duplicate_vertex_moved_rejected(self, diamond):
+        with pytest.raises(ValueError):
+            diamond.add_vertex(0, 5.0, 5.0)
+
+    def test_edge_default_length_is_euclidean(self, diamond):
+        assert diamond.edge_length(0, 1) == pytest.approx(math.sqrt(2))
+
+    def test_explicit_edge_length(self):
+        network = RoadNetwork()
+        network.add_vertex(0, 0, 0)
+        network.add_vertex(1, 3, 4)
+        network.add_edge(0, 1, length=10.0)
+        assert network.edge_length(0, 1) == 10.0
+
+    def test_self_loop_rejected(self, diamond):
+        with pytest.raises(ValueError):
+            diamond.add_edge(0, 0)
+
+    def test_duplicate_edge_rejected(self, diamond):
+        with pytest.raises(ValueError):
+            diamond.add_edge(0, 1)
+
+    def test_edge_unknown_vertex_rejected(self):
+        network = RoadNetwork()
+        network.add_vertex(0, 0, 0)
+        with pytest.raises(KeyError):
+            network.add_edge(0, 42)
+
+    def test_non_positive_length_rejected(self):
+        network = RoadNetwork()
+        network.add_vertex(0, 0, 0)
+        network.add_vertex(1, 0, 1)
+        with pytest.raises(ValueError):
+            network.add_edge(0, 1, length=0.0)
+
+
+class TestEdgeNumbering:
+    """Definition 6: outgoing edge numbers are 1-based, per start vertex."""
+
+    def test_numbers_are_one_based_and_ordered_by_destination(self, diamond):
+        assert diamond.out_number(0, 1) == 1
+        assert diamond.out_number(0, 2) == 2
+
+    def test_edge_by_number_inverts_out_number(self, diamond):
+        for edge in diamond.edges():
+            number = diamond.out_number(edge.start, edge.end)
+            assert diamond.edge_by_number(edge.start, number).key == edge.key
+
+    def test_out_number_unknown_edge(self, diamond):
+        with pytest.raises(KeyError):
+            diamond.out_number(1, 2)
+
+    def test_edge_by_number_out_of_range(self, diamond):
+        with pytest.raises(KeyError):
+            diamond.edge_by_number(0, 3)
+        with pytest.raises(KeyError):
+            diamond.edge_by_number(0, 0)
+
+    def test_max_out_degree(self, diamond):
+        assert diamond.max_out_degree == 2
+
+    def test_numbering_stable_after_new_edges(self, diamond):
+        diamond.add_vertex(4, 0.5, 2.0)
+        diamond.add_edge(0, 4)
+        # renumbering is deterministic: ordered by destination id
+        assert diamond.out_number(0, 1) == 1
+        assert diamond.out_number(0, 2) == 2
+        assert diamond.out_number(0, 4) == 3
+
+
+class TestPathHelpers:
+    def test_validate_path_accepts_connected(self, diamond):
+        assert diamond.validate_path([(0, 1), (1, 3), (3, 0)])
+
+    def test_validate_path_rejects_disconnected(self, diamond):
+        assert not diamond.validate_path([(0, 1), (2, 3)])
+
+    def test_validate_path_rejects_missing_edge(self, diamond):
+        assert not diamond.validate_path([(0, 3)])
+
+    def test_validate_path_rejects_empty(self, diamond):
+        assert not diamond.validate_path([])
+
+    def test_path_length(self, diamond):
+        length = diamond.path_length([(0, 1), (1, 3)])
+        assert length == pytest.approx(2 * math.sqrt(2))
+
+
+class TestStatistics:
+    def test_counts(self, diamond):
+        assert diamond.vertex_count == 4
+        assert diamond.edge_count == 5
+
+    def test_average_out_degree(self, diamond):
+        assert diamond.average_out_degree() == pytest.approx(5 / 4)
+
+    def test_bounding_box(self, diamond):
+        box = diamond.bounding_box()
+        assert (box.min_x, box.min_y, box.max_x, box.max_y) == (0, -1, 2, 1)
+
+    def test_bounding_box_margin(self, diamond):
+        box = diamond.bounding_box(margin=1.0)
+        assert box.min_x == -1.0 and box.max_y == 2.0
+
+    def test_bounding_box_empty_network(self):
+        with pytest.raises(ValueError):
+            RoadNetwork().bounding_box()
+
+    def test_in_edges(self, diamond):
+        assert {e.start for e in diamond.in_edges(3)} == {1, 2}
+
+
+@given(st.integers(2, 12))
+def test_property_numbering_is_a_bijection(fan_out):
+    network = RoadNetwork()
+    network.add_vertex(0, 0, 0)
+    for i in range(1, fan_out + 1):
+        network.add_vertex(i, i, 1)
+        network.add_edge(0, i)
+    numbers = [network.out_number(0, i) for i in range(1, fan_out + 1)]
+    assert sorted(numbers) == list(range(1, fan_out + 1))
+    assert network.max_out_degree == fan_out

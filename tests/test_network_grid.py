@@ -1,0 +1,142 @@
+"""Tests for grid partitioning (StIU regions) and rectangles."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.network.generators import grid_network
+from repro.network.graph import BoundingBox
+from repro.network.grid import GridPartition, Rect
+
+
+@pytest.fixture
+def unit_grid() -> GridPartition:
+    return GridPartition(BoundingBox(0.0, 0.0, 8.0, 8.0), 4)
+
+
+class TestRect:
+    def test_contains(self):
+        rect = Rect(0, 0, 2, 2)
+        assert rect.contains(1, 1)
+        assert rect.contains(0, 0)
+        assert not rect.contains(3, 1)
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            Rect(1, 0, 0, 1)
+
+    def test_intersects(self):
+        assert Rect(0, 0, 2, 2).intersects(Rect(1, 1, 3, 3))
+        assert not Rect(0, 0, 1, 1).intersects(Rect(2, 2, 3, 3))
+        # touching edges count as intersecting
+        assert Rect(0, 0, 1, 1).intersects(Rect(1, 1, 2, 2))
+
+    def test_contains_rect(self):
+        assert Rect(0, 0, 4, 4).contains_rect(Rect(1, 1, 2, 2))
+        assert not Rect(0, 0, 4, 4).contains_rect(Rect(1, 1, 5, 2))
+
+
+class TestGridPartition:
+    def test_cell_count(self, unit_grid):
+        assert unit_grid.cell_count == 16
+
+    def test_cell_of_point_corners(self, unit_grid):
+        assert unit_grid.cell_of_point(0.1, 0.1) == 0
+        assert unit_grid.cell_of_point(7.9, 0.1) == 3
+        assert unit_grid.cell_of_point(0.1, 7.9) == 12
+        assert unit_grid.cell_of_point(7.9, 7.9) == 15
+
+    def test_points_outside_clamp(self, unit_grid):
+        assert unit_grid.cell_of_point(-5, -5) == 0
+        assert unit_grid.cell_of_point(50, 50) == 15
+
+    def test_cell_rect_round_trip(self, unit_grid):
+        for cell in range(unit_grid.cell_count):
+            rect = unit_grid.cell_rect(cell)
+            cx = (rect.min_x + rect.max_x) / 2
+            cy = (rect.min_y + rect.max_y) / 2
+            assert unit_grid.cell_of_point(cx, cy) == cell
+
+    def test_cell_rect_out_of_range(self, unit_grid):
+        with pytest.raises(ValueError):
+            unit_grid.cell_rect(16)
+
+    def test_invalid_cells_per_side(self):
+        with pytest.raises(ValueError):
+            GridPartition(BoundingBox(0, 0, 1, 1), 0)
+
+    def test_cells_of_rect_covers_intersections(self, unit_grid):
+        cells = unit_grid.cells_of_rect(Rect(1.0, 1.0, 3.0, 3.0))
+        assert set(cells) == {0, 1, 4, 5}
+
+    def test_cells_of_rect_single_cell(self, unit_grid):
+        assert unit_grid.cells_of_rect(Rect(0.5, 0.5, 1.0, 1.0)) == [0]
+
+    def test_cells_of_segment_horizontal(self, unit_grid):
+        cells = unit_grid.cells_of_segment(0.5, 1.0, 7.5, 1.0)
+        assert cells == [0, 1, 2, 3]
+
+    def test_cells_of_segment_diagonal_is_connectedish(self, unit_grid):
+        cells = unit_grid.cells_of_segment(0.5, 0.5, 7.5, 7.5)
+        assert cells[0] == 0 and cells[-1] == 15
+        assert {0, 5, 10, 15}.issubset(set(cells))
+
+    def test_cells_of_point_segment(self, unit_grid):
+        assert unit_grid.cells_of_segment(1.0, 1.0, 1.0, 1.0) == [0]
+
+    def test_rect_of_cells(self, unit_grid):
+        rect = unit_grid.rect_of_cells([0, 5])
+        assert (rect.min_x, rect.min_y) == (0.0, 0.0)
+        assert (rect.max_x, rect.max_y) == (4.0, 4.0)
+
+    def test_rect_of_cells_empty_rejected(self, unit_grid):
+        with pytest.raises(ValueError):
+            unit_grid.rect_of_cells([])
+
+    def test_for_network(self):
+        network = grid_network(4, 4, spacing=50.0)
+        grid = GridPartition.for_network(network, 8)
+        for vertex in network.vertices():
+            cell = grid.cell_of_point(vertex.x, vertex.y)
+            assert 0 <= cell < grid.cell_count
+
+    def test_cells_of_edge(self):
+        network = grid_network(3, 3, spacing=100.0)
+        grid = GridPartition.for_network(network, 4)
+        cells = grid.cells_of_edge(network, 0, 1)
+        assert len(cells) >= 1
+
+    def test_degenerate_box_is_expanded(self):
+        grid = GridPartition(BoundingBox(1.0, 1.0, 1.0, 1.0), 2)
+        assert grid.box.width > 0 and grid.box.height > 0
+
+
+@given(
+    st.floats(0, 100, allow_nan=False),
+    st.floats(0, 100, allow_nan=False),
+    st.integers(1, 32),
+)
+def test_property_point_maps_into_its_cell_rect(x, y, cells):
+    grid = GridPartition(BoundingBox(0.0, 0.0, 100.0, 100.0), cells)
+    cell = grid.cell_of_point(x, y)
+    rect = grid.cell_rect(cell)
+    eps = 1e-6
+    assert rect.min_x - eps <= x <= rect.max_x + eps
+    assert rect.min_y - eps <= y <= rect.max_y + eps
+
+
+@given(
+    st.floats(5, 95), st.floats(5, 95), st.floats(5, 95), st.floats(5, 95),
+    st.integers(1, 16),
+)
+def test_property_rect_cells_cover_rect_corners(x0, y0, x1, y1, cells):
+    grid = GridPartition(BoundingBox(0.0, 0.0, 100.0, 100.0), cells)
+    rect = Rect(min(x0, x1), min(y0, y1), max(x0, x1), max(y0, y1))
+    covered = set(grid.cells_of_rect(rect))
+    for cx, cy in [
+        (rect.min_x, rect.min_y),
+        (rect.max_x, rect.min_y),
+        (rect.min_x, rect.max_y),
+        (rect.max_x, rect.max_y),
+    ]:
+        assert grid.cell_of_point(cx, cy) in covered

@@ -1,0 +1,158 @@
+"""Tests for shortest paths, alternatives, random walks, and generators."""
+
+import random
+
+import pytest
+
+from repro.network.generators import (
+    dataset_network,
+    grid_network,
+    perturbed_grid_network,
+)
+from repro.network.shortest_path import (
+    dijkstra,
+    k_alternative_paths,
+    network_distance,
+    random_walk_path,
+    reachable_within,
+    shortest_path,
+)
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return grid_network(5, 5, spacing=100.0)
+
+
+class TestDijkstra:
+    def test_distance_to_self_is_zero(self, grid):
+        distances, _ = dijkstra(grid, 0)
+        assert distances[0] == 0.0
+
+    def test_grid_distances_are_manhattan(self, grid):
+        # 5x5 grid with 100 m blocks: vertex 0 to vertex 24 = 800 m
+        assert network_distance(grid, 0, 24) == pytest.approx(800.0)
+
+    def test_unknown_source_rejected(self, grid):
+        with pytest.raises(KeyError):
+            dijkstra(grid, 999)
+
+    def test_cutoff_limits_exploration(self, grid):
+        distances, _ = dijkstra(grid, 0, cutoff=150.0)
+        assert all(d <= 150.0 for d in distances.values())
+        assert 24 not in distances
+
+    def test_forbidden_edges_force_detour(self, grid):
+        direct = network_distance(grid, 0, 1)
+        result = shortest_path(grid, 0, 1, forbidden_edges={(0, 1)})
+        assert result is not None
+        assert result[1] > direct
+
+    def test_early_exit_at_target(self, grid):
+        distances, _ = dijkstra(grid, 0, target=1)
+        assert distances[1] == pytest.approx(100.0)
+
+
+class TestShortestPath:
+    def test_path_is_connected_and_valid(self, grid):
+        path, length = shortest_path(grid, 0, 24)
+        assert grid.validate_path(path)
+        assert path[0][0] == 0 and path[-1][1] == 24
+        assert length == pytest.approx(grid.path_length(path))
+
+    def test_trivial_path(self, grid):
+        assert shortest_path(grid, 3, 3) == ([], 0.0)
+
+    def test_unreachable_returns_none(self, grid):
+        assert shortest_path(grid, 0, 24, cutoff=100.0) is None
+
+    def test_network_distance_unreachable_is_inf(self, grid):
+        assert network_distance(grid, 0, 24, cutoff=50.0) == float("inf")
+
+
+class TestAlternativePaths:
+    def test_returns_distinct_paths_shortest_first(self, grid):
+        paths = k_alternative_paths(grid, 0, 12, 3)
+        assert len(paths) >= 2
+        keys = {tuple(p) for p, _ in paths}
+        assert len(keys) == len(paths)
+        lengths = [length for _, length in paths]
+        assert lengths == sorted(lengths)
+
+    def test_k_validation(self, grid):
+        with pytest.raises(ValueError):
+            k_alternative_paths(grid, 0, 5, 0)
+
+    def test_all_paths_valid(self, grid):
+        for path, _ in k_alternative_paths(grid, 0, 6, 4):
+            assert grid.validate_path(path)
+            assert path[0][0] == 0 and path[-1][1] == 6
+
+
+class TestReachability:
+    def test_reachable_within_radius(self, grid):
+        reachable = reachable_within(grid, 12, 100.0)
+        assert set(reachable) == {12, 7, 11, 13, 17}
+
+
+class TestRandomWalk:
+    def test_walk_length_and_connectivity(self, grid):
+        rng = random.Random(1)
+        path = random_walk_path(grid, 0, 10, rng.choice)
+        assert len(path) == 10
+        assert grid.validate_path(path)
+
+    def test_walk_avoids_immediate_backtrack(self, grid):
+        rng = random.Random(2)
+        for _ in range(20):
+            path = random_walk_path(grid, 12, 8, rng.choice)
+            for (a, _), (_, d) in zip(path, path[1:]):
+                assert d != a or len(grid.out_edges(a)) == 1
+
+    def test_walk_requires_positive_length(self, grid):
+        with pytest.raises(ValueError):
+            random_walk_path(grid, 0, 0, random.Random(0).choice)
+
+
+class TestGenerators:
+    def test_grid_network_shape(self):
+        network = grid_network(3, 4)
+        assert network.vertex_count == 12
+        # inner edges both directions: horizontal 3*3, vertical 2*4 => *2
+        assert network.edge_count == 2 * (3 * 3 + 2 * 4)
+
+    def test_grid_network_validation(self):
+        with pytest.raises(ValueError):
+            grid_network(1, 5)
+
+    def test_perturbed_network_is_deterministic(self):
+        a = perturbed_grid_network(6, 6, seed=3)
+        b = perturbed_grid_network(6, 6, seed=3)
+        assert a.edge_count == b.edge_count
+        assert {e.key for e in a.edges()} == {e.key for e in b.edges()}
+
+    def test_perturbed_network_has_no_stranded_vertices(self):
+        network = perturbed_grid_network(8, 8, removal_fraction=0.3, seed=5)
+        for vid in network.vertex_ids():
+            assert network.out_degree(vid) >= 1
+
+    def test_perturbed_validation(self):
+        with pytest.raises(ValueError):
+            perturbed_grid_network(2, 2)
+
+    @pytest.mark.parametrize("name", ["DK", "CD", "HZ"])
+    def test_dataset_networks_build(self, name):
+        network = dataset_network(name, scale=10)
+        assert network.vertex_count == 100
+        assert network.max_out_degree >= 2
+        # Table 6: average out-degree between ~2 and ~3.5
+        assert 1.5 <= network.average_out_degree() <= 4.0
+
+    def test_dataset_network_unknown_profile(self):
+        with pytest.raises(ValueError):
+            dataset_network("XX")
+
+    def test_dk_sparser_than_cd(self):
+        dk = dataset_network("DK", scale=12)
+        cd = dataset_network("CD", scale=12)
+        assert dk.average_out_degree() < cd.average_out_degree()

@@ -1,0 +1,83 @@
+"""Tests for the edge spatial hash and point-to-segment projection."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.network.generators import grid_network
+from repro.network.spatial_index import (
+    EdgeSpatialIndex,
+    project_point_to_segment,
+)
+
+
+class TestProjection:
+    def test_projection_onto_interior(self):
+        t, distance = project_point_to_segment(5, 3, 0, 0, 10, 0)
+        assert t == pytest.approx(0.5)
+        assert distance == pytest.approx(3.0)
+
+    def test_projection_clamps_to_start(self):
+        t, distance = project_point_to_segment(-5, 0, 0, 0, 10, 0)
+        assert t == 0.0
+        assert distance == pytest.approx(5.0)
+
+    def test_projection_clamps_to_end(self):
+        t, distance = project_point_to_segment(15, 0, 0, 0, 10, 0)
+        assert t == 1.0
+        assert distance == pytest.approx(5.0)
+
+    def test_degenerate_segment(self):
+        t, distance = project_point_to_segment(3, 4, 0, 0, 0, 0)
+        assert t == 0.0
+        assert distance == pytest.approx(5.0)
+
+    @given(
+        st.floats(-50, 50), st.floats(-50, 50),
+        st.floats(-50, 50), st.floats(-50, 50),
+        st.floats(-50, 50), st.floats(-50, 50),
+    )
+    def test_property_projection_within_segment(self, px, py, ax, ay, bx, by):
+        t, distance = project_point_to_segment(px, py, ax, ay, bx, by)
+        assert 0.0 <= t <= 1.0
+        assert distance >= 0.0
+        # distance to the projected point equals the reported distance
+        qx, qy = ax + t * (bx - ax), ay + t * (by - ay)
+        assert ((px - qx) ** 2 + (py - qy) ** 2) ** 0.5 == pytest.approx(
+            distance, abs=1e-6
+        )
+
+
+@pytest.fixture(scope="module")
+def index():
+    return EdgeSpatialIndex(grid_network(6, 6, spacing=100.0))
+
+
+class TestEdgeSpatialIndex:
+    def test_edges_near_point_on_street(self, index):
+        hits = index.edges_near(150.0, 5.0, radius=20.0)
+        assert hits
+        keys = {key for key, _, _ in hits}
+        assert (1, 2) in keys or (2, 1) in keys
+
+    def test_hits_sorted_by_distance(self, index):
+        hits = index.edges_near(250.0, 130.0, radius=150.0)
+        distances = [d for _, _, d in hits]
+        assert distances == sorted(distances)
+
+    def test_no_hits_when_radius_tiny_off_road(self, index):
+        hits = index.edges_near(150.0, 50.0, radius=10.0)
+        assert hits == []
+
+    def test_nearest_edge_always_found(self, index):
+        hit = index.nearest_edge(-400.0, -400.0)
+        assert hit is not None
+        key, t, distance = hit
+        assert distance > 0
+
+    def test_nearest_edge_on_road_is_exact(self, index):
+        hit = index.nearest_edge(50.0, 0.0)
+        assert hit is not None
+        key, t, distance = hit
+        assert distance == pytest.approx(0.0, abs=1e-9)
+        assert key in {(0, 1), (1, 0)}

@@ -1,0 +1,160 @@
+"""Edge-case tests for the query processor's partial-decompression paths."""
+
+import pytest
+
+from repro.bits.bitio import BitReader
+from repro.core import siar
+from repro.core.compressor import compress_dataset
+from repro.query import StIUIndex, UTCQQueryProcessor
+from repro.trajectories.datasets import load_dataset
+
+
+@pytest.fixture(scope="module")
+def world():
+    network, trajectories = load_dataset("HZ", 20, seed=91, network_scale=12)
+    archive = compress_dataset(
+        network, trajectories, default_interval=20, eta_probability=1 / 2048
+    )
+    index = StIUIndex(
+        network, archive, grid_cells_per_side=16, time_partition_seconds=600
+    )
+    processor = UTCQQueryProcessor(network, archive, index)
+    return network, trajectories, archive, index, processor
+
+
+class TestMidStreamTimeResume:
+    def test_resumed_times_match_full_decode(self, world):
+        """decode_from_offset via the temporal tuple equals the suffix of a
+        full decode, for every tuple of every trajectory."""
+        _, trajectories, archive, index, _ = world
+        for compressed in archive.trajectories:
+            reader = BitReader(
+                compressed.time_payload, compressed.time_payload_bits
+            )
+            full = siar.decode(
+                reader,
+                archive.params.default_interval,
+                t0_bits=archive.params.t0_bits,
+            )
+            for entry in index._trajectory_tuples[compressed.trajectory_id]:
+                reader = BitReader(
+                    compressed.time_payload, compressed.time_payload_bits
+                )
+                resumed = siar.decode_from_offset(
+                    reader,
+                    start_time=entry.start,
+                    start_index=entry.number,
+                    bit_position=entry.bit_position,
+                    total_count=compressed.point_count,
+                    default_interval=archive.params.default_interval,
+                )
+                assert resumed == full[entry.number :]
+
+    def test_decode_times_around_brackets_query_time(self, world):
+        _, trajectories, archive, _, processor = world
+        for compressed in archive.trajectories[:10]:
+            t = (compressed.start_time + compressed.end_time) // 2
+            times = processor._decode_times_around(compressed, t)
+            assert times is not None
+            assert times[0] <= t <= times[-1]
+
+    def test_decode_times_around_rejects_outside(self, world):
+        _, _, archive, _, processor = world
+        compressed = archive.trajectories[0]
+        assert (
+            processor._decode_times_around(
+                compressed, compressed.end_time + 10**6
+            )
+            is None
+        )
+
+
+class TestInstanceCaching:
+    def test_materialize_caches(self, world):
+        _, _, archive, _, processor = world
+        processor.counters.reset()
+        processor._instance_cache.clear()
+        trajectory = archive.trajectories[0]
+        a = processor._materialize(trajectory, 0)
+        decoded_after_first = processor.counters.instances_decoded
+        b = processor._materialize(trajectory, 0)
+        assert a is b
+        assert processor.counters.instances_decoded == decoded_after_first
+
+    def test_reference_cache_shared_across_nonrefs(self, world):
+        _, _, archive, _, processor = world
+        target = None
+        for trajectory in archive.trajectories:
+            nonrefs = [
+                i for i in trajectory.instances if not i.is_reference
+            ]
+            if len(nonrefs) >= 2:
+                target = trajectory
+                break
+        if target is None:
+            pytest.skip("no trajectory with two non-references")
+        processor._reference_cache.clear()
+        processor._instance_cache.clear()
+        indices = [
+            i
+            for i, inst in enumerate(target.instances)
+            if not inst.is_reference
+        ][:2]
+        processor._materialize(target, indices[0])
+        cache_size = len(processor._reference_cache)
+        processor._materialize(target, indices[1])
+        # a shared reference must not be decoded twice
+        same_ref = (
+            target.instances[indices[0]].reference_ordinal
+            == target.instances[indices[1]].reference_ordinal
+        )
+        if same_ref:
+            assert len(processor._reference_cache) == cache_size
+
+
+class TestCounters:
+    def test_where_prunes_low_probability(self, world):
+        _, trajectories, archive, _, processor = world
+        trajectory = max(trajectories, key=lambda t: t.instance_count)
+        if trajectory.instance_count < 3:
+            pytest.skip("needs a multi-instance trajectory")
+        processor.counters.reset()
+        t = (trajectory.start_time + trajectory.end_time) // 2
+        processor.where(trajectory.trajectory_id, t, alpha=0.99)
+        assert processor.counters.instances_pruned >= 1
+
+    def test_counters_reset(self, world):
+        _, _, _, _, processor = world
+        processor.counters.instances_decoded = 7
+        processor.counters.reset()
+        assert processor.counters.instances_decoded == 0
+
+
+class TestSegmentRectIntersection:
+    def test_crossing_segment(self):
+        from repro.network.grid import Rect
+        from repro.query.queries import _segment_intersects_rect
+
+        rect = Rect(0, 0, 10, 10)
+        assert _segment_intersects_rect(-5, 5, 15, 5, rect)
+
+    def test_outside_segment(self):
+        from repro.network.grid import Rect
+        from repro.query.queries import _segment_intersects_rect
+
+        rect = Rect(0, 0, 10, 10)
+        assert not _segment_intersects_rect(20, 20, 30, 30, rect)
+
+    def test_touching_corner(self):
+        from repro.network.grid import Rect
+        from repro.query.queries import _segment_intersects_rect
+
+        rect = Rect(0, 0, 10, 10)
+        assert _segment_intersects_rect(10, 10, 20, 20, rect)
+
+    def test_contained_segment(self):
+        from repro.network.grid import Rect
+        from repro.query.queries import _segment_intersects_rect
+
+        rect = Rect(0, 0, 10, 10)
+        assert _segment_intersects_rect(2, 2, 8, 8, rect)

@@ -1,0 +1,127 @@
+"""Tests for flag/original arrays against naive full decompression."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.factors import factorize_flags
+from repro.query.flagarrays import FlagArray, OriginalArray, reference_gamma
+
+
+def naive_prefix_ones(bits, g):
+    return sum(bits[:g])
+
+
+def naive_ones_until(bits, g):
+    return sum(bits[: g + 1])
+
+
+class TestFlagArray:
+    def test_ones_before_matches_naive(self):
+        bits = [1, 0, 1, 1, 0, 0, 1]
+        array = FlagArray.from_bits(bits)
+        for g in range(len(bits) + 1):
+            assert array.ones_before(g) == naive_prefix_ones(bits, g)
+
+    def test_ones_in_range(self):
+        array = FlagArray.from_bits([1, 0, 1, 1])
+        assert array.ones_in(1, 4) == 2
+        assert array.ones_in(0, 0) == 0
+
+    def test_out_of_range(self):
+        array = FlagArray.from_bits([1, 0])
+        with pytest.raises(IndexError):
+            array.ones_before(3)
+
+    def test_original_ones_until(self):
+        # trimmed [0, 1, 0] -> original [1, 0, 1, 0, 1]
+        array = FlagArray.from_bits([0, 1, 0])
+        original = [1, 0, 1, 0, 1]
+        for g in range(5):
+            assert array.original_ones_until(g, 5) == naive_ones_until(
+                original, g
+            )
+
+    def test_reference_gamma_helper(self):
+        array = FlagArray.from_bits([1, 1])
+        assert reference_gamma(array, 4) == [1, 2, 3, 4]
+
+
+def build_original_array(target_trimmed, ref_trimmed):
+    """Build an OriginalArray exactly as the decoder would."""
+    reference = FlagArray.from_bits(ref_trimmed)
+    factors = factorize_flags(target_trimmed, ref_trimmed)
+    if factors is None:
+        return OriginalArray(
+            reference, None, target_trimmed, len(target_trimmed) + 2
+        )
+    return OriginalArray(reference, factors, None, len(target_trimmed) + 2)
+
+
+class TestOriginalArray:
+    def test_exact_copy_of_reference(self):
+        ref = [0, 1, 1, 0, 1]
+        array = build_original_array(ref, ref)
+        original = [1, *ref, 1]
+        for g in range(len(original)):
+            assert array.ones_until(g) == naive_ones_until(original, g)
+
+    def test_single_mismatch(self):
+        ref = [0, 1, 1, 0, 1]
+        target = [0, 1, 0, 0, 1]
+        array = build_original_array(target, ref)
+        original = [1, *target, 1]
+        for g in range(len(original)):
+            assert array.ones_until(g) == naive_ones_until(original, g)
+
+    def test_raw_fallback(self):
+        ref = [0, 1]
+        target = [0, 1, 1]  # degenerate: factorization returns None
+        array = build_original_array(target, ref)
+        original = [1, *target, 1]
+        for g in range(len(original)):
+            assert array.ones_until(g) == naive_ones_until(original, g)
+
+    def test_requires_exactly_one_form(self):
+        reference = FlagArray.from_bits([1, 0])
+        with pytest.raises(ValueError):
+            OriginalArray(reference, None, None, 4)
+        with pytest.raises(ValueError):
+            OriginalArray(reference, [], [1, 0], 4)
+
+    def test_position_bounds(self):
+        array = build_original_array([1, 0], [1, 0])
+        with pytest.raises(IndexError):
+            array.ones_until(4)
+
+    def test_location_index_of_entry(self):
+        ref = [0, 1, 0]
+        target = [0, 1, 0]
+        array = build_original_array(target, ref)
+        # original = [1, 0, 1, 0, 1]: entries 0, 2, 4 carry locations 0, 1, 2
+        assert array.location_index_of_entry(0) == 0
+        assert array.location_index_of_entry(1) is None
+        assert array.location_index_of_entry(2) == 1
+        assert array.location_index_of_entry(3) is None
+        assert array.location_index_of_entry(4) == 2
+
+
+@given(
+    st.lists(st.integers(0, 1), min_size=0, max_size=40),
+    st.lists(st.integers(0, 1), min_size=0, max_size=40),
+)
+def test_property_partial_counts_equal_naive(target, ref):
+    array = build_original_array(target, ref)
+    original = [1, *target, 1]
+    for g in range(len(original)):
+        assert array.ones_until(g) == naive_ones_until(original, g)
+
+
+@given(st.lists(st.integers(0, 1), min_size=0, max_size=60))
+def test_property_reference_gamma_matches_naive(trimmed):
+    array = FlagArray.from_bits(trimmed)
+    original = [1, *trimmed, 1]
+    for g in range(len(original)):
+        assert array.original_ones_until(g, len(original)) == naive_ones_until(
+            original, g
+        )

@@ -1,0 +1,254 @@
+"""Tests for StIU-backed queries against the brute-force oracle."""
+
+import random
+
+import pytest
+
+from repro.core.compressor import compress_dataset
+from repro.network.grid import Rect
+from repro.query import (
+    BruteForceOracle,
+    StIUIndex,
+    UTCQQueryProcessor,
+    range_accuracy,
+    when_accuracy,
+    where_accuracy,
+)
+from repro.trajectories.datasets import load_dataset
+
+
+@pytest.fixture(scope="module")
+def setup():
+    network, trajectories = load_dataset("CD", 30, seed=41, network_scale=12)
+    archive = compress_dataset(network, trajectories, default_interval=10)
+    index = StIUIndex(
+        network, archive, grid_cells_per_side=16, time_partition_seconds=900
+    )
+    processor = UTCQQueryProcessor(network, archive, index)
+    oracle = BruteForceOracle(network, trajectories)
+    return network, trajectories, archive, index, processor, oracle
+
+
+def mid_time(trajectory):
+    return (trajectory.start_time + trajectory.end_time) // 2
+
+
+class TestStIUStructure:
+    def test_temporal_tuples_cover_span(self, setup):
+        _, trajectories, _, index, _, _ = setup
+        for trajectory in trajectories:
+            entry = index.temporal_tuple_for(
+                trajectory.trajectory_id, trajectory.start_time
+            )
+            assert entry is not None
+            assert entry.start == trajectory.start_time
+            assert entry.number == 0
+
+    def test_temporal_lookup_mid_trajectory(self, setup):
+        _, trajectories, _, index, _, _ = setup
+        trajectory = max(trajectories, key=lambda t: len(t.times))
+        t = mid_time(trajectory)
+        entry = index.temporal_tuple_for(trajectory.trajectory_id, t)
+        assert entry is not None
+        assert entry.start <= t
+
+    def test_temporal_lookup_before_start(self, setup):
+        _, trajectories, _, index, _, _ = setup
+        trajectory = trajectories[0]
+        assert (
+            index.temporal_tuple_for(
+                trajectory.trajectory_id, trajectory.start_time - 10**6
+            )
+            is None
+        )
+
+    def test_spatial_tuples_exist_for_visited_regions(self, setup):
+        network, trajectories, _, index, _, _ = setup
+        trajectory = trajectories[0]
+        instance = trajectory.best_instance()
+        start = network.vertex(instance.path[0][0])
+        region = index.grid.cell_of_point(start.x, start.y)
+        interval = index.interval_of(trajectory.start_time)
+        entry = index.entries_for_trajectory(
+            interval, region, trajectory.trajectory_id
+        )
+        assert entry is not None
+        assert entry.references
+
+    def test_p_total_bounded_by_one(self, setup):
+        _, _, _, index, _, _ = setup
+        for interval_map in index.spatial.values():
+            for region_map in interval_map.values():
+                for entry in region_map.values():
+                    for reference in entry.references:
+                        assert 0.0 < reference.p_total <= 1.0 + 1e-9
+                        assert 0.0 <= reference.p_max <= reference.p_total + 1e-9
+
+    def test_index_size_positive_and_decomposes(self, setup):
+        _, _, _, index, _, _ = setup
+        assert index.temporal_size_bytes() > 0
+        assert index.spatial_size_bytes() > 0
+        assert index.size_bytes() == (
+            index.temporal_size_bytes() + index.spatial_size_bytes()
+        )
+
+    def test_finer_grid_grows_spatial_index(self, setup):
+        network, _, archive, index, _, _ = setup
+        finer = StIUIndex(
+            network,
+            archive,
+            grid_cells_per_side=64,
+            time_partition_seconds=900,
+        )
+        assert finer.spatial_size_bytes() >= index.spatial_size_bytes()
+
+
+class TestWhereQuery:
+    def test_where_matches_oracle_positions(self, setup):
+        network, trajectories, _, _, processor, oracle = setup
+        eta = 1 / 128
+        checked = 0
+        for trajectory in trajectories[:15]:
+            t = mid_time(trajectory)
+            got = processor.where(trajectory.trajectory_id, t, alpha=0.0)
+            expected = oracle.where(trajectory.trajectory_id, t, alpha=0.0)
+            report = where_accuracy(network, expected, got)
+            assert report.f1 == pytest.approx(1.0)
+            # PDDP-bounded positions: error <= eta * edge length + speed slack
+            assert report.average_difference < 25.0
+            checked += 1
+        assert checked == 15
+
+    def test_where_alpha_filters_instances(self, setup):
+        _, trajectories, _, _, processor, _ = setup
+        trajectory = max(trajectories, key=lambda t: t.instance_count)
+        t = mid_time(trajectory)
+        all_results = processor.where(trajectory.trajectory_id, t, alpha=0.0)
+        strict = processor.where(trajectory.trajectory_id, t, alpha=0.5)
+        assert len(strict) <= len(all_results)
+        assert all(r.probability >= 0.5 for r in strict)
+
+    def test_where_outside_span_is_empty(self, setup):
+        _, trajectories, _, _, processor, _ = setup
+        trajectory = trajectories[0]
+        assert processor.where(
+            trajectory.trajectory_id, trajectory.end_time + 10**5, 0.0
+        ) == []
+
+
+class TestWhenQuery:
+    def _query_location(self, network, trajectory):
+        instance = trajectory.best_instance()
+        location = instance.locations[len(instance.locations) // 2]
+        rd = location.ndist / network.edge_length(*location.edge)
+        return location.edge, min(rd, 0.999)
+
+    def test_when_matches_oracle(self, setup):
+        network, trajectories, _, _, processor, oracle = setup
+        for trajectory in trajectories[:15]:
+            edge, rd = self._query_location(network, trajectory)
+            got = processor.when(trajectory.trajectory_id, edge, rd, alpha=0.0)
+            expected = oracle.when(
+                trajectory.trajectory_id, edge, rd, alpha=0.0
+            )
+            report = when_accuracy(expected, got)
+            assert report.recall == pytest.approx(1.0)
+            if report.matched:
+                # time deviation bounded by eta-induced position error over speed
+                assert report.average_difference < 60.0
+
+    def test_when_respects_alpha(self, setup):
+        network, trajectories, _, _, processor, _ = setup
+        trajectory = max(trajectories, key=lambda t: t.instance_count)
+        edge, rd = self._query_location(network, trajectory)
+        results = processor.when(trajectory.trajectory_id, edge, rd, alpha=0.6)
+        assert all(r.probability >= 0.6 for r in results)
+
+    def test_when_unvisited_edge_is_empty(self, setup):
+        network, trajectories, _, _, processor, _ = setup
+        trajectory = trajectories[0]
+        visited = set()
+        for instance in trajectory.instances:
+            visited.update(instance.path)
+        unvisited = next(
+            e.key for e in network.edges() if e.key not in visited
+        )
+        assert processor.when(
+            trajectory.trajectory_id, unvisited, 0.5, alpha=0.0
+        ) == []
+
+
+class TestRangeQuery:
+    def _query_rect(self, network, trajectory, margin=150.0):
+        instance = trajectory.best_instance()
+        index = len(instance.locations) // 2
+        x, y = instance.locations[index].position(network)
+        return Rect(x - margin, y - margin, x + margin, y + margin)
+
+    def test_range_matches_oracle(self, setup):
+        network, trajectories, _, _, processor, oracle = setup
+        rng = random.Random(3)
+        mismatch_budget = 0
+        for trajectory in rng.sample(trajectories, 12):
+            t = mid_time(trajectory)
+            rect = self._query_rect(network, trajectory)
+            got = set(processor.range(rect, t, alpha=0.3))
+            expected = set(oracle.range(rect, t, alpha=0.3))
+            # PDDP rounding can flip borderline trajectories; nearly all
+            # decisions must agree.
+            mismatch_budget += len(got ^ expected)
+        assert mismatch_budget <= 2
+
+    def test_range_includes_known_trajectory(self, setup):
+        network, trajectories, _, _, processor, oracle = setup
+        hits = 0
+        for trajectory in trajectories[:10]:
+            t = mid_time(trajectory)
+            rect = self._query_rect(network, trajectory, margin=400.0)
+            expected = oracle.range(rect, t, alpha=0.2)
+            if trajectory.trajectory_id not in expected:
+                continue
+            got = processor.range(rect, t, alpha=0.2)
+            assert trajectory.trajectory_id in got
+            hits += 1
+        assert hits >= 5
+
+    def test_range_far_away_is_empty(self, setup):
+        network, _, _, _, processor, _ = setup
+        box = network.bounding_box()
+        far = Rect(
+            box.max_x + 10**4,
+            box.max_y + 10**4,
+            box.max_x + 10**4 + 10,
+            box.max_y + 10**4 + 10,
+        )
+        assert processor.range(far, 40000, alpha=0.1) == []
+
+    def test_lemma4_prunes_trajectories(self, setup):
+        network, trajectories, _, _, processor, _ = setup
+        processor.counters.reset()
+        trajectory = trajectories[0]
+        rect = self._query_rect(network, trajectory, margin=60.0)
+        processor.range(rect, mid_time(trajectory), alpha=0.9)
+        # at least some non-overlapping trajectories must be pruned without
+        # decompression when others share the time interval
+        interval_population = len(
+            processor.index.trajectories_in_interval(mid_time(trajectory))
+        )
+        if interval_population > 1:
+            assert processor.counters.trajectories_pruned > 0
+
+
+class TestAccuracyMetrics:
+    def test_range_accuracy_perfect(self):
+        report = range_accuracy([1, 2, 3], [1, 2, 3])
+        assert report.f1 == 1.0
+
+    def test_range_accuracy_partial(self):
+        report = range_accuracy([1, 2, 3, 4], [1, 2])
+        assert report.precision == 1.0
+        assert report.recall == 0.5
+
+    def test_empty_sets_score_one(self):
+        report = range_accuracy([], [])
+        assert report.f1 == 1.0

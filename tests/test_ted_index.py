@@ -1,0 +1,108 @@
+"""Tests for the TED-side query baseline against the oracle."""
+
+import pytest
+
+from repro.network.grid import Rect
+from repro.query import BruteForceOracle, when_accuracy, where_accuracy
+from repro.ted import TEDCompressor, TedQueryIndex
+from repro.trajectories.datasets import load_dataset
+
+
+@pytest.fixture(scope="module")
+def setup():
+    network, trajectories = load_dataset("CD", 20, seed=51, network_scale=12)
+    archive = TEDCompressor(network=network, default_interval=10).compress(
+        trajectories
+    )
+    index = TedQueryIndex(network, archive, time_partition_seconds=900)
+    oracle = BruteForceOracle(network, trajectories)
+    return network, trajectories, archive, index, oracle
+
+
+class TestTedWhere:
+    def test_matches_oracle(self, setup):
+        network, trajectories, _, index, oracle = setup
+        for trajectory in trajectories[:10]:
+            t = (trajectory.start_time + trajectory.end_time) // 2
+            got = index.where(trajectory.trajectory_id, t, alpha=0.0)
+            expected = oracle.where(trajectory.trajectory_id, t, alpha=0.0)
+            report = where_accuracy(network, expected, got)
+            assert report.f1 == pytest.approx(1.0)
+
+    def test_respects_alpha(self, setup):
+        _, trajectories, _, index, _ = setup
+        trajectory = max(trajectories, key=lambda t: t.instance_count)
+        t = (trajectory.start_time + trajectory.end_time) // 2
+        results = index.where(trajectory.trajectory_id, t, alpha=0.5)
+        assert all(r.probability >= 0.5 for r in results)
+
+    def test_outside_span_empty(self, setup):
+        _, trajectories, _, index, _ = setup
+        trajectory = trajectories[0]
+        assert index.where(
+            trajectory.trajectory_id, trajectory.end_time + 10**6, 0.0
+        ) == []
+
+
+class TestTedWhen:
+    def test_matches_oracle(self, setup):
+        network, trajectories, _, index, oracle = setup
+        for trajectory in trajectories[:10]:
+            instance = trajectory.best_instance()
+            location = instance.locations[len(instance.locations) // 2]
+            rd = min(
+                location.ndist / network.edge_length(*location.edge), 0.999
+            )
+            got = index.when(
+                trajectory.trajectory_id, location.edge, rd, alpha=0.0
+            )
+            expected = oracle.when(
+                trajectory.trajectory_id, location.edge, rd, alpha=0.0
+            )
+            report = when_accuracy(expected, got)
+            assert report.recall == pytest.approx(1.0)
+
+
+class TestTedRange:
+    def test_near_trajectory_found(self, setup):
+        network, trajectories, _, index, oracle = setup
+        hits = 0
+        for trajectory in trajectories[:10]:
+            instance = trajectory.best_instance()
+            x, y = instance.locations[0].position(network)
+            region = Rect(x - 300, y - 300, x + 300, y + 300)
+            t = trajectory.start_time
+            expected = oracle.range(region, t, alpha=0.2)
+            if trajectory.trajectory_id not in expected:
+                continue
+            got = index.range(region, t, alpha=0.2)
+            assert trajectory.trajectory_id in got
+            hits += 1
+        assert hits >= 5
+
+    def test_empty_far_away(self, setup):
+        network, _, _, index, _ = setup
+        box = network.bounding_box()
+        region = Rect(box.max_x + 9000, box.max_y + 9000, box.max_x + 9100, box.max_y + 9100)
+        assert index.range(region, 40000, alpha=0.1) == []
+
+
+class TestTedIndexStructure:
+    def test_size_positive(self, setup):
+        _, _, _, index, _ = setup
+        assert index.size_bytes() > 0
+
+    def test_partition_validation(self, setup):
+        network, _, archive, _, _ = setup
+        with pytest.raises(ValueError):
+            TedQueryIndex(network, archive, time_partition_seconds=0)
+
+    def test_candidates_cover_active_trajectories(self, setup):
+        _, trajectories, _, index, _ = setup
+        for trajectory in trajectories[:5]:
+            t = (trajectory.start_time + trajectory.end_time) // 2
+            positions = index._candidates(t)
+            ids = [
+                index.archive.trajectories[p].trajectory_id for p in positions
+            ]
+            assert trajectory.trajectory_id in ids

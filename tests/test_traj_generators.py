@@ -1,0 +1,252 @@
+"""Tests for uncertain-trajectory generation and dataset profiles."""
+
+import random
+
+import pytest
+
+from repro.network.generators import dataset_network, grid_network
+from repro.trajectories.datasets import (
+    CD,
+    DK,
+    HZ,
+    filter_min_edges,
+    filter_min_instances,
+    load_dataset,
+    profile,
+    subsample_instances,
+    truncate_trajectory,
+)
+from repro.trajectories.generators import (
+    GenerationConfig,
+    draw_count,
+    draw_deviation,
+    draw_time_sequence,
+    generate_dataset,
+    generate_uncertain_trajectory,
+    make_detour_instance,
+    make_tail_switch_instance,
+    place_locations,
+)
+from repro.trajectories.model import TrajectoryInstance
+
+
+@pytest.fixture(scope="module")
+def network():
+    return dataset_network("CD", scale=12)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return CD.generation_config()
+
+
+@pytest.fixture(scope="module")
+def trajectories(network, config):
+    return generate_dataset(network, config, 30, seed=5)
+
+
+class TestDeviations:
+    def test_deviation_keeps_interval_positive(self, config):
+        rng = random.Random(0)
+        for _ in range(500):
+            deviation = draw_deviation(config, rng)
+            assert config.default_interval + deviation >= 1
+
+    def test_dk_deviations_mostly_small(self):
+        rng = random.Random(1)
+        dk_config = DK.generation_config()
+        draws = [abs(draw_deviation(dk_config, rng)) for _ in range(2000)]
+        small = sum(1 for d in draws if d <= 1) / len(draws)
+        assert small > 0.85  # paper: 93% within 1 second
+
+    def test_hz_deviations_less_stable_than_dk(self):
+        rng = random.Random(2)
+        dk_small = sum(
+            1 for _ in range(2000)
+            if abs(draw_deviation(DK.generation_config(), rng)) <= 1
+        )
+        hz_small = sum(
+            1 for _ in range(2000)
+            if abs(draw_deviation(HZ.generation_config(), rng)) <= 1
+        )
+        assert hz_small < dk_small
+
+    def test_time_sequence_increases(self, config):
+        rng = random.Random(3)
+        times = draw_time_sequence(config, 20, rng)
+        assert len(times) == 20
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_fractions_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            GenerationConfig(
+                default_interval=10,
+                deviation_fractions=(0.5, 0.1, 0.1, 0.1, 0.1),
+                mean_instances=3,
+                max_instances=5,
+                mean_edges=10,
+                max_edges=20,
+            )
+
+
+class TestDrawCount:
+    def test_respects_bounds(self):
+        rng = random.Random(4)
+        for _ in range(200):
+            count = draw_count(5.0, 2, 10, rng)
+            assert 2 <= count <= 10
+
+    def test_mean_is_approximately_right(self):
+        rng = random.Random(5)
+        draws = [draw_count(9.0, 2, 40, rng) for _ in range(4000)]
+        assert 6.0 <= sum(draws) / len(draws) <= 12.0
+
+    def test_degenerate_range(self):
+        rng = random.Random(6)
+        assert draw_count(5.0, 3, 3, rng) == 3
+
+
+class TestPlaceLocations:
+    def test_first_and_last_edges_carry_points(self, network):
+        rng = random.Random(7)
+        from repro.network.shortest_path import random_walk_path
+
+        path = random_walk_path(network, next(network.vertex_ids()), 6, rng.choice)
+        locations, indices = place_locations(network, path, 5, rng)
+        assert indices[0] == 0
+        assert indices[-1] == len(path) - 1
+        assert len(locations) == 5
+
+    def test_locations_fit_their_edges(self, network):
+        rng = random.Random(8)
+        from repro.network.shortest_path import random_walk_path
+
+        path = random_walk_path(network, next(network.vertex_ids()), 8, rng.choice)
+        locations, _ = place_locations(network, path, 6, rng)
+        for location in locations:
+            assert 0.0 <= location.ndist <= network.edge_length(*location.edge)
+
+    def test_minimum_two_points(self, network):
+        rng = random.Random(9)
+        with pytest.raises(ValueError):
+            place_locations(network, [(0, 1)], 1, rng)
+
+
+class TestVariants:
+    def _base(self, network):
+        rng = random.Random(10)
+        from repro.network.shortest_path import random_walk_path
+
+        for _ in range(50):
+            source = rng.choice(list(network.vertex_ids()))
+            path = random_walk_path(network, source, 8, rng.choice)
+            if len(path) == 8:
+                locations, indices = place_locations(network, path, 6, rng)
+                return TrajectoryInstance(
+                    path=path,
+                    locations=locations,
+                    probability=1.0,
+                    location_edge_indices=indices,
+                )
+        pytest.skip("could not build a base path on this network")
+
+    def test_detour_produces_valid_distinct_instance(self, network):
+        base = self._base(network)
+        rng = random.Random(11)
+        for _ in range(20):
+            variant = make_detour_instance(network, base, rng)
+            if variant is not None:
+                assert variant.signature() != base.signature()
+                assert variant.point_count == base.point_count
+                assert variant.start_vertex == base.start_vertex
+                return
+        pytest.skip("network offered no detour here")
+
+    def test_tail_switch_changes_last_edge_only(self, network):
+        base = self._base(network)
+        rng = random.Random(12)
+        variant = make_tail_switch_instance(network, base, rng)
+        if variant is None:
+            pytest.skip("no alternative final edge")
+        assert variant.path[:-1] == base.path[:-1]
+        assert variant.path[-1] != base.path[-1]
+        assert variant.point_count == base.point_count
+
+
+class TestGenerateUncertain:
+    def test_generated_trajectory_is_consistent(self, network, config):
+        rng = random.Random(13)
+        trajectory = generate_uncertain_trajectory(network, config, 7, rng)
+        assert trajectory.trajectory_id == 7
+        assert trajectory.instance_count >= 1
+        probabilities = [i.probability for i in trajectory.instances]
+        assert sum(probabilities) == pytest.approx(1.0, abs=1e-6)
+        assert probabilities[0] == max(probabilities)
+
+    def test_dataset_is_reproducible(self, network, config):
+        a = generate_dataset(network, config, 5, seed=42)
+        b = generate_dataset(network, config, 5, seed=42)
+        for ta, tb in zip(a, b):
+            assert ta.times == tb.times
+            assert [i.signature() for i in ta.instances] == [
+                i.signature() for i in tb.instances
+            ]
+
+    def test_instances_are_distinct(self, trajectories):
+        for trajectory in trajectories:
+            signatures = {i.signature() for i in trajectory.instances}
+            assert len(signatures) == trajectory.instance_count
+
+
+class TestDatasets:
+    def test_profile_lookup(self):
+        assert profile("dk") is DK
+        assert profile("CD") is CD
+        with pytest.raises(ValueError):
+            profile("nope")
+
+    def test_load_dataset_smoke(self):
+        network, trajectories = load_dataset("CD", 10, seed=3, network_scale=10)
+        assert len(trajectories) == 10
+        for trajectory in trajectories:
+            for instance in trajectory.instances:
+                assert network.validate_path(instance.path)
+
+    def test_filters(self, trajectories):
+        filtered = filter_min_instances(trajectories, 3)
+        assert all(t.instance_count >= 3 for t in filtered)
+        long_ones = filter_min_edges(trajectories, 10)
+        assert all(len(t.best_instance().path) >= 10 for t in long_ones)
+
+    def test_subsample_instances(self, trajectories):
+        trajectory = max(trajectories, key=lambda t: t.instance_count)
+        if trajectory.instance_count < 2:
+            pytest.skip("no multi-instance trajectory generated")
+        reduced = subsample_instances(trajectory, 0.5, seed=1)
+        assert 1 <= reduced.instance_count <= trajectory.instance_count
+        total = sum(i.probability for i in reduced.instances)
+        assert total == pytest.approx(1.0, abs=1e-6)
+
+    def test_subsample_fraction_validation(self, trajectories):
+        with pytest.raises(ValueError):
+            subsample_instances(trajectories[0], 0.0)
+
+    def test_truncate_trajectory(self, network, trajectories):
+        trajectory = max(trajectories, key=lambda t: len(t.times))
+        truncated = truncate_trajectory(network, trajectory, 0.5)
+        assert truncated is not None
+        assert len(truncated.times) <= len(trajectory.times)
+        assert len(truncated.times) >= 2
+        total = sum(i.probability for i in truncated.instances)
+        assert total == pytest.approx(1.0, abs=1e-6)
+
+    def test_truncate_full_fraction_is_identity(self, network, trajectories):
+        trajectory = trajectories[0]
+        assert truncate_trajectory(network, trajectory, 1.0) is trajectory
+
+    def test_hz_has_more_instances_than_cd(self):
+        _, cd = load_dataset("CD", 40, seed=9, network_scale=12)
+        _, hz = load_dataset("HZ", 40, seed=9, network_scale=12)
+        cd_mean = sum(t.instance_count for t in cd) / len(cd)
+        hz_mean = sum(t.instance_count for t in hz) / len(hz)
+        assert hz_mean > cd_mean

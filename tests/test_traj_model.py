@@ -1,0 +1,230 @@
+"""Tests for the trajectory data model (Definitions 2-5)."""
+
+import pytest
+
+from repro.network.generators import grid_network
+from repro.trajectories.model import (
+    MappedLocation,
+    RawPoint,
+    RawTrajectory,
+    TrajectoryInstance,
+    UncertainTrajectory,
+)
+
+
+@pytest.fixture(scope="module")
+def network():
+    return grid_network(4, 4, spacing=100.0)
+
+
+def make_instance(path, locations, probability=1.0):
+    return TrajectoryInstance(
+        path=path, locations=locations, probability=probability
+    )
+
+
+@pytest.fixture
+def simple_instance(network):
+    # path 0 -> 1 -> 2 -> 6 with points on first, second, and last edges
+    path = [(0, 1), (1, 2), (2, 6)]
+    locations = [
+        MappedLocation((0, 1), 25.0),
+        MappedLocation((1, 2), 50.0),
+        MappedLocation((2, 6), 75.0),
+    ]
+    return make_instance(path, locations)
+
+
+class TestRawTrajectory:
+    def test_times_must_increase(self):
+        with pytest.raises(ValueError):
+            RawTrajectory((RawPoint(0, 0, 10), RawPoint(1, 1, 10)))
+
+    def test_iteration_and_length(self):
+        raw = RawTrajectory((RawPoint(0, 0, 0), RawPoint(1, 0, 5)))
+        assert len(raw) == 2
+        assert raw.times == (0, 5)
+        assert [p.x for p in raw] == [0, 1]
+
+
+class TestMappedLocation:
+    def test_relative_distance(self, network):
+        location = MappedLocation((0, 1), 25.0)
+        assert location.relative_distance(network) == pytest.approx(0.25)
+
+    def test_relative_distance_at_edge_end_stays_below_one(self, network):
+        location = MappedLocation((0, 1), 100.0)
+        assert location.relative_distance(network) < 1.0
+
+    def test_relative_distance_out_of_range(self, network):
+        location = MappedLocation((0, 1), 150.0)
+        with pytest.raises(ValueError):
+            location.relative_distance(network)
+
+    def test_position_interpolates(self, network):
+        location = MappedLocation((0, 1), 50.0)
+        x, y = location.position(network)
+        assert (x, y) == pytest.approx((50.0, 0.0))
+
+
+class TestTrajectoryInstance:
+    def test_valid_instance(self, simple_instance):
+        assert simple_instance.start_vertex == 0
+        assert simple_instance.point_count == 3
+        assert simple_instance.points_per_edge() == [1, 1, 1]
+
+    def test_multiple_points_per_edge(self, network):
+        path = [(0, 1), (1, 2)]
+        locations = [
+            MappedLocation((0, 1), 10.0),
+            MappedLocation((0, 1), 60.0),
+            MappedLocation((1, 2), 90.0),
+        ]
+        instance = make_instance(path, locations)
+        assert instance.points_per_edge() == [2, 1]
+        assert instance.location_edge_indices == [0, 0, 1]
+
+    def test_edge_without_point_in_middle(self, network):
+        path = [(0, 1), (1, 2), (2, 6)]
+        locations = [MappedLocation((0, 1), 10.0), MappedLocation((2, 6), 5.0)]
+        instance = make_instance(path, locations)
+        assert instance.points_per_edge() == [1, 0, 1]
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(ValueError):
+            make_instance([], [MappedLocation((0, 1), 0.0)])
+
+    def test_empty_locations_rejected(self):
+        with pytest.raises(ValueError):
+            make_instance([(0, 1)], [])
+
+    def test_probability_bounds(self, network):
+        path = [(0, 1)]
+        locations = [MappedLocation((0, 1), 1.0), MappedLocation((0, 1), 2.0)]
+        with pytest.raises(ValueError):
+            make_instance(path, locations, probability=0.0)
+        with pytest.raises(ValueError):
+            make_instance(path, locations, probability=1.5)
+
+    def test_disconnected_path_rejected(self):
+        path = [(0, 1), (2, 6)]
+        locations = [MappedLocation((0, 1), 0.0), MappedLocation((2, 6), 0.0)]
+        with pytest.raises(ValueError):
+            make_instance(path, locations)
+
+    def test_first_edge_must_have_point(self):
+        path = [(0, 1), (1, 2)]
+        locations = [MappedLocation((1, 2), 1.0), MappedLocation((1, 2), 2.0)]
+        with pytest.raises(ValueError):
+            make_instance(path, locations)
+
+    def test_last_edge_must_have_point(self):
+        path = [(0, 1), (1, 2)]
+        locations = [MappedLocation((0, 1), 1.0), MappedLocation((0, 1), 2.0)]
+        with pytest.raises(ValueError):
+            make_instance(path, locations)
+
+    def test_location_not_on_path_rejected(self):
+        path = [(0, 1), (1, 2)]
+        locations = [MappedLocation((0, 1), 1.0), MappedLocation((4, 5), 2.0)]
+        with pytest.raises(ValueError):
+            make_instance(path, locations)
+
+    def test_locations_must_advance_monotonically(self):
+        path = [(0, 1), (1, 2)]
+        # second location back on the first edge after one on the second
+        locations = [
+            MappedLocation((0, 1), 1.0),
+            MappedLocation((1, 2), 2.0),
+            MappedLocation((0, 1), 3.0),
+        ]
+        with pytest.raises(ValueError):
+            make_instance(path, locations)
+
+    def test_ndist_order_within_edge_enforced(self):
+        path = [(0, 1)]
+        locations = [MappedLocation((0, 1), 5.0), MappedLocation((0, 1), 2.0)]
+        with pytest.raises(ValueError):
+            make_instance(path, locations)
+
+    def test_relative_distances(self, network, simple_instance):
+        rds = simple_instance.relative_distances(network)
+        assert rds == pytest.approx([0.25, 0.5, 0.75])
+
+    def test_signature_distinguishes_paths(self, network, simple_instance):
+        other = make_instance(
+            [(0, 1), (1, 5), (5, 6)],
+            [
+                MappedLocation((0, 1), 25.0),
+                MappedLocation((1, 5), 50.0),
+                MappedLocation((5, 6), 75.0),
+            ],
+        )
+        assert other.signature() != simple_instance.signature()
+
+    def test_revisiting_an_edge_is_allowed(self, network):
+        # 0 -> 1 -> 0 -> 1: legal u-turny path
+        path = [(0, 1), (1, 0), (0, 1)]
+        locations = [MappedLocation((0, 1), 10.0), MappedLocation((0, 1), 20.0)]
+        instance = TrajectoryInstance(
+            path=path,
+            locations=locations,
+            probability=1.0,
+            location_edge_indices=[0, 2],
+        )
+        assert instance.points_per_edge() == [1, 0, 1]
+
+
+class TestUncertainTrajectory:
+    def _two_instances(self):
+        path_a = [(0, 1), (1, 2)]
+        locs_a = [MappedLocation((0, 1), 10.0), MappedLocation((1, 2), 10.0)]
+        path_b = [(0, 1), (1, 5)]
+        locs_b = [MappedLocation((0, 1), 10.0), MappedLocation((1, 5), 10.0)]
+        return (
+            make_instance(path_a, locs_a, probability=0.75),
+            make_instance(path_b, locs_b, probability=0.25),
+        )
+
+    def test_valid_uncertain_trajectory(self):
+        a, b = self._two_instances()
+        trajectory = UncertainTrajectory(0, [a, b], [100, 200])
+        assert trajectory.instance_count == 2
+        assert trajectory.start_time == 100
+        assert trajectory.end_time == 200
+        assert trajectory.best_instance() is a
+
+    def test_probabilities_must_sum_to_one(self):
+        a, b = self._two_instances()
+        b.probability = 0.1
+        with pytest.raises(ValueError):
+            UncertainTrajectory(0, [a, b], [100, 200])
+
+    def test_time_count_must_match_locations(self):
+        a, b = self._two_instances()
+        with pytest.raises(ValueError):
+            UncertainTrajectory(0, [a, b], [100, 200, 300])
+
+    def test_times_must_increase(self):
+        a, b = self._two_instances()
+        with pytest.raises(ValueError):
+            UncertainTrajectory(0, [a, b], [200, 100])
+
+    def test_needs_instances(self):
+        with pytest.raises(ValueError):
+            UncertainTrajectory(0, [], [100, 200])
+
+    def test_renormalized_subset(self):
+        a, b = self._two_instances()
+        trajectory = UncertainTrajectory(0, [a, b], [100, 200])
+        reduced = trajectory.renormalized([a])
+        assert reduced.instance_count == 1
+        assert reduced.instances[0].probability == pytest.approx(1.0)
+        # the original instance is untouched
+        assert a.probability == 0.75
+
+    def test_renormalized_empty_rejected(self):
+        a, b = self._two_instances()
+        trajectory = UncertainTrajectory(0, [a, b], [100, 200])
+        with pytest.raises(ValueError):
+            trajectory.renormalized([])

@@ -1,0 +1,132 @@
+"""Tests for the Fig. 4 statistics helpers and edit distance."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.trajectories.datasets import load_dataset, profile
+from repro.trajectories.edit_distance import (
+    edit_distance,
+    normalized_edit_distance,
+)
+from repro.trajectories.stats import (
+    between_trajectory_similarity,
+    dataset_summary,
+    interval_statistics,
+    within_trajectory_similarity,
+)
+
+
+class TestEditDistance:
+    def test_identical(self):
+        assert edit_distance([1, 2, 3], [1, 2, 3]) == 0
+
+    def test_substitution(self):
+        assert edit_distance([1, 2, 3], [1, 9, 3]) == 1
+
+    def test_insertion_deletion(self):
+        assert edit_distance([1, 2, 3], [1, 2, 3, 4]) == 1
+        assert edit_distance([1, 2, 3, 4], [1, 3, 4]) == 1
+
+    def test_empty_sequences(self):
+        assert edit_distance([], []) == 0
+        assert edit_distance([1, 2], []) == 2
+
+    def test_upper_bound_early_exit(self):
+        a = list(range(50))
+        b = list(range(50, 100))
+        assert edit_distance(a, b, upper_bound=5) > 5
+
+    def test_upper_bound_length_gap(self):
+        assert edit_distance([1], [1] * 30, upper_bound=3) > 3
+
+    def test_normalized(self):
+        assert normalized_edit_distance([1, 2], [3, 4]) == 1.0
+        assert normalized_edit_distance([], []) == 0.0
+        assert 0 < normalized_edit_distance([1, 2, 3, 4], [1, 2, 3, 9]) < 1
+
+    @given(
+        st.lists(st.integers(0, 5), max_size=15),
+        st.lists(st.integers(0, 5), max_size=15),
+    )
+    def test_property_symmetry(self, a, b):
+        assert edit_distance(a, b) == edit_distance(b, a)
+
+    @given(
+        st.lists(st.integers(0, 5), max_size=12),
+        st.lists(st.integers(0, 5), max_size=12),
+    )
+    def test_property_bounds(self, a, b):
+        distance = edit_distance(a, b)
+        assert abs(len(a) - len(b)) <= distance <= max(len(a), len(b))
+
+    @given(st.lists(st.integers(0, 5), max_size=15))
+    def test_property_identity(self, a):
+        assert edit_distance(a, a) == 0
+
+
+@pytest.fixture(scope="module")
+def cd():
+    return load_dataset("CD", 40, seed=61, network_scale=12)
+
+
+class TestIntervalStatistics:
+    def test_fractions_sum_to_one(self, cd):
+        _, trajectories = cd
+        stats = interval_statistics(trajectories, profile("CD").default_interval)
+        assert sum(stats.fractions.values()) == pytest.approx(1.0)
+
+    def test_change_rate_positive(self, cd):
+        _, trajectories = cd
+        stats = interval_statistics(trajectories, 10)
+        assert stats.change_every >= 1.0
+
+    def test_dk_more_stable_than_hz(self):
+        _, dk = load_dataset("DK", 40, seed=61, network_scale=12)
+        _, hz = load_dataset("HZ", 40, seed=61, network_scale=12)
+        dk_stats = interval_statistics(dk, 1)
+        hz_stats = interval_statistics(hz, 20)
+        assert dk_stats.within_one_second > hz_stats.within_one_second
+
+    def test_empty_dataset(self):
+        stats = interval_statistics([], 10)
+        assert stats.change_every == 0.0
+
+
+class TestSimilarityStatistics:
+    def test_within_buckets_sum_to_one(self, cd):
+        _, trajectories = cd
+        multi = [t for t in trajectories if t.instance_count > 1]
+        buckets = within_trajectory_similarity(multi)
+        assert sum(buckets.values()) == pytest.approx(1.0)
+
+    def test_within_distances_small(self, cd):
+        _, trajectories = cd
+        multi = [t for t in trajectories if t.instance_count > 1]
+        buckets = within_trajectory_similarity(multi)
+        assert buckets["[0,2]"] + buckets["[3,5]"] > 0.6
+
+    def test_between_skews_larger_than_within(self, cd):
+        _, trajectories = cd
+        within = within_trajectory_similarity(trajectories)
+        between = between_trajectory_similarity(trajectories, sample_pairs=200)
+        assert between[">=9"] > within[">=9"]
+
+    def test_between_single_trajectory(self, cd):
+        _, trajectories = cd
+        buckets = between_trajectory_similarity(trajectories[:1])
+        assert all(v == 0.0 for v in buckets.values())
+
+
+class TestDatasetSummary:
+    def test_summary_fields(self, cd):
+        _, trajectories = cd
+        summary = dataset_summary(trajectories)
+        assert summary["trajectories"] == 40
+        assert summary["avg_instances"] >= 1
+        assert summary["max_instances"] >= summary["avg_instances"]
+        assert summary["avg_edges"] >= 2
+
+    def test_empty_summary(self):
+        summary = dataset_summary([])
+        assert summary["trajectories"] == 0

@@ -1,0 +1,118 @@
+"""Tests for the experiment harness and reporting."""
+
+import pytest
+
+from repro.query import StIUIndex, UTCQQueryProcessor
+from repro.ted import TedQueryIndex
+from repro.trajectories.datasets import load_dataset, profile
+from repro.workloads.harness import (
+    build_query_workload,
+    run_ted_compression,
+    run_utcq_compression,
+    time_ted_queries,
+    time_utcq_queries,
+)
+from repro.workloads.reporting import ExperimentLog, format_value, render_table
+
+
+@pytest.fixture(scope="module")
+def cd():
+    return load_dataset("CD", 15, seed=71, network_scale=12)
+
+
+class TestHarnessRuns:
+    def test_utcq_run_measures(self, cd):
+        network, trajectories = cd
+        run = run_utcq_compression(network, trajectories, profile("CD"))
+        assert run.method == "UTCQ"
+        assert run.seconds > 0
+        assert run.peak_memory_bytes > 0
+        assert run.stats.total_ratio > 1.0
+        assert run.archive is not None
+
+    def test_ted_run_measures(self, cd):
+        network, trajectories = cd
+        run = run_ted_compression(network, trajectories, profile("CD"))
+        assert run.method == "TED"
+        assert run.stats.total_ratio > 1.0
+        assert run.ratio_row()["T'"] == pytest.approx(1.0)
+
+    def test_eta_overrides(self, cd):
+        network, trajectories = cd
+        coarse = run_utcq_compression(
+            network, trajectories, profile("CD"), eta_distance=1 / 8
+        )
+        fine = run_utcq_compression(
+            network, trajectories, profile("CD"), eta_distance=1 / 128
+        )
+        assert coarse.stats.distance_ratio > fine.stats.distance_ratio
+
+
+class TestQueryWorkload:
+    def test_workload_shapes(self, cd):
+        network, trajectories = cd
+        workload = build_query_workload(network, trajectories, count=10)
+        assert len(workload.where_queries) == 10
+        assert len(workload.when_queries) == 10
+        assert len(workload.range_queries) == 10
+        for trajectory_id, t, alpha in workload.where_queries:
+            trajectory = next(
+                x for x in trajectories if x.trajectory_id == trajectory_id
+            )
+            assert trajectory.start_time <= t <= trajectory.end_time
+
+    def test_workload_reproducible(self, cd):
+        network, trajectories = cd
+        a = build_query_workload(network, trajectories, count=5, seed=1)
+        b = build_query_workload(network, trajectories, count=5, seed=1)
+        assert a.where_queries == b.where_queries
+        assert a.when_queries == b.when_queries
+
+    def test_timings_run_both_engines(self, cd):
+        network, trajectories = cd
+        prof = profile("CD")
+        utcq = run_utcq_compression(network, trajectories, prof)
+        ted = run_ted_compression(network, trajectories, prof)
+        workload = build_query_workload(network, trajectories, count=5)
+        index = StIUIndex(network, utcq.archive, grid_cells_per_side=16)
+        processor = UTCQQueryProcessor(network, utcq.archive, index)
+        utcq_times = time_utcq_queries(processor, workload)
+        ted_times = time_ted_queries(
+            TedQueryIndex(network, ted.archive), workload
+        )
+        for timings in (utcq_times, ted_times):
+            assert timings.where_ms >= 0
+            assert timings.when_ms >= 0
+            assert timings.range_ms >= 0
+
+
+class TestReporting:
+    def test_format_value(self):
+        assert format_value(3.14159) == "3.142"
+        assert format_value(31.4159) == "31.42"
+        assert format_value(31415.9) == "31,416"
+        assert format_value(float("inf")) == "inf"
+        assert format_value("abc") == "abc"
+        assert format_value(7) == "7"
+
+    def test_render_table_alignment(self):
+        table = render_table(
+            "Title", ["a", "bb"], [[1, 2.5], [10, 0.25]]
+        )
+        lines = table.splitlines()
+        assert lines[0] == "Title"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_render_empty_table(self):
+        table = render_table("T", ["x"], [])
+        assert "x" in table
+
+    def test_experiment_log(self):
+        log = ExperimentLog()
+        log.record("One", ["h"], [[1]])
+        log.record("Two", ["h"], [[2]])
+        dump = log.dump()
+        assert "One" in dump and "Two" in dump
+        log.clear()
+        assert log.dump() == ""
