@@ -1,0 +1,83 @@
+"""Persist an archive to disk and query it without loading it back.
+
+Compresses a Chengdu-profile dataset across all cores (byte-identical
+to a serial run), writes the versioned ``.utcq`` on-disk format, then
+reopens the file lazily and answers where/when queries straight off
+disk — only the touched trajectory records are ever decoded.
+
+Run:  python examples/persist_and_query.py
+"""
+
+import os
+import tempfile
+
+from repro import (
+    FileBackedArchive,
+    StIUIndex,
+    UTCQQueryProcessor,
+    compress_parallel,
+    load_dataset,
+)
+
+
+def main() -> None:
+    # 1. dataset + multi-core compression
+    network, trajectories = load_dataset("CD", trajectory_count=100, seed=42)
+    archive, report = compress_parallel(
+        network, trajectories, default_interval=10
+    )
+    print(
+        f"compressed {report.trajectory_count} trajectories "
+        f"({report.instance_count} instances) in "
+        f"{report.elapsed_seconds:.2f}s with {report.workers} workers "
+        f"({report.trajectories_per_second:.0f} traj/s)"
+    )
+
+    # 2. persist to the .utcq format
+    path = os.path.join(tempfile.mkdtemp(), "cd.utcq")
+    size = archive.save(path, provenance={"example": "persist_and_query"})
+    print(
+        f"wrote {path}: {size} bytes on disk "
+        f"({archive.compressed_bytes} payload bytes, "
+        f"ratio {archive.stats.total_ratio:.2f})"
+    )
+
+    # 3. reopen lazily: the StIU index streams trajectories through a
+    #    bounded LRU; queries decode only what they touch
+    with FileBackedArchive.open(path, cache_size=8) as on_disk:
+        index = StIUIndex(network, on_disk, grid_cells_per_side=32)
+        queries = UTCQQueryProcessor(network, on_disk, index)
+
+        target = trajectories[0]
+        t = (target.start_time + target.end_time) // 2
+        print(f"\nwhere was trajectory {target.trajectory_id} at t={t}?")
+        located = queries.where(target.trajectory_id, t, alpha=0.2)
+        for result in located:
+            print(
+                f"  instance {result.instance_index}: edge "
+                f"{result.edge[0]} -> {result.edge[1]} at "
+                f"{result.ndist:.1f} m (p={result.probability:.3f})"
+            )
+
+        if located:
+            edge = located[0].edge
+            print(f"when did it pass the middle of edge {edge}?")
+            for result in queries.when(
+                target.trajectory_id, edge, 0.5, alpha=0.2
+            ):
+                print(
+                    f"  instance {result.instance_index}: t={result.time:.1f}s "
+                    f"(p={result.probability:.3f})"
+                )
+
+        print(
+            f"\nresident trajectories after querying: "
+            f"{on_disk.cached_trajectory_count()} of "
+            f"{on_disk.trajectory_count} (lazy loading works)"
+        )
+
+    os.remove(path)
+
+
+if __name__ == "__main__":
+    main()

@@ -19,6 +19,21 @@ Quickstart::
     queries = UTCQQueryProcessor(network, archive, index)
     results = queries.where(trajectories[0].trajectory_id,
                             trajectories[0].times[1], alpha=0.2)
+
+Persistence and scale-out::
+
+    from repro import FileBackedArchive, compress_parallel
+
+    archive, report = compress_parallel(
+        network, trajectories, default_interval=10, workers=4
+    )  # byte-identical to the serial archive
+    archive.save("cd.utcq")
+    with FileBackedArchive.open("cd.utcq") as on_disk:
+        index = StIUIndex(network, on_disk)   # lazy per-trajectory loads
+        queries = UTCQQueryProcessor(network, on_disk, index)
+
+The same operations are exposed on the command line as
+``python -m repro compress | info | decompress | query``.
 """
 
 from .core import (
@@ -43,6 +58,8 @@ from .query import (
     StIUIndex,
     UTCQQueryProcessor,
 )
+from .io import FileBackedArchive, read_archive, write_archive
+from .pipeline import BatchReport, compress_parallel
 from .ted import TEDCompressor, TedArchive, TedQueryIndex
 from .trajectories import (
     MappedLocation,
@@ -53,7 +70,7 @@ from .trajectories import (
 )
 from .mapmatching import MatcherConfig, ProbabilisticMapMatcher
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CompressedArchive",
@@ -72,6 +89,11 @@ __all__ = [
     "BruteForceOracle",
     "StIUIndex",
     "UTCQQueryProcessor",
+    "FileBackedArchive",
+    "read_archive",
+    "write_archive",
+    "BatchReport",
+    "compress_parallel",
     "TEDCompressor",
     "TedArchive",
     "TedQueryIndex",

@@ -1,0 +1,549 @@
+"""``python -m repro`` — compress, inspect, decompress, and query archives.
+
+Subcommands::
+
+    compress    generate a profile dataset and write a .utcq archive
+                (multi-core via --workers; byte-identical to serial)
+    info        print header, params, ratios, and provenance of a file
+    decompress  decode an archive back to JSON lines
+    query       where / when / range queries over a file-backed archive
+
+``query`` and ``decompress`` need the road network the archive was
+compressed against.  ``compress`` records the generating profile, seed,
+and scale in the file's provenance block, and the other commands rebuild
+the identical synthetic network from it; archives produced through the
+library API can pass ``--profile/--dataset-seed/--network-scale``
+explicitly instead.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from . import __version__
+from .io.format import ArchiveFormatError, read_header
+from .io.reader import FileBackedArchive
+
+PROVENANCE_GENERATOR = "repro.load_dataset"
+
+
+def _add_dataset_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--profile",
+        choices=("DK", "CD", "HZ"),
+        help="dataset profile (overrides the archive's provenance)",
+    )
+    parser.add_argument(
+        "--dataset-seed",
+        type=int,
+        help="generation seed (overrides the archive's provenance)",
+    )
+    parser.add_argument(
+        "--network-scale",
+        type=int,
+        help="network grid scale (overrides the archive's provenance)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "UTCQ: compression and querying of uncertain trajectories "
+            "in road networks"
+        ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    compress = commands.add_parser(
+        "compress",
+        help="generate a dataset and compress it to a .utcq archive",
+    )
+    compress.add_argument("output", help="path of the archive to write")
+    compress.add_argument(
+        "--profile", choices=("DK", "CD", "HZ"), default="CD",
+        help="dataset profile to generate (default: CD)",
+    )
+    compress.add_argument(
+        "--count", type=int, default=200,
+        help="number of uncertain trajectories (default: 200)",
+    )
+    compress.add_argument(
+        "--dataset-seed", type=int, default=11,
+        help="generation seed for network + trajectories (default: 11)",
+    )
+    compress.add_argument(
+        "--network-scale", type=int, default=None,
+        help="network grid scale (default: the profile's)",
+    )
+    compress.add_argument(
+        "--workers", type=int, default=1,
+        help="compression worker processes (default: 1 = serial; "
+        "0 = one per core)",
+    )
+    compress.add_argument(
+        "--shard-size", type=int, default=None,
+        help="trajectories per work shard (default: auto)",
+    )
+    compress.add_argument(
+        "--eta-distance", type=float, default=None,
+        help="PDDP distance error bound (default: 1/128)",
+    )
+    compress.add_argument(
+        "--eta-probability", type=float, default=None,
+        help="PDDP probability error bound (default: the profile's)",
+    )
+    compress.add_argument(
+        "--pivot-count", type=int, default=1,
+        help="reference-selection pivot budget (default: 1)",
+    )
+    compress.add_argument(
+        "--compressor-seed", type=int, default=17,
+        help="seed for randomized pivot selection (default: 17)",
+    )
+    compress.add_argument(
+        "--quiet", action="store_true", help="suppress progress output"
+    )
+
+    info = commands.add_parser(
+        "info", help="print header, params, and ratios of an archive"
+    )
+    info.add_argument("archive", help="path of a .utcq archive")
+    info.add_argument(
+        "--check", action="store_true",
+        help="additionally verify every record's CRC-32",
+    )
+    info.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+
+    decompress = commands.add_parser(
+        "decompress", help="decode an archive back to JSON lines"
+    )
+    decompress.add_argument("archive", help="path of a .utcq archive")
+    decompress.add_argument(
+        "-o", "--output", default="-",
+        help="output file (default: '-' = stdout)",
+    )
+    decompress.add_argument(
+        "--limit", type=int, default=None,
+        help="decode at most this many trajectories",
+    )
+    _add_dataset_arguments(decompress)
+
+    query = commands.add_parser(
+        "query", help="run a probabilistic query over an archive file"
+    )
+    kinds = query.add_subparsers(dest="kind", required=True)
+
+    where = kinds.add_parser(
+        "where", help="where was a trajectory at time t? (Definition 10)"
+    )
+    where.add_argument("archive")
+    where.add_argument("--trajectory", type=int, required=True)
+    where.add_argument("--time", type=int, required=True)
+    where.add_argument("--alpha", type=float, default=0.2)
+    where.add_argument("--json", action="store_true")
+    _add_dataset_arguments(where)
+
+    when = kinds.add_parser(
+        "when", help="when did a trajectory pass a location? (Definition 11)"
+    )
+    when.add_argument("archive")
+    when.add_argument("--trajectory", type=int, required=True)
+    when.add_argument(
+        "--edge", required=True, metavar="START,END",
+        help="edge as 'start_vertex,end_vertex'",
+    )
+    when.add_argument(
+        "--rd", type=float, default=0.5,
+        help="relative distance along the edge in [0, 1] (default: 0.5)",
+    )
+    when.add_argument("--alpha", type=float, default=0.2)
+    when.add_argument("--json", action="store_true")
+    _add_dataset_arguments(when)
+
+    range_ = kinds.add_parser(
+        "range", help="which trajectories overlap a region at t? (Def. 12)"
+    )
+    range_.add_argument("archive")
+    range_.add_argument(
+        "--rect", required=True, metavar="MINX,MINY,MAXX,MAXY",
+        help="query rectangle in network coordinates (use --rect=... "
+        "when the first coordinate is negative)",
+    )
+    range_.add_argument("--time", type=int, required=True)
+    range_.add_argument("--alpha", type=float, default=0.2)
+    range_.add_argument("--json", action="store_true")
+    _add_dataset_arguments(range_)
+
+    return parser
+
+
+# ----------------------------------------------------------------------
+# helpers
+# ----------------------------------------------------------------------
+def _network_from_provenance(archive: FileBackedArchive, args):
+    """Rebuild the road network an archive was compressed against."""
+    from .network.generators import dataset_network
+    from .trajectories.datasets import profile as dataset_profile
+
+    provenance = archive.provenance
+    profile_name = args.profile or provenance.get("profile")
+    seed = (
+        args.dataset_seed
+        if args.dataset_seed is not None
+        else _int_or_none(provenance.get("dataset_seed"))
+    )
+    scale = (
+        args.network_scale
+        if args.network_scale is not None
+        else _int_or_none(provenance.get("network_scale"))
+    )
+    if profile_name is None or seed is None:
+        raise SystemExit(
+            "error: the archive carries no dataset provenance; pass "
+            "--profile and --dataset-seed (and --network-scale) explicitly"
+        )
+    if scale is None:
+        scale = dataset_profile(profile_name).network_scale
+    return dataset_network(profile_name, scale=scale, seed=seed)
+
+
+def _int_or_none(text: str | None) -> int | None:
+    return None if text is None else int(text)
+
+
+def _parse_pair(text: str, what: str) -> tuple[int, int]:
+    parts = text.split(",")
+    if len(parts) != 2:
+        raise SystemExit(f"error: {what} must be 'a,b', got {text!r}")
+    return int(parts[0]), int(parts[1])
+
+
+def _open_archive(path: str) -> FileBackedArchive:
+    try:
+        return FileBackedArchive.open(path)
+    except FileNotFoundError:
+        raise SystemExit(f"error: no such archive: {path}")
+    except ArchiveFormatError as error:
+        raise SystemExit(f"error: {path}: {error}")
+
+
+# ----------------------------------------------------------------------
+# subcommands
+# ----------------------------------------------------------------------
+def cmd_compress(args) -> int:
+    import os
+
+    from .pipeline.batch import compress_parallel, default_worker_count
+    from .trajectories.datasets import load_dataset, profile as dataset_profile
+
+    # fail before compressing, not after
+    parent = os.path.dirname(os.path.abspath(args.output)) or "."
+    if not os.path.isdir(parent):
+        raise SystemExit(f"error: output directory does not exist: {parent}")
+
+    prof = dataset_profile(args.profile)
+    scale = (
+        args.network_scale
+        if args.network_scale is not None
+        else prof.network_scale
+    )
+    network, trajectories = load_dataset(
+        args.profile,
+        args.count,
+        seed=args.dataset_seed,
+        network_scale=scale,
+    )
+    workers = default_worker_count() if args.workers == 0 else args.workers
+
+    def progress(done: int, total: int) -> None:
+        print(f"\rcompressing {done}/{total} trajectories", end="", flush=True)
+
+    archive, report = compress_parallel(
+        network,
+        trajectories,
+        default_interval=prof.default_interval,
+        workers=workers,
+        shard_size=args.shard_size,
+        progress=None if args.quiet else progress,
+        eta_distance=(
+            args.eta_distance if args.eta_distance is not None else 1 / 128
+        ),
+        eta_probability=(
+            args.eta_probability
+            if args.eta_probability is not None
+            else prof.default_eta_probability
+        ),
+        pivot_count=args.pivot_count,
+        seed=args.compressor_seed,
+    )
+    if not args.quiet:
+        print()
+    size = archive.save(
+        args.output,
+        provenance={
+            "generator": PROVENANCE_GENERATOR,
+            "profile": prof.name,
+            "dataset_seed": str(args.dataset_seed),
+            "network_scale": str(scale),
+            "trajectory_count": str(args.count),
+        },
+    )
+    if not args.quiet:
+        row = archive.stats.as_row()
+        ratios = ", ".join(f"{key} {value:.2f}" for key, value in row.items())
+        print(
+            f"wrote {args.output}: {size} bytes on disk, "
+            f"{report.trajectory_count} trajectories / "
+            f"{report.instance_count} instances in "
+            f"{report.elapsed_seconds:.2f}s "
+            f"({report.workers} worker{'s' if report.workers != 1 else ''})"
+        )
+        print(f"compression ratios — {ratios}")
+    return 0
+
+
+def cmd_info(args) -> int:
+    import os
+
+    try:
+        stream = open(args.archive, "rb")
+    except FileNotFoundError:
+        raise SystemExit(f"error: no such archive: {args.archive}")
+    checked = False
+    with stream:
+        try:
+            header = read_header(stream)
+            if args.check:
+                # reuse the open stream + parsed header for the CRC walk
+                archive = FileBackedArchive(stream, header, cache_size=1)
+                for trajectory_id in archive.trajectory_ids():
+                    archive.trajectory(trajectory_id)  # raises on mismatch
+                checked = True
+        except ArchiveFormatError as error:
+            raise SystemExit(f"error: {args.archive}: {error}")
+
+    stats = header.stats
+    if args.json:
+        import math
+
+        # a component ratio is inf when its compressed size is 0 bits;
+        # emit null rather than the non-standard `Infinity` token
+        ratios = {
+            key: (value if math.isfinite(value) else None)
+            for key, value in stats.as_row().items()
+        }
+        document = {
+            "path": args.archive,
+            "file_bytes": os.path.getsize(args.archive),
+            "format_version": header.version,
+            "trajectory_count": header.trajectory_count,
+            "instance_count": header.instance_count,
+            "params": {
+                "eta_distance": header.params.eta_distance,
+                "eta_probability": header.params.eta_probability,
+                "default_interval": header.params.default_interval,
+                "symbol_width": header.params.symbol_width,
+                "t0_bits": header.params.t0_bits,
+                "pivot_count": header.params.pivot_count,
+            },
+            "ratios": ratios,
+            "original_bits": stats.original.total,
+            "compressed_bits": stats.compressed.total,
+            "provenance": header.provenance,
+            "crc_checked": checked,
+        }
+        print(json.dumps(document, indent=2, sort_keys=True))
+        return 0
+
+    print(f"{args.archive}: UTCQ archive, format v{header.version}")
+    print(
+        f"  trajectories {header.trajectory_count}, "
+        f"instances {header.instance_count}, "
+        f"{os.path.getsize(args.archive)} bytes on disk"
+    )
+    print(
+        f"  params: eta_d={header.params.eta_distance:g} "
+        f"eta_p={header.params.eta_probability:g} "
+        f"Ts={header.params.default_interval}s "
+        f"symbol_width={header.params.symbol_width} "
+        f"t0_bits={header.params.t0_bits} "
+        f"pivots={header.params.pivot_count}"
+    )
+    row = stats.as_row()
+    print(
+        "  ratios: "
+        + ", ".join(f"{key} {value:.2f}" for key, value in row.items())
+    )
+    print(
+        f"  payload: {stats.original.total} bits -> "
+        f"{stats.compressed.total} bits"
+    )
+    if header.provenance:
+        pairs = ", ".join(
+            f"{key}={value}" for key, value in sorted(header.provenance.items())
+        )
+        print(f"  provenance: {pairs}")
+    if checked:
+        print("  integrity: all record CRCs OK")
+    return 0
+
+
+def cmd_decompress(args) -> int:
+    from .core.decoder import decode_trajectory
+
+    with _open_archive(args.archive) as archive:
+        network = _network_from_provenance(archive, args)
+        out = sys.stdout if args.output == "-" else open(args.output, "w")
+        try:
+            for position, trajectory_id in enumerate(archive.trajectory_ids()):
+                if args.limit is not None and position >= args.limit:
+                    break
+                compressed = archive.trajectory(trajectory_id)
+                decoded = decode_trajectory(
+                    network, compressed, archive.params
+                )
+                record = {
+                    "trajectory_id": decoded.trajectory_id,
+                    "times": list(decoded.times),
+                    "instances": [
+                        {
+                            "probability": instance.probability,
+                            "path": [list(edge) for edge in instance.path],
+                            "locations": [
+                                {
+                                    "edge": list(location.edge),
+                                    "ndist": location.ndist,
+                                }
+                                for location in instance.locations
+                            ],
+                        }
+                        for instance in decoded.instances
+                    ],
+                }
+                out.write(json.dumps(record) + "\n")
+        finally:
+            if out is not sys.stdout:
+                out.close()
+    return 0
+
+
+def _query_processor(archive: FileBackedArchive, args):
+    from .query.queries import UTCQQueryProcessor
+    from .query.stiu import StIUIndex
+
+    network = _network_from_provenance(archive, args)
+    index = StIUIndex(network, archive)
+    return UTCQQueryProcessor(network, archive, index)
+
+
+def cmd_query(args) -> int:
+    try:
+        return _run_query(args)
+    except KeyError as error:
+        raise SystemExit(f"error: {error.args[0]}")
+
+
+def _run_query(args) -> int:
+    with _open_archive(args.archive) as archive:
+        processor = _query_processor(archive, args)
+        if args.kind == "where":
+            results = processor.where(args.trajectory, args.time, args.alpha)
+            if args.json:
+                print(
+                    json.dumps(
+                        [
+                            {
+                                "instance": r.instance_index,
+                                "edge": list(r.edge),
+                                "ndist": r.ndist,
+                                "probability": r.probability,
+                            }
+                            for r in results
+                        ]
+                    )
+                )
+            else:
+                if not results:
+                    print("no instance qualifies")
+                for r in results:
+                    print(
+                        f"instance {r.instance_index}: edge "
+                        f"{r.edge[0]} -> {r.edge[1]} at {r.ndist:.1f} m "
+                        f"(p={r.probability:.3f})"
+                    )
+        elif args.kind == "when":
+            edge = _parse_pair(args.edge, "--edge")
+            results = processor.when(
+                args.trajectory, edge, args.rd, args.alpha
+            )
+            if args.json:
+                print(
+                    json.dumps(
+                        [
+                            {
+                                "instance": r.instance_index,
+                                "time": r.time,
+                                "probability": r.probability,
+                            }
+                            for r in results
+                        ]
+                    )
+                )
+            else:
+                if not results:
+                    print("no passing time qualifies")
+                for r in results:
+                    print(
+                        f"instance {r.instance_index}: t={r.time:.1f}s "
+                        f"(p={r.probability:.3f})"
+                    )
+        else:  # range
+            from .network.grid import Rect
+
+            parts = args.rect.split(",")
+            if len(parts) != 4:
+                raise SystemExit(
+                    f"error: --rect must be 'minx,miny,maxx,maxy', "
+                    f"got {args.rect!r}"
+                )
+            rect = Rect(*(float(p) for p in parts))
+            results = processor.range(rect, args.time, args.alpha)
+            if args.json:
+                print(json.dumps(results))
+            else:
+                if not results:
+                    print("no trajectory qualifies")
+                for trajectory_id in results:
+                    print(f"trajectory {trajectory_id}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "compress": cmd_compress,
+        "info": cmd_info,
+        "decompress": cmd_decompress,
+        "query": cmd_query,
+    }
+    try:
+        return handlers[args.command](args)
+    except BrokenPipeError:
+        # stdout consumer (e.g. `| head`) closed early; exit quietly
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

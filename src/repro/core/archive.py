@@ -210,3 +210,33 @@ class CompressedArchive:
             if candidate.trajectory_id == trajectory_id:
                 return candidate
         raise KeyError(f"no trajectory {trajectory_id} in the archive")
+
+    def save(self, path, *, provenance: dict[str, str] | None = None) -> int:
+        """Serialize to the ``.utcq`` on-disk format; returns file size.
+
+        See :mod:`repro.io.format` for the layout.  The round trip is
+        bit-exact: ``CompressedArchive.load(path)`` restores payloads,
+        offsets, and stats identical to this archive.
+        """
+        from ..io.format import write_archive
+
+        return write_archive(self, path, provenance=provenance)
+
+    @classmethod
+    def load(cls, path) -> "CompressedArchive":
+        """Eagerly read an archive written by :meth:`save`."""
+        from ..io.format import read_archive
+
+        return read_archive(path)
+
+    @staticmethod
+    def open(path, **kwargs):
+        """Open an archive file lazily (per-trajectory loading).
+
+        Returns a :class:`repro.io.reader.FileBackedArchive`, which the
+        StIU index and query processor accept in place of an in-memory
+        archive.
+        """
+        from ..io.reader import FileBackedArchive
+
+        return FileBackedArchive.open(path, **kwargs)

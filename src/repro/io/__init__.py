@@ -1,0 +1,31 @@
+"""Persistence: the versioned ``.utcq`` on-disk archive format.
+
+``write_archive``/``read_archive`` round-trip a
+:class:`~repro.core.archive.CompressedArchive` bit-exactly;
+:class:`FileBackedArchive` serves queries straight off the file with
+lazy per-trajectory loading.
+"""
+
+from .format import (
+    MAGIC,
+    VERSION,
+    ArchiveFormatError,
+    ArchiveHeader,
+    DirectoryEntry,
+    read_archive,
+    read_header,
+    write_archive,
+)
+from .reader import FileBackedArchive
+
+__all__ = [
+    "MAGIC",
+    "VERSION",
+    "ArchiveFormatError",
+    "ArchiveHeader",
+    "DirectoryEntry",
+    "read_archive",
+    "read_header",
+    "write_archive",
+    "FileBackedArchive",
+]

@@ -1,0 +1,181 @@
+"""Lazy, file-backed access to a ``.utcq`` archive.
+
+:class:`FileBackedArchive` mirrors the read-side surface of
+:class:`~repro.core.archive.CompressedArchive` — ``params``, ``stats``,
+``trajectory(id)``, iteration over ``trajectories`` — but decodes each
+trajectory record straight off disk on first touch, keeping only a
+bounded LRU of decoded trajectories in memory.  This lets the StIU index
+and the query processor run against an archive file without ever
+materializing the whole dataset (the `info`/`query` CLI path).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ..core.archive import CompressedTrajectory, CompressionParams, CompressionStats
+from .format import (
+    ArchiveFormatError,
+    ArchiveHeader,
+    decode_trajectory_record,
+    read_header,
+    record_crc,
+)
+
+DEFAULT_CACHE_SIZE = 128
+
+
+class _LazyTrajectorySequence:
+    """Read-only sequence view over a file-backed archive's trajectories."""
+
+    def __init__(self, archive: "FileBackedArchive") -> None:
+        self._archive = archive
+
+    def __len__(self) -> int:
+        return self._archive.trajectory_count
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(len(self)))]
+        entry = self._archive.header.directory[index]
+        return self._archive.trajectory(entry.trajectory_id)
+
+    def __iter__(self):
+        for entry in self._archive.header.directory:
+            yield self._archive.trajectory(entry.trajectory_id)
+
+
+class FileBackedArchive:
+    """A compressed archive whose trajectories live on disk.
+
+    Use as a context manager (or call :meth:`close`)::
+
+        with FileBackedArchive.open("cd.utcq") as archive:
+            index = StIUIndex(network, archive)
+            ...
+
+    ``verify_crc`` checks each record's CRC-32 the first time it is
+    loaded; disable it for hot paths that trust the file.
+    """
+
+    def __init__(
+        self,
+        stream,
+        header: ArchiveHeader,
+        *,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+        verify_crc: bool = True,
+    ) -> None:
+        if cache_size < 1:
+            raise ValueError(f"cache_size must be >= 1, got {cache_size}")
+        self._stream = stream
+        self.header = header
+        self.cache_size = cache_size
+        self.verify_crc = verify_crc
+        self._cache: OrderedDict[int, CompressedTrajectory] = OrderedDict()
+        self._id_to_entry = {
+            entry.trajectory_id: entry for entry in header.directory
+        }
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(
+        cls,
+        path,
+        *,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+        verify_crc: bool = True,
+    ) -> "FileBackedArchive":
+        stream = open(path, "rb")
+        try:
+            header = read_header(stream)
+        except Exception:
+            stream.close()
+            raise
+        return cls(
+            stream, header, cache_size=cache_size, verify_crc=verify_crc
+        )
+
+    def close(self) -> None:
+        if not self._stream.closed:
+            self._stream.close()
+
+    def __enter__(self) -> "FileBackedArchive":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # CompressedArchive-compatible surface
+    # ------------------------------------------------------------------
+    @property
+    def params(self) -> CompressionParams:
+        return self.header.params
+
+    @property
+    def stats(self) -> CompressionStats:
+        return self.header.stats
+
+    @property
+    def provenance(self) -> dict[str, str]:
+        return dict(self.header.provenance)
+
+    @property
+    def trajectory_count(self) -> int:
+        return self.header.trajectory_count
+
+    @property
+    def instance_count(self) -> int:
+        return self.header.instance_count
+
+    @property
+    def compressed_bytes(self) -> int:
+        return (self.stats.compressed.total + 7) // 8
+
+    @property
+    def original_bytes(self) -> int:
+        return (self.stats.original.total + 7) // 8
+
+    @property
+    def trajectories(self) -> _LazyTrajectorySequence:
+        return _LazyTrajectorySequence(self)
+
+    def trajectory_ids(self) -> list[int]:
+        return [entry.trajectory_id for entry in self.header.directory]
+
+    def trajectory(self, trajectory_id: int) -> CompressedTrajectory:
+        """Load (or fetch from cache) a single trajectory by id."""
+        cached = self._cache.get(trajectory_id)
+        if cached is not None:
+            self._cache.move_to_end(trajectory_id)
+            return cached
+        entry = self._id_to_entry.get(trajectory_id)
+        if entry is None:
+            raise KeyError(f"no trajectory {trajectory_id} in the archive")
+        self._stream.seek(entry.offset)
+        record = self._stream.read(entry.length)
+        if len(record) != entry.length:
+            raise ArchiveFormatError(
+                f"truncated record for trajectory {trajectory_id}"
+            )
+        if self.verify_crc and record_crc(record) != entry.crc32:
+            raise ArchiveFormatError(
+                f"CRC mismatch for trajectory {trajectory_id}"
+            )
+        trajectory = decode_trajectory_record(record)
+        if trajectory.trajectory_id != trajectory_id:
+            raise ArchiveFormatError(
+                f"directory/record id mismatch: {trajectory_id} != "
+                f"{trajectory.trajectory_id}"
+            )
+        self._cache[trajectory_id] = trajectory
+        while len(self._cache) > self.cache_size:
+            self._cache.popitem(last=False)
+        return trajectory
+
+    def cached_trajectory_count(self) -> int:
+        """How many decoded trajectories are currently resident."""
+        return len(self._cache)

@@ -1,0 +1,15 @@
+"""Throughput: sharded, multi-core batch compression."""
+
+from .batch import (
+    BatchReport,
+    compress_parallel,
+    default_worker_count,
+    make_shards,
+)
+
+__all__ = [
+    "BatchReport",
+    "compress_parallel",
+    "default_worker_count",
+    "make_shards",
+]

@@ -79,7 +79,50 @@ class RegionEntry:
 
 
 class StIUIndex:
-    """The paper's StIU index over a compressed archive."""
+    """The paper's StIU index over a compressed archive.
+
+    ``archive`` may be an in-memory :class:`CompressedArchive` or a lazy
+    :class:`~repro.io.reader.FileBackedArchive` — the index only needs
+    ``params``, iteration over ``trajectories``, and ``trajectory(id)``.
+    Building over a file streams one trajectory at a time through the
+    reader's LRU cache, so peak memory stays bounded by the cache, not
+    the dataset.
+    """
+
+    @classmethod
+    def over_file(
+        cls,
+        network: RoadNetwork,
+        path,
+        *,
+        cache_size: int | None = None,
+        verify_crc: bool = True,
+        grid_cells_per_side: int = 32,
+        time_partition_seconds: int = 1800,
+    ) -> "StIUIndex":
+        """Open ``path`` lazily and build the index over it.
+
+        The file-backed archive stays open for the index's lifetime (and
+        is reachable as ``index.archive`` for a query processor); close
+        it via ``index.archive.close()`` when done.
+        """
+        from ..io.reader import DEFAULT_CACHE_SIZE, FileBackedArchive
+
+        archive = FileBackedArchive.open(
+            path,
+            cache_size=cache_size or DEFAULT_CACHE_SIZE,
+            verify_crc=verify_crc,
+        )
+        try:
+            return cls(
+                network,
+                archive,
+                grid_cells_per_side=grid_cells_per_side,
+                time_partition_seconds=time_partition_seconds,
+            )
+        except Exception:
+            archive.close()
+            raise
 
     def __init__(
         self,

@@ -5,6 +5,7 @@ compile-checked and their entry points imported (their full runs are
 exercised manually / by CI at benchmark cadence).
 """
 
+import os
 import pathlib
 import py_compile
 import subprocess
@@ -13,11 +14,21 @@ import sys
 import pytest
 
 EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+SRC_DIR = pathlib.Path(__file__).parent.parent / "src"
+
+# examples run in subprocesses, which don't inherit pytest's
+# pythonpath ini setting — prepend src/ explicitly
+SUBPROCESS_ENV = {
+    **os.environ,
+    "PYTHONPATH": str(SRC_DIR)
+    + (os.pathsep + os.environ["PYTHONPATH"] if "PYTHONPATH" in os.environ else ""),
+}
 ALL_EXAMPLES = [
     "quickstart.py",
     "taxi_fleet_compression.py",
     "query_without_decompression.py",
     "map_matching_pipeline.py",
+    "persist_and_query.py",
 ]
 
 
@@ -31,6 +42,7 @@ def test_quickstart_runs():
         [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
         capture_output=True,
         text=True,
+        env=SUBPROCESS_ENV,
         timeout=180,
     )
     assert result.returncode == 0, result.stderr
@@ -38,11 +50,25 @@ def test_quickstart_runs():
     assert "round-trip check passed" in result.stdout
 
 
+def test_persist_example_runs():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "persist_and_query.py")],
+        capture_output=True,
+        text=True,
+        env=SUBPROCESS_ENV,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "lazy loading works" in result.stdout
+    assert "wrote" in result.stdout
+
+
 def test_query_example_runs():
     result = subprocess.run(
         [sys.executable, str(EXAMPLES_DIR / "query_without_decompression.py")],
         capture_output=True,
         text=True,
+        env=SUBPROCESS_ENV,
         timeout=300,
     )
     assert result.returncode == 0, result.stderr

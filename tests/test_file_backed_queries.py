@@ -1,0 +1,92 @@
+"""Acceptance: queries over a file-backed archive match the in-memory path."""
+
+import pytest
+
+from repro import StIUIndex, UTCQQueryProcessor
+from repro.core import compress_dataset
+from repro.io import FileBackedArchive, write_archive
+from repro.network.grid import Rect
+from repro.trajectories.datasets import CD, load_dataset
+
+
+@pytest.fixture(scope="module")
+def setup(tmp_path_factory):
+    network, trajectories = load_dataset("CD", 20, seed=21, network_scale=12)
+    archive = compress_dataset(
+        network, trajectories, default_interval=CD.default_interval
+    )
+    path = tmp_path_factory.mktemp("archives") / "cd.utcq"
+    write_archive(archive, path)
+    return network, trajectories, archive, path
+
+
+@pytest.fixture(scope="module")
+def processors(setup):
+    network, trajectories, archive, path = setup
+    memory_index = StIUIndex(network, archive)
+    memory = UTCQQueryProcessor(network, archive, memory_index)
+    lazy = FileBackedArchive.open(path, cache_size=2)
+    file_index = StIUIndex(network, lazy)
+    file_backed = UTCQQueryProcessor(network, lazy, file_index)
+    yield memory, file_backed, trajectories
+    lazy.close()
+
+
+def test_over_file_classmethod(setup):
+    network, _, archive, path = setup
+    index = StIUIndex.over_file(network, path, cache_size=4)
+    try:
+        assert isinstance(index.archive, FileBackedArchive)
+        memory_index = StIUIndex(network, archive)
+        assert index.temporal.keys() == memory_index.temporal.keys()
+        assert index.size_bytes() == memory_index.size_bytes()
+    finally:
+        index.archive.close()
+
+
+def test_where_matches_in_memory(processors):
+    memory, file_backed, trajectories = processors
+    for trajectory in trajectories[:8]:
+        t = (trajectory.start_time + trajectory.end_time) // 2
+        expected = memory.where(trajectory.trajectory_id, t, alpha=0.1)
+        actual = file_backed.where(trajectory.trajectory_id, t, alpha=0.1)
+        assert actual == expected
+        assert expected, f"empty where result for {trajectory.trajectory_id}"
+
+
+def test_when_matches_in_memory(processors):
+    memory, file_backed, trajectories = processors
+    answered = 0
+    for trajectory in trajectories[:8]:
+        t = (trajectory.start_time + trajectory.end_time) // 2
+        for location in memory.where(trajectory.trajectory_id, t, alpha=0.1):
+            expected = memory.when(
+                trajectory.trajectory_id, location.edge, 0.5, alpha=0.1
+            )
+            actual = file_backed.when(
+                trajectory.trajectory_id, location.edge, 0.5, alpha=0.1
+            )
+            assert actual == expected
+            answered += len(expected)
+            break
+    assert answered > 0
+
+
+def test_range_matches_in_memory(setup, processors):
+    network, _, _, _ = setup
+    memory, file_backed, trajectories = processors
+    box = network.bounding_box()
+    rect = Rect(box.min_x, box.min_y, box.max_x, box.max_y)
+    t = trajectories[0].times[len(trajectories[0].times) // 2]
+    expected = memory.range(rect, t, alpha=0.2)
+    actual = file_backed.range(rect, t, alpha=0.2)
+    assert actual == expected
+    assert expected, "whole-network range query returned nothing"
+
+
+def test_lazy_cache_stays_bounded(processors):
+    _, file_backed, trajectories = processors
+    for trajectory in trajectories:
+        t = (trajectory.start_time + trajectory.end_time) // 2
+        file_backed.where(trajectory.trajectory_id, t, alpha=0.5)
+    assert file_backed.archive.cached_trajectory_count() <= 2
