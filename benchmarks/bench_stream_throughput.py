@@ -1,0 +1,83 @@
+"""Streaming ingestion throughput: sustained points/sec per profile.
+
+The batch benchmarks report compression ratios; this one reports how
+fast the *online* path (incremental HMM matching -> sessionization ->
+segment sealing) ingests a fleet feed.  Results are recorded both in
+the paper-style table log and machine-readably in
+``results/BENCH_stream_throughput.json``, so the perf trajectory of the
+ingestion path is tracked across PRs.
+"""
+
+import pytest
+from conftest import RESULTS_DIR, record_experiment
+
+from repro.mapmatching.noise import synthesize_raw_dataset
+from repro.network.generators import dataset_network
+from repro.stream import (
+    AppendableArchiveWriter,
+    SessionConfig,
+    TripSessionizer,
+    replay,
+)
+from repro.trajectories.datasets import profile
+from repro.workloads.reporting import ExperimentLog
+
+VEHICLES = 40
+NETWORK_SCALE = 12
+HEADERS = [
+    "dataset", "vehicles", "points", "trips", "segments",
+    "feed s", "wall s", "points/s",
+]
+
+_ROWS: list[list] = []
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _write_results():
+    """Record whatever rows ran — subset runs and failures included."""
+    yield
+    if not _ROWS:
+        return
+    title = (
+        "Streaming ingestion throughput (online match -> seal -> segment)"
+    )
+    record_experiment(title, HEADERS, _ROWS)
+    log = ExperimentLog()
+    log.record("stream_throughput", HEADERS, _ROWS)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    log.write_json(RESULTS_DIR / "BENCH_stream_throughput.json")
+
+
+@pytest.mark.parametrize("name", ["DK", "CD", "HZ"])
+def test_stream_throughput(tmp_path, name):
+    prof = profile(name)
+    network = dataset_network(name, scale=NETWORK_SCALE, seed=7)
+    feeds = synthesize_raw_dataset(
+        network, prof.generation_config(), VEHICLES, seed=7
+    )
+    sessionizer = TripSessionizer(
+        network, config=SessionConfig(gap_timeout=3600.0)
+    )
+    with AppendableArchiveWriter(
+        tmp_path / name,
+        network,
+        default_interval=prof.default_interval,
+        segment_max_trajectories=16,
+    ) as writer:
+        report = replay(sessionizer, feeds, writer=writer)
+        segments = writer.segment_count
+
+    assert report.points > 0
+    assert report.trips_sealed > 0
+    _ROWS.append(
+        [
+            name,
+            VEHICLES,
+            report.points,
+            report.trips_sealed,
+            segments,
+            report.feed_seconds,
+            round(report.elapsed_seconds, 3),
+            round(report.points_per_second, 1),
+        ]
+    )

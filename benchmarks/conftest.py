@@ -90,3 +90,4 @@ def pytest_terminal_summary(terminalreporter):
     terminalreporter.write_line(output)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / "experiments.txt").write_text(output + "\n")
+    EXPERIMENT_LOG.write_json(RESULTS_DIR / "experiments.json")

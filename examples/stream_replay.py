@@ -1,0 +1,99 @@
+"""Streaming ingestion end to end: replay a fleet feed, query it live,
+then compact it into a canonical archive.
+
+A synthetic fleet of taxis emits noisy GPS fixes as one interleaved,
+time-ordered stream.  The streaming subsystem matches each fix online
+(incremental list-Viterbi), cuts per-vehicle trips, compresses sealed
+trips into rotating ``.utcq`` segments, and keeps the sealed union
+queryable the whole time.  Compaction at the end produces a single
+archive indistinguishable from a batch-written one.
+
+Run with ``PYTHONPATH=src python examples/stream_replay.py``.
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import (
+    AppendableArchiveWriter,
+    LiveArchive,
+    SessionConfig,
+    StIUIndex,
+    TripSessionizer,
+    UTCQQueryProcessor,
+    compact,
+    replay,
+)
+from repro.io.format import read_archive
+from repro.mapmatching.noise import synthesize_raw_dataset
+from repro.network.generators import dataset_network
+from repro.trajectories.datasets import profile
+
+
+def main() -> None:
+    prof = profile("CD")
+    network = dataset_network("CD", scale=12, seed=11)
+    feeds = synthesize_raw_dataset(
+        network, prof.generation_config(), 10, seed=11, noise_sigma=12.0
+    )
+    print(
+        f"fleet feed: {len(feeds)} vehicles, "
+        f"{sum(len(f) for f in feeds)} raw fixes"
+    )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        directory = Path(tmp) / "fleet"
+        sessionizer = TripSessionizer(
+            network, config=SessionConfig(gap_timeout=3600.0)
+        )
+        writer = AppendableArchiveWriter(
+            directory,
+            network,
+            default_interval=prof.default_interval,
+            segment_max_trajectories=4,
+        )
+
+        # --- ingest the first half of the fleet, then query live -----
+        replay(sessionizer, feeds[:5], writer=writer)
+        live = LiveArchive(directory)
+        print(
+            f"mid-ingestion: {live.trajectory_count} trips sealed in "
+            f"{live.segment_count} segments — querying while ingesting"
+        )
+        queries = UTCQQueryProcessor(
+            network, live, StIUIndex(network, live)
+        )
+        trip_id = live.trajectory_ids()[0]
+        trip = live.trajectory(trip_id)
+        t = (trip.start_time + trip.end_time) // 2
+        results = queries.where(trip_id, t, alpha=0.1)
+        print(f"live where(trip {trip_id}, t={t}): {len(results)} locations")
+
+        # --- finish the feed --------------------------------------
+        report = replay(sessionizer, feeds[5:], writer=writer)
+        writer.close()
+        live.refresh()
+        print(
+            f"ingested {report.points} more points at "
+            f"{report.points_per_second:,.0f} points/sec sustained; "
+            f"{live.trajectory_count} trips total"
+        )
+
+        # --- compact into one canonical batch-format archive -------
+        output = Path(tmp) / "fleet.utcq"
+        size, count = compact(directory, output)
+        archive = read_archive(output)  # full CRC verification
+        assert archive.trajectory_count == live.trajectory_count
+        compacted_queries = UTCQQueryProcessor(
+            network, archive, StIUIndex(network, archive)
+        )
+        assert compacted_queries.where(trip_id, t, alpha=0.1) == results
+        live.close()
+        print(
+            f"compacted {count} trips into {output.name} ({size} bytes); "
+            f"live and compacted query results agree"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -32,8 +32,22 @@ Persistence and scale-out::
         index = StIUIndex(network, on_disk)   # lazy per-trajectory loads
         queries = UTCQQueryProcessor(network, on_disk, index)
 
+Streaming ingestion::
+
+    from repro import TripSessionizer, AppendableArchiveWriter, LiveArchive
+
+    sessionizer = TripSessionizer(network)
+    with AppendableArchiveWriter("fleet/", network, default_interval=10) as w:
+        for vehicle, fix in feed:               # any (id, RawPoint) stream
+            for trip in sessionizer.observe(vehicle, fix):
+                w.append(trip)                  # seals rotating segments
+        for trip in sessionizer.flush():        # seal trips still active
+            w.append(trip)
+    live = LiveArchive("fleet/")                # queryable mid-ingestion
+
 The same operations are exposed on the command line as
-``python -m repro compress | info | decompress | query``.
+``python -m repro compress | info | decompress | query`` and
+``python -m repro stream replay | compact | stats``.
 """
 
 from .core import (
@@ -58,8 +72,17 @@ from .query import (
     StIUIndex,
     UTCQQueryProcessor,
 )
-from .io import FileBackedArchive, read_archive, write_archive
+from .io import ArchiveClosedError, FileBackedArchive, read_archive, write_archive
 from .pipeline import BatchReport, compress_parallel
+from .stream import (
+    AppendableArchiveWriter,
+    LiveArchive,
+    SessionConfig,
+    StreamingMapMatcher,
+    TripSessionizer,
+    compact,
+    replay,
+)
 from .ted import TEDCompressor, TedArchive, TedQueryIndex
 from .trajectories import (
     MappedLocation,
@@ -70,7 +93,16 @@ from .trajectories import (
 )
 from .mapmatching import MatcherConfig, ProbabilisticMapMatcher
 
-__version__ = "1.1.0"
+# The canonical version lives in the installed distribution metadata
+# (pyproject reads it from this fallback constant at build time); the
+# constant keeps `repro --version` working for PYTHONPATH=src checkouts.
+__version__ = "1.2.0"
+try:
+    from importlib.metadata import version as _distribution_version
+
+    __version__ = _distribution_version("repro-utcq")
+except Exception:  # not installed: keep the in-source fallback
+    pass
 
 __all__ = [
     "CompressedArchive",
@@ -89,11 +121,19 @@ __all__ = [
     "BruteForceOracle",
     "StIUIndex",
     "UTCQQueryProcessor",
+    "ArchiveClosedError",
     "FileBackedArchive",
     "read_archive",
     "write_archive",
     "BatchReport",
     "compress_parallel",
+    "AppendableArchiveWriter",
+    "LiveArchive",
+    "SessionConfig",
+    "StreamingMapMatcher",
+    "TripSessionizer",
+    "compact",
+    "replay",
     "TEDCompressor",
     "TedArchive",
     "TedQueryIndex",

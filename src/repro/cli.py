@@ -7,6 +7,8 @@ Subcommands::
     info        print header, params, ratios, and provenance of a file
     decompress  decode an archive back to JSON lines
     query       where / when / range queries over a file-backed archive
+    stream      streaming ingestion: replay a live GPS feed into an
+                appendable segment archive, compact it, inspect it
 
 ``query`` and ``decompress`` need the road network the archive was
 compressed against.  ``compress`` records the generating profile, seed,
@@ -181,6 +183,79 @@ def build_parser() -> argparse.ArgumentParser:
     range_.add_argument("--alpha", type=float, default=0.2)
     range_.add_argument("--json", action="store_true")
     _add_dataset_arguments(range_)
+
+    stream = commands.add_parser(
+        "stream",
+        help="streaming ingestion: replay a feed, compact, inspect",
+    )
+    actions = stream.add_subparsers(dest="action", required=True)
+
+    replay_ = actions.add_parser(
+        "replay",
+        help="replay a synthetic fleet feed into an appendable archive",
+    )
+    replay_.add_argument(
+        "directory", help="stream-archive directory to create or append to"
+    )
+    replay_.add_argument(
+        "--profile", choices=("DK", "CD", "HZ"), default="CD",
+        help="dataset profile of the synthetic feed (default: CD)",
+    )
+    replay_.add_argument(
+        "--count", type=int, default=50,
+        help="number of vehicles in the feed (default: 50)",
+    )
+    replay_.add_argument(
+        "--dataset-seed", type=int, default=11,
+        help="generation seed for network + feeds (default: 11)",
+    )
+    replay_.add_argument(
+        "--network-scale", type=int, default=None,
+        help="network grid scale (default: the profile's)",
+    )
+    replay_.add_argument(
+        "--speed", type=float, default=0.0,
+        help="replay pacing: N = N x real time, 0 = as fast as "
+        "possible (default: 0)",
+    )
+    replay_.add_argument(
+        "--gap-timeout", type=float, default=300.0,
+        help="seconds of per-vehicle silence that end a trip "
+        "(default: 300)",
+    )
+    replay_.add_argument(
+        "--max-duration", type=float, default=4 * 3600.0,
+        help="hard cap on one trip's time span in seconds "
+        "(default: 14400)",
+    )
+    replay_.add_argument(
+        "--segment-size", type=int, default=64,
+        help="trips per .utcq segment file (default: 64)",
+    )
+    replay_.add_argument(
+        "--noise-sigma", type=float, default=15.0,
+        help="GPS noise of the synthetic feed in meters (default: 15)",
+    )
+    replay_.add_argument(
+        "--quiet", action="store_true", help="suppress progress output"
+    )
+
+    compact_ = actions.add_parser(
+        "compact",
+        help="merge all sealed segments into one canonical .utcq archive",
+    )
+    compact_.add_argument("directory", help="stream-archive directory")
+    compact_.add_argument(
+        "output", help="path of the canonical archive to write"
+    )
+
+    stats_ = actions.add_parser(
+        "stats", help="summarize a stream archive's manifest"
+    )
+    stats_.add_argument("directory", help="stream-archive directory")
+    stats_.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
 
     return parser
 
@@ -526,6 +601,145 @@ def _run_query(args) -> int:
     return 0
 
 
+def cmd_stream(args) -> int:
+    from .stream.writer import StreamArchiveError
+
+    handlers = {
+        "replay": _stream_replay,
+        "compact": _stream_compact,
+        "stats": _stream_stats,
+    }
+    try:
+        return handlers[args.action](args)
+    except (StreamArchiveError, ArchiveFormatError, ValueError) as error:
+        # ValueError: config validation (e.g. --segment-size 0)
+        raise SystemExit(f"error: {error}")
+
+
+def _stream_replay(args) -> int:
+    from .mapmatching.noise import synthesize_raw_dataset
+    from .network.generators import dataset_network
+    from .stream import (
+        AppendableArchiveWriter,
+        SessionConfig,
+        TripSessionizer,
+        replay,
+    )
+    from .trajectories.datasets import profile as dataset_profile
+
+    prof = dataset_profile(args.profile)
+    scale = (
+        args.network_scale
+        if args.network_scale is not None
+        else prof.network_scale
+    )
+    network = dataset_network(prof.name, scale=scale, seed=args.dataset_seed)
+    feeds = synthesize_raw_dataset(
+        network,
+        prof.generation_config(),
+        args.count,
+        seed=args.dataset_seed,
+        noise_sigma=args.noise_sigma,
+    )
+    with AppendableArchiveWriter(
+        args.directory,
+        network,
+        default_interval=prof.default_interval,
+        segment_max_trajectories=args.segment_size,
+        provenance={
+            "generator": "repro.stream.replay",
+            "profile": prof.name,
+            "dataset_seed": str(args.dataset_seed),
+            "network_scale": str(scale),
+        },
+    ) as writer:
+        # resume id numbering when replaying into an existing archive
+        sessionizer = TripSessionizer(
+            network,
+            config=SessionConfig(
+                gap_timeout=args.gap_timeout, max_duration=args.max_duration
+            ),
+            start_id=writer.next_trajectory_id,
+        )
+        report = replay(
+            sessionizer, feeds, writer=writer, speed=args.speed
+        )
+        segment_count = writer.segment_count
+    if not args.quiet:
+        print(
+            f"replayed {report.points} points from {args.count} vehicles "
+            f"({report.feed_seconds}s of feed time) in "
+            f"{report.elapsed_seconds:.2f}s — "
+            f"{report.points_per_second:,.0f} points/sec sustained"
+        )
+        print(
+            f"sealed {report.trips_sealed} trips "
+            f"({report.trips_discarded} discarded) into "
+            f"{segment_count} segments under {args.directory}"
+        )
+    return 0
+
+
+def _stream_compact(args) -> int:
+    import os
+
+    from .stream import compact
+
+    size, count = compact(args.directory, args.output)
+    segment_bytes = 0
+    from .stream.writer import SEGMENT_DIR, load_manifest, manifest_segments
+
+    manifest = load_manifest(args.directory)
+    for info in manifest_segments(manifest):
+        segment_bytes += os.path.getsize(
+            os.path.join(args.directory, SEGMENT_DIR, info.name)
+        )
+    print(
+        f"compacted {count} trajectories from "
+        f"{len(manifest['segments'])} segments ({segment_bytes} bytes) "
+        f"into {args.output} ({size} bytes)"
+    )
+    return 0
+
+
+def _stream_stats(args) -> int:
+    from .stream.writer import load_manifest, manifest_segments
+
+    manifest = load_manifest(args.directory)
+    segments = manifest_segments(manifest)
+    if args.json:
+        print(json.dumps(manifest, indent=2, sort_keys=True))
+        return 0
+    print(f"{args.directory}: stream archive, manifest v{manifest['version']}")
+    print(
+        f"  trajectories {manifest['trajectory_count']}, "
+        f"instances {manifest['instance_count']}, "
+        f"segments {len(segments)}"
+    )
+    if segments:
+        print(
+            f"  time span: {min(s.min_time for s in segments)} .. "
+            f"{max(s.max_time for s in segments)}"
+        )
+        print(
+            f"  on disk: {sum(s.file_bytes for s in segments)} bytes "
+            f"of sealed segments"
+        )
+        for info in segments:
+            print(
+                f"    {info.name}: {info.trajectory_count} trajectories, "
+                f"ids {info.min_trajectory_id}..{info.max_trajectory_id}, "
+                f"{info.file_bytes} bytes"
+            )
+    if manifest.get("provenance"):
+        pairs = ", ".join(
+            f"{key}={value}"
+            for key, value in sorted(manifest["provenance"].items())
+        )
+        print(f"  provenance: {pairs}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -534,6 +748,7 @@ def main(argv: list[str] | None = None) -> int:
         "info": cmd_info,
         "decompress": cmd_decompress,
         "query": cmd_query,
+        "stream": cmd_stream,
     }
     try:
         return handlers[args.command](args)

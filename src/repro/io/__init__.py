@@ -16,11 +16,12 @@ from .format import (
     read_header,
     write_archive,
 )
-from .reader import FileBackedArchive
+from .reader import ArchiveClosedError, FileBackedArchive
 
 __all__ = [
     "MAGIC",
     "VERSION",
+    "ArchiveClosedError",
     "ArchiveFormatError",
     "ArchiveHeader",
     "DirectoryEntry",

@@ -25,6 +25,14 @@ from .format import (
 DEFAULT_CACHE_SIZE = 128
 
 
+class ArchiveClosedError(ValueError):
+    """A closed archive was closed again or read from.
+
+    Raised instead of the cryptic ``ValueError: seek of closed file``
+    the underlying stream would otherwise produce.
+    """
+
+
 class _LazyTrajectorySequence:
     """Read-only sequence view over a file-backed archive's trajectories."""
 
@@ -76,6 +84,7 @@ class FileBackedArchive:
         self._id_to_entry = {
             entry.trajectory_id: entry for entry in header.directory
         }
+        self._closed = False
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -98,7 +107,19 @@ class FileBackedArchive:
             stream, header, cache_size=cache_size, verify_crc=verify_crc
         )
 
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
     def close(self) -> None:
+        """Release the file.  Closing twice is an error — it almost
+        always means two owners believe they hold the archive."""
+        if self._closed:
+            raise ArchiveClosedError(
+                "FileBackedArchive is already closed"
+            )
+        self._closed = True
+        self._cache.clear()
         if not self._stream.closed:
             self._stream.close()
 
@@ -106,7 +127,8 @@ class FileBackedArchive:
         return self
 
     def __exit__(self, *exc_info) -> None:
-        self.close()
+        if not self._closed:
+            self.close()
 
     # ------------------------------------------------------------------
     # CompressedArchive-compatible surface
@@ -148,6 +170,11 @@ class FileBackedArchive:
 
     def trajectory(self, trajectory_id: int) -> CompressedTrajectory:
         """Load (or fetch from cache) a single trajectory by id."""
+        if self._closed:
+            raise ArchiveClosedError(
+                f"cannot load trajectory {trajectory_id}: the archive "
+                f"is closed"
+            )
         cached = self._cache.get(trajectory_id)
         if cached is not None:
             self._cache.move_to_end(trajectory_id)

@@ -13,6 +13,15 @@ Definition 5 expects.  The model is the standard map-matching HMM:
 Instead of the single best state sequence, a list-Viterbi pass keeps the
 ``k`` best partial sequences per state, yielding the top-``k`` complete
 matchings; their likelihoods are normalized into instance probabilities.
+
+The pass is decomposed into per-step operations (:meth:`ProbabilisticMapMatcher.
+candidate_step`, :meth:`~ProbabilisticMapMatcher.initial_beam`,
+:meth:`~ProbabilisticMapMatcher.extend_beam`,
+:meth:`~ProbabilisticMapMatcher.finalize`) so that the batch
+:meth:`~ProbabilisticMapMatcher.match` and the streaming
+:class:`~repro.stream.ingest.StreamingMapMatcher` share one beam
+implementation — the streaming matcher is exactly equivalent to batch
+matching by construction.
 """
 
 from __future__ import annotations
@@ -52,12 +61,23 @@ class MatcherConfig:
 
 
 @dataclass
-class _Partial:
-    """One partial state sequence kept by the list-Viterbi pass."""
+class BeamPartial:
+    """One partial state sequence kept by the list-Viterbi pass.
+
+    ``candidate_indices[i]`` indexes the candidate chosen at step ``i``;
+    ``paths[i-1]`` holds the connecting edges between steps ``i-1`` and
+    ``i``.  Partials are immutable-by-convention: extending a beam builds
+    new partials, never rewrites history, which is what lets a streaming
+    consumer treat an agreed-upon prefix as committed.
+    """
 
     log_probability: float
     candidate_indices: tuple[int, ...]
     paths: tuple[tuple[EdgeKey, ...], ...] = field(default_factory=tuple)
+
+
+#: backwards-compatible private alias (pre-streaming name)
+_Partial = BeamPartial
 
 
 class ProbabilisticMapMatcher:
@@ -109,63 +129,86 @@ class ProbabilisticMapMatcher:
         return path, total
 
     # ------------------------------------------------------------------
-    def match(self, raw: RawTrajectory) -> UncertainTrajectory | None:
-        """Match one raw trajectory; ``None`` when no route connects the
-        candidate chain (e.g. the fixes span disconnected components)."""
-        config = self.config
-        steps: list[list[Candidate]] = []
-        for point in raw:
-            step = candidates_for_point(
-                self.index,
-                point,
-                search_radius=config.search_radius,
-                sigma=config.sigma,
-                max_candidates=config.max_candidates,
-            )
-            if not step:
-                return None
-            steps.append(step)
+    # per-step operations (shared by batch match() and the streaming path)
+    # ------------------------------------------------------------------
+    def candidate_step(self, point) -> list[Candidate]:
+        """Candidate road positions of one fix (empty = unmatchable fix)."""
+        return candidates_for_point(
+            self.index,
+            point,
+            search_radius=self.config.search_radius,
+            sigma=self.config.sigma,
+            max_candidates=self.config.max_candidates,
+        )
 
-        beams: list[list[_Partial]] = [
-            [
-                _Partial(candidate.emission_log_probability, (i,), ())
-                for i, candidate in enumerate(steps[0])
-            ]
+    def candidate_location(self, candidate: Candidate) -> MappedLocation:
+        """A candidate as a mapped location, with the ndist rounding and
+        clamping convention every emitted location uses."""
+        length = self.network.edge_length(*candidate.edge)
+        return MappedLocation(
+            candidate.edge,
+            min(max(round(candidate.ndist, 1), 0.0), length),
+        )
+
+    def initial_beam(self, step: list[Candidate]) -> list[BeamPartial]:
+        """The beam after observing the first fix: one partial per candidate."""
+        return [
+            BeamPartial(candidate.emission_log_probability, (i,), ())
+            for i, candidate in enumerate(step)
         ]
-        points = list(raw)
-        for step_index in range(1, len(steps)):
-            previous_beam = beams[-1]
-            straight = math.hypot(
-                points[step_index].x - points[step_index - 1].x,
-                points[step_index].y - points[step_index - 1].y,
-            )
-            extended: list[_Partial] = []
-            for candidate_index, candidate in enumerate(steps[step_index]):
-                for partial in previous_beam:
-                    previous_candidate = steps[step_index - 1][
-                        partial.candidate_indices[-1]
-                    ]
-                    transition = self._transition(
-                        previous_candidate, candidate, straight
-                    )
-                    if transition is None:
-                        continue
-                    log_transition, path = transition
-                    extended.append(
-                        _Partial(
-                            partial.log_probability
-                            + log_transition
-                            + candidate.emission_log_probability,
-                            partial.candidate_indices + (candidate_index,),
-                            partial.paths + (tuple(path),),
-                        )
-                    )
-            if not extended:
-                return None
-            extended.sort(key=lambda p: -p.log_probability)
-            beams.append(extended[: config.max_instances * 3])
 
-        finals = sorted(beams[-1], key=lambda p: -p.log_probability)
+    def extend_beam(
+        self,
+        beam: list[BeamPartial],
+        previous_step: list[Candidate],
+        step: list[Candidate],
+        straight: float,
+    ) -> list[BeamPartial]:
+        """One Viterbi step: extend every partial to every new candidate.
+
+        ``straight`` is the great-circle distance between the two fixes.
+        Returns the pruned beam (best ``max_instances * 3`` partials),
+        empty when no transition connects the steps — the trajectory is
+        unmatchable from here on.
+        """
+        extended: list[BeamPartial] = []
+        for candidate_index, candidate in enumerate(step):
+            for partial in beam:
+                previous_candidate = previous_step[
+                    partial.candidate_indices[-1]
+                ]
+                transition = self._transition(
+                    previous_candidate, candidate, straight
+                )
+                if transition is None:
+                    continue
+                log_transition, path = transition
+                extended.append(
+                    BeamPartial(
+                        partial.log_probability
+                        + log_transition
+                        + candidate.emission_log_probability,
+                        partial.candidate_indices + (candidate_index,),
+                        partial.paths + (tuple(path),),
+                    )
+                )
+        extended.sort(key=lambda p: -p.log_probability)
+        return extended[: self.config.max_instances * 3]
+
+    def finalize(
+        self,
+        steps: list[list[Candidate]],
+        beam: list[BeamPartial],
+        times: list[int],
+    ) -> UncertainTrajectory | None:
+        """Assemble the surviving beam into an uncertain trajectory.
+
+        ``None`` when no partial assembles into a valid instance (or the
+        weight distribution degenerates).
+        """
+        if not beam:
+            return None
+        finals = sorted(beam, key=lambda p: -p.log_probability)
         instances: list[TrajectoryInstance] = []
         seen: set[tuple] = set()
         weights: list[float] = []
@@ -180,7 +223,7 @@ class ProbabilisticMapMatcher:
             seen.add(signature)
             instances.append(instance)
             weights.append(math.exp(partial.log_probability - best_log))
-            if len(instances) == config.max_instances:
+            if len(instances) == self.config.max_instances:
                 break
         if not instances:
             return None
@@ -192,7 +235,32 @@ class ProbabilisticMapMatcher:
             return None  # degenerate weight distribution
         for instance, share in zip(instances, shares):
             instance.probability = share * quantum
-        return UncertainTrajectory(0, instances, list(raw.times))
+        return UncertainTrajectory(0, instances, list(times))
+
+    # ------------------------------------------------------------------
+    def match(self, raw: RawTrajectory) -> UncertainTrajectory | None:
+        """Match one raw trajectory; ``None`` when no route connects the
+        candidate chain (e.g. the fixes span disconnected components)."""
+        steps: list[list[Candidate]] = []
+        for point in raw:
+            step = self.candidate_step(point)
+            if not step:
+                return None
+            steps.append(step)
+
+        beam = self.initial_beam(steps[0])
+        points = list(raw)
+        for step_index in range(1, len(steps)):
+            straight = math.hypot(
+                points[step_index].x - points[step_index - 1].x,
+                points[step_index].y - points[step_index - 1].y,
+            )
+            beam = self.extend_beam(
+                beam, steps[step_index - 1], steps[step_index], straight
+            )
+            if not beam:
+                return None
+        return self.finalize(steps, beam, list(raw.times))
 
     # ------------------------------------------------------------------
     def _assemble(
@@ -202,13 +270,7 @@ class ProbabilisticMapMatcher:
         instance, tolerating same-edge consecutive fixes."""
         first = steps[0][partial.candidate_indices[0]]
         path: list[EdgeKey] = [first.edge]
-        first_length = self.network.edge_length(*first.edge)
-        locations = [
-            MappedLocation(
-                first.edge,
-                min(max(round(first.ndist, 1), 0.0), first_length),
-            )
-        ]
+        locations = [self.candidate_location(first)]
         edge_indices = [0]
         for step_index in range(1, len(partial.candidate_indices)):
             candidate = steps[step_index][
@@ -227,9 +289,7 @@ class ProbabilisticMapMatcher:
                         return None  # disconnected stitch: drop this one
                     path.append(candidate.edge)
                 edge_indices.append(len(path) - 1)
-            length = self.network.edge_length(*candidate.edge)
-            ndist = min(max(round(candidate.ndist, 1), 0.0), length)
-            locations.append(MappedLocation(candidate.edge, ndist))
+            locations.append(self.candidate_location(candidate))
         # enforce monotone ndist for same-edge neighbors
         for i in range(1, len(locations)):
             if (

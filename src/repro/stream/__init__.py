@@ -1,0 +1,52 @@
+"""Streaming ingestion: online map matching, sessionization, appendable
+archives, and live querying.
+
+The batch pipeline (``match -> compress -> save``) assumes the dataset
+exists in full before work starts.  This package turns it into a live
+path::
+
+    (vehicle, fix) events
+         │  StreamingMapMatcher      incremental list-Viterbi, fixed-lag
+         ▼                           estimates per vehicle
+    TripSessionizer                  gap / duration / match cuts
+         │                           -> sealed UncertainTrajectory trips
+         ▼
+    AppendableArchiveWriter          rotating .utcq segments + manifest
+         │
+         ├── LiveArchive             query the sealed union mid-ingestion
+         └── compact()               one canonical batch-format archive
+
+The CLI front end is ``repro stream replay | compact | stats``.
+"""
+
+from .ingest import ObserveStatus, StreamCounters, StreamingMapMatcher
+from .live import LiveArchive
+from .replay import ReplayReport, feed_events, replay
+from .session import SessionConfig, SessionCounters, TripSessionizer
+from .writer import (
+    AppendableArchiveWriter,
+    SegmentInfo,
+    StreamArchiveError,
+    compact,
+    load_manifest,
+    manifest_segments,
+)
+
+__all__ = [
+    "ObserveStatus",
+    "StreamCounters",
+    "StreamingMapMatcher",
+    "LiveArchive",
+    "ReplayReport",
+    "feed_events",
+    "replay",
+    "SessionConfig",
+    "SessionCounters",
+    "TripSessionizer",
+    "AppendableArchiveWriter",
+    "SegmentInfo",
+    "StreamArchiveError",
+    "compact",
+    "load_manifest",
+    "manifest_segments",
+]

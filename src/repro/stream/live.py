@@ -1,0 +1,183 @@
+"""Query view over a growing stream archive.
+
+:class:`LiveArchive` unions the sealed segments of an
+:class:`~repro.stream.writer.AppendableArchiveWriter` directory behind
+the read surface the query stack already consumes (``params``,
+``stats``, ``trajectories`` iteration, ``trajectory(id)``) — the same
+duck type as :class:`~repro.core.archive.CompressedArchive` and
+:class:`~repro.io.reader.FileBackedArchive`.  A
+:class:`~repro.query.stiu.StIUIndex` and
+:class:`~repro.query.queries.UTCQQueryProcessor` built over it answer
+where/when/range queries while the writer keeps appending.
+
+Consistency model: a ``LiveArchive`` is a snapshot of the segments
+sealed at :meth:`refresh` time.  Sealed segments are immutable, so the
+snapshot never changes underneath an index built on it; call
+:meth:`refresh` (and rebuild the index) to pick up newly sealed
+segments.  The unsealed buffer inside the writer is never visible.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..core.archive import (
+    CompressedTrajectory,
+    CompressionParams,
+    CompressionStats,
+)
+from ..io.reader import DEFAULT_CACHE_SIZE, ArchiveClosedError, FileBackedArchive
+from .writer import SEGMENT_DIR, StreamArchiveError, load_manifest, manifest_segments
+
+
+class _LiveTrajectorySequence:
+    """Read-only iteration over a live archive's union of segments."""
+
+    def __init__(self, archive: "LiveArchive") -> None:
+        self._archive = archive
+
+    def __len__(self) -> int:
+        return self._archive.trajectory_count
+
+    def __iter__(self):
+        for trajectory_id in self._archive.trajectory_ids():
+            yield self._archive.trajectory(trajectory_id)
+
+
+class LiveArchive:
+    """Union of the sealed segments of a stream-archive directory."""
+
+    def __init__(
+        self,
+        directory,
+        *,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+        verify_crc: bool = True,
+    ) -> None:
+        self.directory = Path(directory)
+        self.cache_size = cache_size
+        self.verify_crc = verify_crc
+        self._segments: list[FileBackedArchive] = []
+        self._segment_names: set[str] = set()
+        self._id_to_segment: dict[int, FileBackedArchive] = {}
+        self._params: CompressionParams | None = None
+        self._provenance: dict[str, str] = {}
+        self._closed = False
+        self.refresh()
+
+    @classmethod
+    def open(cls, directory, **kwargs) -> "LiveArchive":
+        """Alias of the constructor, mirroring ``FileBackedArchive.open``."""
+        return cls(directory, **kwargs)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ArchiveClosedError(
+                f"live archive over {self.directory} is closed"
+            )
+
+    def close(self) -> None:
+        self._check_open()
+        self._closed = True
+        for segment in self._segments:
+            if not segment.closed:
+                segment.close()
+
+    def __enter__(self) -> "LiveArchive":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if not self._closed:
+            self.close()
+
+    # ------------------------------------------------------------------
+    # snapshot maintenance
+    # ------------------------------------------------------------------
+    def refresh(self) -> int:
+        """Open any newly sealed segments; returns how many were added."""
+        self._check_open()
+        manifest = load_manifest(self.directory)
+        params = manifest["params"]
+        self._provenance = dict(manifest.get("provenance", {}))
+        added = 0
+        for info in manifest_segments(manifest):
+            if info.name in self._segment_names:
+                continue
+            segment = FileBackedArchive.open(
+                self.directory / SEGMENT_DIR / info.name,
+                cache_size=self.cache_size,
+                verify_crc=self.verify_crc,
+            )
+            if self._params is None:
+                self._params = segment.params
+            elif segment.params != self._params:
+                segment.close()
+                raise StreamArchiveError(
+                    f"segment {info.name} params differ from the archive's"
+                )
+            self._segments.append(segment)
+            self._segment_names.add(info.name)
+            for trajectory_id in segment.trajectory_ids():
+                self._id_to_segment[trajectory_id] = segment
+            added += 1
+        if self._params is None and params:
+            from .writer import _params_from_dict
+
+            self._params = _params_from_dict(params)
+        return added
+
+    # ------------------------------------------------------------------
+    # CompressedArchive-compatible surface
+    # ------------------------------------------------------------------
+    @property
+    def params(self) -> CompressionParams:
+        if self._params is None:
+            raise StreamArchiveError(
+                f"stream archive {self.directory} has no sealed segments yet"
+            )
+        return self._params
+
+    @property
+    def stats(self) -> CompressionStats:
+        total = CompressionStats()
+        for segment in self._segments:
+            total.add(segment.stats)
+        return total
+
+    @property
+    def provenance(self) -> dict[str, str]:
+        return dict(self._provenance)
+
+    @property
+    def trajectory_count(self) -> int:
+        return sum(s.trajectory_count for s in self._segments)
+
+    @property
+    def instance_count(self) -> int:
+        return sum(s.instance_count for s in self._segments)
+
+    @property
+    def segment_count(self) -> int:
+        return len(self._segments)
+
+    @property
+    def trajectories(self) -> _LiveTrajectorySequence:
+        return _LiveTrajectorySequence(self)
+
+    def trajectory_ids(self) -> list[int]:
+        self._check_open()
+        return sorted(self._id_to_segment)
+
+    def trajectory(self, trajectory_id: int) -> CompressedTrajectory:
+        self._check_open()
+        segment = self._id_to_segment.get(trajectory_id)
+        if segment is None:
+            raise KeyError(f"no trajectory {trajectory_id} in the archive")
+        return segment.trajectory(trajectory_id)

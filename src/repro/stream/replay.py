@@ -1,0 +1,133 @@
+"""Replay a dataset of raw GPS feeds as one timestamped fleet stream.
+
+Turns per-vehicle :class:`~repro.trajectories.model.RawTrajectory`
+feeds into a single globally time-ordered event stream (what a real
+ingestion endpoint receives from a fleet) and drives it through a
+:class:`~repro.stream.session.TripSessionizer` — optionally paced at
+``N×`` real time, optionally writing sealed trips straight into an
+:class:`~repro.stream.writer.AppendableArchiveWriter` — and reports the
+sustained ingestion rate in points per second.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from dataclasses import dataclass
+from typing import Callable, Hashable, Iterable, Iterator, Mapping, Sequence
+
+from ..trajectories.model import RawPoint, RawTrajectory, UncertainTrajectory
+from .session import TripSessionizer
+from .writer import AppendableArchiveWriter
+
+
+@dataclass
+class ReplayReport:
+    """What one replay run did."""
+
+    points: int
+    trips_sealed: int
+    trips_discarded: int
+    elapsed_seconds: float
+    first_time: int | None = None
+    last_time: int | None = None
+
+    @property
+    def points_per_second(self) -> float:
+        """Sustained ingestion rate (wall clock, not feed time)."""
+        if self.elapsed_seconds <= 0:
+            return float("inf")
+        return self.points / self.elapsed_seconds
+
+    @property
+    def feed_seconds(self) -> int:
+        if self.first_time is None or self.last_time is None:
+            return 0
+        return self.last_time - self.first_time
+
+
+def feed_events(
+    feeds: Mapping[Hashable, RawTrajectory] | Sequence[RawTrajectory],
+) -> Iterator[tuple[Hashable, RawPoint]]:
+    """Merge per-vehicle feeds into one stream ordered by timestamp.
+
+    A sequence of raw trajectories is treated as vehicles ``0..n-1``.
+    Each vehicle's feed is already time-ordered, so the merge is a heap
+    merge — O(log v) per point, streaming, never materialized.
+    """
+    if isinstance(feeds, Mapping):
+        items = list(feeds.items())
+    else:
+        items = list(enumerate(feeds))
+
+    def tagged(order: int, vehicle: Hashable, raw: RawTrajectory):
+        for point in raw:
+            yield point.t, order, vehicle, point
+
+    streams = [
+        tagged(order, vehicle, raw)
+        for order, (vehicle, raw) in enumerate(items)
+    ]
+    for _, _, vehicle, point in heapq.merge(*streams):
+        yield vehicle, point
+
+
+def replay(
+    sessionizer: TripSessionizer,
+    feeds: Mapping[Hashable, RawTrajectory] | Sequence[RawTrajectory],
+    *,
+    writer: AppendableArchiveWriter | None = None,
+    speed: float = 0.0,
+    on_trip: Callable[[UncertainTrajectory], None] | None = None,
+    sleep: Callable[[float], None] = time.sleep,
+) -> ReplayReport:
+    """Drive ``feeds`` through the sessionizer as one live stream.
+
+    ``speed`` scales feed time to wall time: ``60`` replays an hour of
+    GPS in one minute, ``0`` (the default) replays as fast as the
+    machine can ingest — the throughput-benchmark mode.  ``writer``
+    receives every sealed trip immediately (so segments seal, and a
+    :class:`~repro.stream.live.LiveArchive` can be queried, mid-replay);
+    the writer is flushed via :meth:`~AppendableArchiveWriter.
+    seal_segment` at the end but **not** closed — the caller owns it.
+    ``on_trip`` is called with every sealed trip.
+    """
+    if speed < 0:
+        raise ValueError(f"speed must be >= 0, got {speed}")
+    sealed_before = sessionizer.counters.trips_sealed
+    discarded_before = sessionizer.counters.trips_discarded
+    points = 0
+    first_time: int | None = None
+    last_time: int | None = None
+    started = time.perf_counter()
+
+    def deliver(trips: Iterable[UncertainTrajectory]) -> None:
+        for trip in trips:
+            if writer is not None:
+                writer.append(trip)
+            if on_trip is not None:
+                on_trip(trip)
+
+    for vehicle, point in feed_events(feeds):
+        if first_time is None:
+            first_time = point.t
+        if speed > 0:
+            due = started + (point.t - first_time) / speed
+            delay = due - time.perf_counter()
+            if delay > 0:
+                sleep(delay)
+        last_time = point.t
+        points += 1
+        deliver(sessionizer.observe(vehicle, point))
+    deliver(sessionizer.flush())
+    if writer is not None:
+        writer.seal_segment()
+    return ReplayReport(
+        points=points,
+        trips_sealed=sessionizer.counters.trips_sealed - sealed_before,
+        trips_discarded=sessionizer.counters.trips_discarded
+        - discarded_before,
+        elapsed_seconds=time.perf_counter() - started,
+        first_time=first_time,
+        last_time=last_time,
+    )

@@ -1,0 +1,222 @@
+"""Per-vehicle trip sessionization of a live matched point stream.
+
+A fleet feed is a single interleaved sequence of ``(vehicle_id, fix)``
+events.  :class:`TripSessionizer` keeps one
+:class:`~repro.stream.ingest.StreamingMapMatcher` per active vehicle
+(all sharing one spatial index) and cuts the per-vehicle streams into
+*trips* — the :class:`~repro.trajectories.model.UncertainTrajectory`
+units the compressor and archive operate on:
+
+* **gap cut** — a silence longer than ``gap_timeout`` seconds ends the
+  trip (the vehicle parked, or its uplink died);
+* **duration cut** — a trip reaching ``max_duration`` seconds is sealed
+  so no single trip grows without bound (beam partials grow linearly
+  with trip length);
+* **match cut** — a fix the beam cannot absorb seals the trip-so-far
+  and starts a new trip at that fix (a batch matcher would discard the
+  whole trajectory; online we salvage the matched prefix).
+
+Gap cuts alone only fire when the *same* vehicle sends another fix, so
+a vehicle that goes offline mid-trip would otherwise pin its beam in
+memory forever.  The sessionizer therefore also **evicts idle
+vehicles**: every ``evict_interval`` fixes (using the maximum observed
+timestamp as the clock) any vehicle silent beyond ``gap_timeout`` has
+its trip sealed and its per-vehicle state dropped, keeping memory
+bounded by the number of *currently active* vehicles, not every id
+ever seen.  :meth:`TripSessionizer.evict_idle` runs the same sweep on
+demand.
+
+Sealed trips shorter than ``min_points`` fixes are discarded.  Each
+sealed trip receives the next id from a monotonic counter, so ids are
+unique across the whole ingestion run — the appendable archive relies
+on this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Hashable
+
+from ..mapmatching.hmm import MatcherConfig, ProbabilisticMapMatcher
+from ..network.graph import RoadNetwork
+from ..trajectories.model import RawPoint, UncertainTrajectory
+from .ingest import ObserveStatus, StreamingMapMatcher
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """Trip-cutting policy."""
+
+    gap_timeout: float = 300.0  # seconds of silence that end a trip
+    max_duration: float = 4 * 3600.0  # hard cap on one trip's time span
+    min_points: int = 2  # sealed trips with fewer fixes are discarded
+
+    def __post_init__(self) -> None:
+        if self.gap_timeout <= 0:
+            raise ValueError("gap_timeout must be positive")
+        if self.max_duration <= 0:
+            raise ValueError("max_duration must be positive")
+        if self.min_points < 1:
+            raise ValueError("min_points must be at least 1")
+
+
+@dataclass
+class SessionCounters:
+    """Ingestion accounting across all vehicles."""
+
+    points: int = 0
+    stale_points: int = 0
+    trips_sealed: int = 0
+    trips_discarded: int = 0
+    cuts: dict[str, int] = field(
+        default_factory=lambda: {
+            "gap": 0, "duration": 0, "unmatchable": 0, "flush": 0,
+        }
+    )
+
+
+class TripSessionizer:
+    """Converts an interleaved fleet feed into sealed uncertain trips.
+
+    ``on_seal`` (if given) is called with every sealed trip in addition
+    to the trip being returned from :meth:`observe` / :meth:`flush` —
+    convenient for wiring the sessionizer straight into an
+    :class:`~repro.stream.writer.AppendableArchiveWriter`.
+    """
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        matcher_config: MatcherConfig | None = None,
+        config: SessionConfig | None = None,
+        *,
+        start_id: int = 0,
+        fixed_lag: int = 8,
+        evict_interval: int = 1024,
+        on_seal: Callable[[UncertainTrajectory], None] | None = None,
+    ) -> None:
+        if evict_interval < 1:
+            raise ValueError("evict_interval must be at least 1")
+        self.matcher = ProbabilisticMapMatcher(network, matcher_config)
+        self.config = config or SessionConfig()
+        self.fixed_lag = fixed_lag
+        self.evict_interval = evict_interval
+        self.on_seal = on_seal
+        self.counters = SessionCounters()
+        self._active: dict[Hashable, StreamingMapMatcher] = {}
+        self._next_id = start_id
+        self._clock: int | None = None
+        self._since_evict = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def active_vehicle_count(self) -> int:
+        return sum(1 for s in self._active.values() if s.point_count)
+
+    @property
+    def next_trajectory_id(self) -> int:
+        return self._next_id
+
+    def estimate(self, vehicle_id: Hashable):
+        """Fixed-lag position estimate of one vehicle (or ``None``)."""
+        state = self._active.get(vehicle_id)
+        if state is None:
+            return None
+        return state.fixed_lag_estimate()
+
+    # ------------------------------------------------------------------
+    def observe(
+        self, vehicle_id: Hashable, point: RawPoint
+    ) -> list[UncertainTrajectory]:
+        """Feed one fix; returns the trips this fix caused to be sealed
+        (usually none; more when an idle-vehicle sweep piggybacks)."""
+        self.counters.points += 1
+        sealed: list[UncertainTrajectory] = []
+        state = self._active.get(vehicle_id)
+        if state is None:
+            state = StreamingMapMatcher(
+                matcher=self.matcher, fixed_lag=self.fixed_lag
+            )
+            self._active[vehicle_id] = state
+
+        if state.point_count:
+            if point.t - state.last_time > self.config.gap_timeout:
+                self._seal(state, "gap", sealed)
+            elif point.t - state.start_time >= self.config.max_duration:
+                self._seal(state, "duration", sealed)
+
+        status = state.observe(point)
+        if status is ObserveStatus.STALE:
+            self.counters.stale_points += 1
+        elif status is ObserveStatus.UNMATCHABLE and state.point_count:
+            # salvage the matched prefix, restart the trip at this fix
+            self._seal(state, "unmatchable", sealed)
+            state.observe(point)
+
+        if self._clock is None or point.t > self._clock:
+            self._clock = point.t
+        self._since_evict += 1
+        if self._since_evict >= self.evict_interval:
+            sealed.extend(self.evict_idle())
+        return sealed
+
+    def evict_idle(self, now: int | None = None) -> list[UncertainTrajectory]:
+        """Seal and drop every vehicle silent beyond ``gap_timeout``.
+
+        ``now`` defaults to the maximum timestamp observed so far.  A
+        future fix from an evicted vehicle simply starts a new trip —
+        identical to what the gap cut would have produced, just without
+        waiting for that fix to arrive.
+        """
+        self._since_evict = 0
+        if now is None:
+            now = self._clock
+        if now is None:
+            return []
+        sealed: list[UncertainTrajectory] = []
+        idle = [
+            vehicle_id
+            for vehicle_id, state in self._active.items()
+            if not state.point_count
+            or now - state.last_time > self.config.gap_timeout
+        ]
+        for vehicle_id in idle:
+            state = self._active.pop(vehicle_id)
+            if state.point_count:
+                self._seal(state, "gap", sealed)
+        return sealed
+
+    def flush(
+        self, vehicle_id: Hashable | None = None
+    ) -> list[UncertainTrajectory]:
+        """Seal every active trip (or one vehicle's) — end of feed."""
+        sealed: list[UncertainTrajectory] = []
+        if vehicle_id is not None:
+            targets = [vehicle_id] if vehicle_id in self._active else []
+        else:
+            targets = list(self._active)
+        for target in targets:
+            state = self._active.pop(target)
+            if state.point_count:
+                self._seal(state, "flush", sealed)
+        return sealed
+
+    # ------------------------------------------------------------------
+    def _seal(
+        self,
+        state: StreamingMapMatcher,
+        reason: str,
+        sealed: list[UncertainTrajectory],
+    ) -> None:
+        point_count = state.point_count
+        trajectory = state.finish()
+        self.counters.cuts[reason] += 1
+        if trajectory is None or point_count < self.config.min_points:
+            self.counters.trips_discarded += 1
+            return
+        trajectory.trajectory_id = self._next_id
+        self._next_id += 1
+        self.counters.trips_sealed += 1
+        sealed.append(trajectory)
+        if self.on_seal is not None:
+            self.on_seal(trajectory)

@@ -1,0 +1,413 @@
+"""Appendable archives: rotating ``.utcq`` segments plus a JSON manifest.
+
+The batch ``.utcq`` format is write-once (header counts, directory and
+dataset-wide stats are all computed up front), which is exactly wrong
+for ingestion.  :class:`AppendableArchiveWriter` keeps the format
+untouched and gains appendability one level up, the way log-structured
+stores do:
+
+* sealed trips are compressed immediately (deterministically, via the
+  per-trajectory RNG) and buffered;
+* every ``segment_max_trajectories`` trips the buffer is written as an
+  ordinary, self-contained ``.utcq`` **segment** under ``segments/``;
+* ``manifest.json`` is rewritten atomically (tmp + ``os.replace``)
+  after each seal, recording the segment list, shared compression
+  params, aggregate stats, and provenance.
+
+Every segment is a valid archive readable by the standard
+:class:`~repro.io.reader.FileBackedArchive`, so a
+:class:`~repro.stream.live.LiveArchive` can union the sealed segments
+for querying *while ingestion continues*.  :func:`compact` later merges
+all segments into one canonical archive byte-compatible with
+:mod:`repro.io.format` — indistinguishable from a batch-written file.
+
+Because ingestion cannot know the dataset-wide maximum start time the
+batch pipeline derives ``t0_bits`` from, the writer fixes ``t0_bits``
+(default 32) up front; the parameter travels in the header, so readers,
+indexes and queries are unaffected.
+
+A writer re-opened on an existing directory resumes appending: the
+manifest is the recovery point (an interrupted run loses at most the
+unsealed buffer, never a sealed segment).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..bits.bitio import uint_width
+from ..core.archive import (
+    CompressedArchive,
+    CompressedTrajectory,
+    ComponentBits,
+    CompressionParams,
+    CompressionStats,
+)
+from ..core.compressor import (
+    DEFAULT_ETA_DISTANCE,
+    DEFAULT_ETA_PROBABILITY,
+    UTCQCompressor,
+)
+from ..io.format import read_archive, write_archive
+from ..network.graph import RoadNetwork
+from ..trajectories.model import UncertainTrajectory
+
+MANIFEST_NAME = "manifest.json"
+SEGMENT_DIR = "segments"
+MANIFEST_FORMAT = "utcq-stream-manifest"
+MANIFEST_VERSION = 1
+
+_COMPONENT_FIELDS = (
+    "time", "edge", "distance", "flags", "probability", "overhead",
+)
+
+
+class StreamArchiveError(Exception):
+    """Raised when a stream-archive directory or manifest is invalid."""
+
+
+# ----------------------------------------------------------------------
+# manifest (de)serialization helpers
+# ----------------------------------------------------------------------
+def _params_to_dict(params: CompressionParams) -> dict:
+    return {
+        "eta_distance": params.eta_distance,
+        "eta_probability": params.eta_probability,
+        "default_interval": params.default_interval,
+        "symbol_width": params.symbol_width,
+        "t0_bits": params.t0_bits,
+        "pivot_count": params.pivot_count,
+    }
+
+
+def _params_from_dict(data: dict) -> CompressionParams:
+    try:
+        return CompressionParams(**data)
+    except TypeError as error:
+        raise StreamArchiveError(f"bad params in manifest: {error}") from None
+
+
+def _stats_to_list(stats: CompressionStats) -> list[int]:
+    return [getattr(stats.original, f) for f in _COMPONENT_FIELDS] + [
+        getattr(stats.compressed, f) for f in _COMPONENT_FIELDS
+    ]
+
+
+def _stats_from_list(values: list[int]) -> CompressionStats:
+    if len(values) != 12:
+        raise StreamArchiveError(
+            f"manifest stats must hold 12 values, got {len(values)}"
+        )
+    return CompressionStats(
+        original=ComponentBits(*values[:6]),
+        compressed=ComponentBits(*values[6:]),
+    )
+
+
+@dataclass(frozen=True)
+class SegmentInfo:
+    """One sealed segment as recorded in the manifest."""
+
+    name: str
+    trajectory_count: int
+    instance_count: int
+    min_trajectory_id: int
+    max_trajectory_id: int
+    min_time: int
+    max_time: int
+    file_bytes: int
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "trajectory_count": self.trajectory_count,
+            "instance_count": self.instance_count,
+            "min_trajectory_id": self.min_trajectory_id,
+            "max_trajectory_id": self.max_trajectory_id,
+            "min_time": self.min_time,
+            "max_time": self.max_time,
+            "file_bytes": self.file_bytes,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SegmentInfo":
+        try:
+            return cls(**data)
+        except TypeError as error:
+            raise StreamArchiveError(
+                f"bad segment entry in manifest: {error}"
+            ) from None
+
+
+def load_manifest(directory) -> dict:
+    """Read and validate a stream-archive manifest; returns its dict."""
+    path = Path(directory) / MANIFEST_NAME
+    try:
+        with open(path, encoding="utf-8") as stream:
+            manifest = json.load(stream)
+    except FileNotFoundError:
+        raise StreamArchiveError(
+            f"no stream archive at {directory} (missing {MANIFEST_NAME})"
+        ) from None
+    except json.JSONDecodeError as error:
+        raise StreamArchiveError(f"corrupt manifest {path}: {error}") from None
+    if manifest.get("format") != MANIFEST_FORMAT:
+        raise StreamArchiveError(
+            f"{path} is not a stream-archive manifest"
+        )
+    if manifest.get("version") != MANIFEST_VERSION:
+        raise StreamArchiveError(
+            f"unsupported manifest version {manifest.get('version')}"
+        )
+    return manifest
+
+
+def manifest_segments(manifest: dict) -> list[SegmentInfo]:
+    return [SegmentInfo.from_dict(entry) for entry in manifest["segments"]]
+
+
+class AppendableArchiveWriter:
+    """Seals uncertain trips into rotating ``.utcq`` segment files.
+
+    Use as a context manager (or call :meth:`close`, which seals the
+    remaining buffer)::
+
+        with AppendableArchiveWriter(path, network, default_interval=10) as w:
+            for trip in trips:
+                w.append(trip)
+    """
+
+    def __init__(
+        self,
+        directory,
+        network: RoadNetwork,
+        *,
+        default_interval: int,
+        eta_distance: float = DEFAULT_ETA_DISTANCE,
+        eta_probability: float = DEFAULT_ETA_PROBABILITY,
+        pivot_count: int = 1,
+        seed: int = 17,
+        segment_max_trajectories: int = 64,
+        t0_bits: int = 32,
+        provenance: dict[str, str] | None = None,
+    ) -> None:
+        if segment_max_trajectories < 1:
+            raise ValueError("segment_max_trajectories must be >= 1")
+        self.directory = Path(directory)
+        self.segments_directory = self.directory / SEGMENT_DIR
+        self.segments_directory.mkdir(parents=True, exist_ok=True)
+        self._compressor = UTCQCompressor(
+            network=network,
+            default_interval=default_interval,
+            eta_distance=eta_distance,
+            eta_probability=eta_probability,
+            pivot_count=pivot_count,
+            seed=seed,
+        )
+        self.params = CompressionParams(
+            eta_distance=eta_distance,
+            eta_probability=eta_probability,
+            default_interval=default_interval,
+            symbol_width=uint_width(network.max_out_degree),
+            t0_bits=t0_bits,
+            pivot_count=pivot_count,
+        )
+        self.segment_max_trajectories = segment_max_trajectories
+        self.provenance = dict(provenance or {})
+        self._pending: list[CompressedTrajectory] = []
+        self._segments: list[SegmentInfo] = []
+        self._stats = CompressionStats()
+        self._last_id = -1
+        self._closed = False
+        if (self.directory / MANIFEST_NAME).exists():
+            self._resume()
+        else:
+            self._write_manifest()
+
+    def _resume(self) -> None:
+        manifest = load_manifest(self.directory)
+        existing = _params_from_dict(manifest["params"])
+        if existing != self.params:
+            raise StreamArchiveError(
+                f"cannot append to {self.directory}: existing params "
+                f"{existing} differ from writer params {self.params}"
+            )
+        self._segments = manifest_segments(manifest)
+        self._stats = _stats_from_list(manifest["stats"])
+        existing_provenance = dict(manifest.get("provenance", {}))
+        if not self.provenance:
+            self.provenance = existing_provenance
+        elif existing_provenance and self.provenance != existing_provenance:
+            # params can coincide across different source networks (same
+            # grid degree and interval); provenance is the identity check
+            # that keeps trips matched against network A from being
+            # appended next to trips matched against network B
+            raise StreamArchiveError(
+                f"cannot append to {self.directory}: its provenance "
+                f"{existing_provenance} differs from the writer's "
+                f"{self.provenance}"
+            )
+        if self._segments:
+            self._last_id = max(s.max_trajectory_id for s in self._segments)
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    @property
+    def next_trajectory_id(self) -> int:
+        """Smallest id :meth:`append` will accept (resume support)."""
+        return self._last_id + 1
+
+    @property
+    def segment_count(self) -> int:
+        return len(self._segments)
+
+    @property
+    def sealed_trajectory_count(self) -> int:
+        return sum(s.trajectory_count for s in self._segments)
+
+    @property
+    def stats(self) -> CompressionStats:
+        """Aggregate stats over every trip sealed so far (incl. pending)."""
+        return self._stats
+
+    def segments(self) -> list[SegmentInfo]:
+        return list(self._segments)
+
+    # ------------------------------------------------------------------
+    # ingestion
+    # ------------------------------------------------------------------
+    def append(self, trajectory: UncertainTrajectory) -> None:
+        """Compress one sealed trip into the current segment buffer."""
+        if self._closed:
+            raise StreamArchiveError("writer is closed")
+        if trajectory.trajectory_id <= self._last_id:
+            raise StreamArchiveError(
+                f"trajectory ids must be strictly increasing: got "
+                f"{trajectory.trajectory_id} after {self._last_id}"
+            )
+        compressed = self._compressor.compress_trajectory(
+            trajectory,
+            self.params,
+            self._compressor.trajectory_rng(trajectory.trajectory_id),
+        )
+        self._last_id = trajectory.trajectory_id
+        self._pending.append(compressed)
+        self._stats.add(compressed.stats)
+        if len(self._pending) >= self.segment_max_trajectories:
+            self.seal_segment()
+
+    def seal_segment(self) -> SegmentInfo | None:
+        """Write the buffered trips as one ``.utcq`` segment file."""
+        if self._closed:
+            raise StreamArchiveError("writer is closed")
+        if not self._pending:
+            return None
+        name = f"seg-{len(self._segments):05d}.utcq"
+        archive = CompressedArchive(
+            params=self.params, trajectories=list(self._pending)
+        )
+        size = write_archive(
+            archive, self.segments_directory / name, provenance=self.provenance
+        )
+        info = SegmentInfo(
+            name=name,
+            trajectory_count=archive.trajectory_count,
+            instance_count=archive.instance_count,
+            min_trajectory_id=self._pending[0].trajectory_id,
+            max_trajectory_id=self._pending[-1].trajectory_id,
+            min_time=min(t.start_time for t in self._pending),
+            max_time=max(t.end_time for t in self._pending),
+            file_bytes=size,
+        )
+        self._segments.append(info)
+        self._pending.clear()
+        self._write_manifest()
+        return info
+
+    def close(self) -> None:
+        """Seal the remaining buffer and stop accepting trips."""
+        if self._closed:
+            return
+        self.seal_segment()
+        self._closed = True
+
+    def __enter__(self) -> "AppendableArchiveWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _write_manifest(self) -> None:
+        manifest = {
+            "format": MANIFEST_FORMAT,
+            "version": MANIFEST_VERSION,
+            "params": _params_to_dict(self.params),
+            "provenance": self.provenance,
+            "stats": _stats_to_list(self._stats),
+            "trajectory_count": self.sealed_trajectory_count,
+            "instance_count": sum(s.instance_count for s in self._segments),
+            "segments": [s.as_dict() for s in self._segments],
+        }
+        tmp = self.directory / (MANIFEST_NAME + ".tmp")
+        with open(tmp, "w", encoding="utf-8") as stream:
+            json.dump(manifest, stream, indent=2, sort_keys=True)
+            stream.write("\n")
+        os.replace(tmp, self.directory / MANIFEST_NAME)
+
+
+# ----------------------------------------------------------------------
+# compaction
+# ----------------------------------------------------------------------
+def compact(
+    directory,
+    output,
+    *,
+    extra_provenance: dict[str, str] | None = None,
+) -> tuple[int, int]:
+    """Merge all sealed segments into one canonical ``.utcq`` archive.
+
+    Every segment is read back with full CRC verification, the records
+    are concatenated in trajectory-id order, and the result is written
+    through the ordinary batch serializer — the output is
+    byte-compatible with :func:`repro.io.format.write_archive` and
+    carries the manifest's provenance (plus ``compacted_segments``).
+    Returns ``(file_bytes, trajectory_count)``.  The segment files are
+    left in place; delete the directory once the compacted archive is
+    verified.
+    """
+    directory = Path(directory)
+    manifest = load_manifest(directory)
+    params = _params_from_dict(manifest["params"])
+    segments = manifest_segments(manifest)
+    trajectories: list[CompressedTrajectory] = []
+    for info in segments:
+        segment = read_archive(directory / SEGMENT_DIR / info.name)
+        if segment.params != params:
+            raise StreamArchiveError(
+                f"segment {info.name} params differ from the manifest"
+            )
+        trajectories.extend(segment.trajectories)
+    seen: set[int] = set()
+    for trajectory in trajectories:
+        if trajectory.trajectory_id in seen:
+            raise StreamArchiveError(
+                f"duplicate trajectory id {trajectory.trajectory_id} "
+                f"across segments"
+            )
+        seen.add(trajectory.trajectory_id)
+    trajectories.sort(key=lambda t: t.trajectory_id)
+    archive = CompressedArchive(params=params, trajectories=trajectories)
+    provenance = dict(manifest.get("provenance", {}))
+    provenance["compacted_segments"] = str(len(segments))
+    provenance.update(extra_provenance or {})
+    size = write_archive(archive, output, provenance=provenance)
+    return size, archive.trajectory_count

@@ -10,7 +10,12 @@ from .harness import (
     time_ted_queries,
     time_utcq_queries,
 )
-from .reporting import EXPERIMENT_LOG, ExperimentLog, render_table
+from .reporting import (
+    EXPERIMENT_LOG,
+    ExperimentLog,
+    ExperimentTable,
+    render_table,
+)
 
 __all__ = [
     "CompressionRun",
@@ -23,5 +28,6 @@ __all__ = [
     "time_utcq_queries",
     "EXPERIMENT_LOG",
     "ExperimentLog",
+    "ExperimentTable",
     "render_table",
 ]

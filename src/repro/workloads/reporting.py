@@ -2,12 +2,18 @@
 
 Each benchmark prints the rows the paper's tables and figures report.
 ``render_table`` produces plain-text tables; ``ExperimentLog`` gathers
-them so a pytest terminal-summary hook can echo everything at the end of
-a benchmark session.
+them — structurally, not as rendered text — so a pytest
+terminal-summary hook can echo everything at the end of a benchmark
+session *and* dump the same runs machine-readably
+(:meth:`ExperimentLog.write_json`), which is how the ``BENCH_*.json``
+files under ``benchmarks/results/`` track the perf trajectory over
+time.
 """
 
 from __future__ import annotations
 
+import json
+import math
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -45,21 +51,66 @@ def render_table(
     return "\n".join(lines)
 
 
+def _json_safe(value):
+    """JSON has no Infinity/NaN tokens; map non-finite floats to None."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    return value
+
+
+@dataclass(frozen=True)
+class ExperimentTable:
+    """One recorded experiment: a title, column headers, and data rows."""
+
+    title: str
+    headers: tuple[str, ...]
+    rows: tuple[tuple, ...]
+
+    def render(self) -> str:
+        return render_table(self.title, list(self.headers), [list(r) for r in self.rows])
+
+    def as_dict(self) -> dict:
+        return {
+            "title": self.title,
+            "headers": list(self.headers),
+            "rows": [[_json_safe(cell) for cell in row] for row in self.rows],
+        }
+
+
 @dataclass
 class ExperimentLog:
-    """Accumulates rendered tables across a benchmark session."""
+    """Accumulates experiment tables across a benchmark session."""
 
-    tables: list[str] = field(default_factory=list)
+    tables: list[ExperimentTable] = field(default_factory=list)
 
     def record(
         self, title: str, headers: Sequence[str], rows: Sequence[Sequence]
     ) -> str:
-        table = render_table(title, headers, rows)
+        """Record one table; returns its plain-text rendering."""
+        table = ExperimentTable(
+            title, tuple(headers), tuple(tuple(row) for row in rows)
+        )
         self.tables.append(table)
-        return table
+        return table.render()
 
     def dump(self) -> str:
-        return "\n\n".join(self.tables)
+        return "\n\n".join(table.render() for table in self.tables)
+
+    def write_json(self, path) -> None:
+        """Dump every recorded run machine-readably to ``path``.
+
+        The document is ``{"format": "repro-bench", "version": 1,
+        "tables": [{title, headers, rows}, ...]}``; non-finite floats
+        become ``null`` so the output is strict JSON.
+        """
+        document = {
+            "format": "repro-bench",
+            "version": 1,
+            "tables": [table.as_dict() for table in self.tables],
+        }
+        with open(path, "w", encoding="utf-8") as stream:
+            json.dump(document, stream, indent=2)
+            stream.write("\n")
 
     def clear(self) -> None:
         self.tables.clear()

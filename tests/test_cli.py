@@ -214,3 +214,87 @@ def test_version(capsys):
     with pytest.raises(SystemExit) as excinfo:
         main(["--version"])
     assert excinfo.value.code == 0
+
+
+def test_version_reports_package_version(capsys):
+    import repro
+
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version"])
+    assert excinfo.value.code == 0
+    assert capsys.readouterr().out.strip() == f"repro {repro.__version__}"
+
+
+# ----------------------------------------------------------------------
+# streaming subcommands
+# ----------------------------------------------------------------------
+STREAM_ARGS = [
+    "--profile", "CD", "--count", "6", "--dataset-seed", "21",
+    "--network-scale", "12", "--segment-size", "2",
+]
+
+
+@pytest.fixture(scope="module")
+def stream_directory(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("stream-cli") / "fleet"
+    code = main(["stream", "replay", str(directory), *STREAM_ARGS, "--quiet"])
+    assert code == 0
+    return directory
+
+
+def test_stream_replay_reports_throughput(tmp_path, capsys):
+    directory = tmp_path / "fleet"
+    code = main(
+        ["stream", "replay", str(directory), "--profile", "CD",
+         "--count", "3", "--dataset-seed", "5", "--network-scale", "12"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "points/sec sustained" in out
+    assert "sealed" in out
+
+
+def test_stream_stats_json(stream_directory, capsys):
+    assert main(["stream", "stats", str(stream_directory), "--json"]) == 0
+    manifest = json.loads(capsys.readouterr().out)
+    assert manifest["format"] == "utcq-stream-manifest"
+    assert manifest["trajectory_count"] > 0
+    assert len(manifest["segments"]) >= 2
+    assert manifest["provenance"]["profile"] == "CD"
+
+
+def test_stream_stats_text(stream_directory, capsys):
+    assert main(["stream", "stats", str(stream_directory)]) == 0
+    out = capsys.readouterr().out
+    assert "stream archive" in out
+    assert "seg-00000.utcq" in out
+
+
+def test_stream_stats_rejects_missing_directory(tmp_path):
+    with pytest.raises(SystemExit, match="no stream archive"):
+        main(["stream", "stats", str(tmp_path / "nope")])
+
+
+def test_stream_compact_then_query(stream_directory, tmp_path, capsys):
+    output = tmp_path / "fleet.utcq"
+    assert main(
+        ["stream", "compact", str(stream_directory), str(output)]
+    ) == 0
+    assert "compacted" in capsys.readouterr().out
+    assert main(["info", str(output), "--check", "--json"]) == 0
+    document = json.loads(capsys.readouterr().out)
+    assert document["crc_checked"] is True
+    assert document["provenance"]["generator"] == "repro.stream.replay"
+
+    # the compacted archive answers queries via its recorded provenance
+    with FileBackedArchive.open(output) as archive:
+        trajectory_id = archive.trajectory_ids()[0]
+        trajectory = archive.trajectory(trajectory_id)
+        t = (trajectory.start_time + trajectory.end_time) // 2
+    code = main(
+        ["query", "where", str(output),
+         "--trajectory", str(trajectory_id), "--time", str(t),
+         "--alpha", "0.1", "--json"]
+    )
+    assert code == 0
+    json.loads(capsys.readouterr().out)

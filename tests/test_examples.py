@@ -29,6 +29,7 @@ ALL_EXAMPLES = [
     "query_without_decompression.py",
     "map_matching_pipeline.py",
     "persist_and_query.py",
+    "stream_replay.py",
 ]
 
 
@@ -74,3 +75,17 @@ def test_query_example_runs():
     assert result.returncode == 0, result.stderr
     assert "StIU index" in result.stdout
     assert "where(" in result.stdout
+
+
+def test_stream_replay_example_runs():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "stream_replay.py")],
+        capture_output=True,
+        text=True,
+        env=SUBPROCESS_ENV,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "querying while ingesting" in result.stdout
+    assert "points/sec sustained" in result.stdout
+    assert "live and compacted query results agree" in result.stdout

@@ -90,3 +90,31 @@ def test_lazy_cache_stays_bounded(processors):
         t = (trajectory.start_time + trajectory.end_time) // 2
         file_backed.where(trajectory.trajectory_id, t, alpha=0.5)
     assert file_backed.archive.cached_trajectory_count() <= 2
+
+
+def test_lifecycle_hygiene(setup):
+    """Regression: double close and use-after-close raise a clear
+    ArchiveClosedError, not a cryptic I/O failure."""
+    from repro.io import ArchiveClosedError
+
+    _, _, _, path = setup
+    archive = FileBackedArchive.open(path)
+    first_id = archive.trajectory_ids()[0]
+    archive.trajectory(first_id)
+    assert not archive.closed
+    archive.close()
+    assert archive.closed
+    with pytest.raises(ArchiveClosedError, match="closed"):
+        archive.trajectory(first_id)
+    with pytest.raises(ArchiveClosedError, match="closed"):
+        list(archive.trajectories)
+    with pytest.raises(ArchiveClosedError, match="already closed"):
+        archive.close()
+
+
+def test_context_manager_tolerates_inner_close(setup):
+    """Closing inside a with-block must not make __exit__ blow up."""
+    _, _, _, path = setup
+    with FileBackedArchive.open(path) as archive:
+        archive.close()
+    assert archive.closed

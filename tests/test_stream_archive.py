@@ -1,0 +1,365 @@
+"""Appendable segment archives, the live union view, and compaction.
+
+The acceptance test of the streaming subsystem lives here: replaying a
+raw-GPS dataset through ``StreamingMapMatcher -> TripSessionizer ->
+AppendableArchiveWriter`` and compacting must yield an archive whose
+StIU query results match compressing the same matched dataset through
+the batch pipeline — and where/when/range queries must already work on
+the live (uncompacted) segment view mid-ingestion.
+"""
+
+import json
+
+import pytest
+
+from repro.core.compressor import UTCQCompressor
+from repro.io.format import read_archive
+from repro.io.reader import FileBackedArchive
+from repro.mapmatching import MatcherConfig, synthesize_raw_dataset
+from repro.network.generators import grid_network
+from repro.query.queries import UTCQQueryProcessor
+from repro.query.stiu import StIUIndex
+from repro.stream import (
+    AppendableArchiveWriter,
+    LiveArchive,
+    SessionConfig,
+    StreamArchiveError,
+    TripSessionizer,
+    compact,
+    load_manifest,
+    replay,
+)
+from repro.trajectories.datasets import CD
+
+MATCHER = MatcherConfig(sigma=20.0, search_radius=50.0)
+
+
+@pytest.fixture(scope="module")
+def network():
+    return grid_network(8, 8, spacing=100.0)
+
+
+@pytest.fixture(scope="module")
+def feeds(network):
+    return synthesize_raw_dataset(
+        network, CD.generation_config(), 10, seed=51, noise_sigma=15.0
+    )
+
+
+@pytest.fixture(scope="module")
+def streamed(network, feeds, tmp_path_factory):
+    """Replay the feeds into a stream archive; returns (dir, trips)."""
+    directory = tmp_path_factory.mktemp("stream") / "fleet"
+    trips = []
+    sessionizer = TripSessionizer(
+        network, MATCHER, SessionConfig(gap_timeout=100_000.0)
+    )
+    with AppendableArchiveWriter(
+        directory,
+        network,
+        default_interval=CD.default_interval,
+        segment_max_trajectories=3,
+    ) as writer:
+        replay(sessionizer, feeds, writer=writer, on_trip=trips.append)
+    return directory, trips
+
+
+class TestWriter:
+    def test_segments_rotate_and_manifest_tracks_them(self, streamed):
+        directory, trips = streamed
+        manifest = load_manifest(directory)
+        assert manifest["trajectory_count"] == len(trips)
+        names = [entry["name"] for entry in manifest["segments"]]
+        assert len(names) == -(-len(trips) // 3)  # ceil division
+        assert names == sorted(names)
+        covered = []
+        for entry in manifest["segments"]:
+            assert (directory / "segments" / entry["name"]).exists()
+            covered.extend(
+                range(
+                    entry["min_trajectory_id"],
+                    entry["max_trajectory_id"] + 1,
+                )
+            )
+        assert covered == [t.trajectory_id for t in trips]
+
+    def test_each_segment_is_a_valid_archive(self, streamed):
+        directory, _ = streamed
+        manifest = load_manifest(directory)
+        for entry in manifest["segments"]:
+            with FileBackedArchive.open(
+                directory / "segments" / entry["name"]
+            ) as segment:
+                assert segment.trajectory_count == entry["trajectory_count"]
+
+    def test_writer_rejects_non_monotonic_ids(self, network, tmp_path):
+        writer = AppendableArchiveWriter(
+            tmp_path / "w", network, default_interval=10
+        )
+        with pytest.raises(StreamArchiveError):
+            writer.append(_trip_with_id(network, -1))
+
+    def test_reopen_resumes_appending(self, network, feeds, tmp_path):
+        directory = tmp_path / "resumable"
+        sessionizer = TripSessionizer(
+            network, MATCHER, SessionConfig(gap_timeout=100_000.0)
+        )
+        with AppendableArchiveWriter(
+            directory, network, default_interval=CD.default_interval,
+            segment_max_trajectories=2,
+        ) as writer:
+            replay(sessionizer, feeds[:4], writer=writer)
+            first_segments = writer.segment_count
+        # a fresh writer on the same directory picks up where we left off
+        with AppendableArchiveWriter(
+            directory, network, default_interval=CD.default_interval,
+            segment_max_trajectories=2,
+        ) as writer:
+            sealed = replay(sessionizer, feeds[4:], writer=writer)
+            assert writer.segment_count > first_segments
+        manifest = load_manifest(directory)
+        assert manifest["trajectory_count"] == sessionizer.counters.trips_sealed
+        # ids stayed strictly increasing across the restart
+        ids = [
+            entry["min_trajectory_id"] for entry in manifest["segments"]
+        ]
+        assert ids == sorted(ids)
+        assert sealed.trips_sealed > 0
+
+    def test_reopen_with_different_params_is_refused(self, network, tmp_path):
+        directory = tmp_path / "locked"
+        AppendableArchiveWriter(
+            directory, network, default_interval=10
+        ).close()
+        with pytest.raises(StreamArchiveError):
+            AppendableArchiveWriter(
+                directory, network, default_interval=20
+            )
+
+
+class TestLiveArchive:
+    def test_union_view_serves_queries_mid_ingestion(
+        self, network, feeds, tmp_path
+    ):
+        """Seal part of the feed, query the live view, keep ingesting,
+        refresh, and see the new segments — ingestion never stops."""
+        directory = tmp_path / "live"
+        sessionizer = TripSessionizer(
+            network, MATCHER, SessionConfig(gap_timeout=100_000.0)
+        )
+        writer = AppendableArchiveWriter(
+            directory, network, default_interval=CD.default_interval,
+            segment_max_trajectories=2,
+        )
+        replay(sessionizer, feeds[:5], writer=writer)
+
+        live = LiveArchive(directory)
+        mid_count = live.trajectory_count
+        assert mid_count > 0
+        index = StIUIndex(network, live)
+        processor = UTCQQueryProcessor(network, live, index)
+        answered = 0
+        for trajectory_id in live.trajectory_ids():
+            trajectory = live.trajectory(trajectory_id)
+            t = (trajectory.start_time + trajectory.end_time) // 2
+            results = processor.where(trajectory_id, t, alpha=0.1)
+            answered += bool(results)
+        assert answered > 0
+
+        # ingestion continues while the live view is open
+        replay(sessionizer, feeds[5:], writer=writer)
+        writer.close()
+        added = live.refresh()
+        assert added > 0
+        assert live.trajectory_count > mid_count
+        assert live.trajectory_count == load_manifest(directory)[
+            "trajectory_count"
+        ]
+        live.close()
+
+    def test_live_stats_aggregate_segments(self, streamed):
+        directory, _ = streamed
+        with LiveArchive(directory) as live:
+            stats = live.stats
+            assert stats.compressed.total > 0
+            # the manifest records the same aggregate
+            manifest = load_manifest(directory)
+            assert stats.original.total == sum(manifest["stats"][:6])
+            assert stats.compressed.total == sum(manifest["stats"][6:])
+
+    def test_unknown_trajectory_raises_keyerror(self, streamed):
+        directory, trips = streamed
+        with LiveArchive(directory) as live:
+            with pytest.raises(KeyError):
+                live.trajectory(max(t.trajectory_id for t in trips) + 99)
+
+
+class TestCompaction:
+    def test_compacted_file_is_canonical_and_complete(
+        self, streamed, tmp_path
+    ):
+        directory, trips = streamed
+        output = tmp_path / "fleet.utcq"
+        size, count = compact(directory, output)
+        assert size == output.stat().st_size
+        assert count == len(trips)
+        archive = read_archive(output)  # verifies every record CRC
+        assert [t.trajectory_id for t in archive.trajectories] == [
+            t.trajectory_id for t in trips
+        ]
+        assert archive.params.default_interval == CD.default_interval
+
+    def test_compacted_queries_match_live_view(
+        self, network, streamed, tmp_path
+    ):
+        directory, trips = streamed
+        output = tmp_path / "same.utcq"
+        compact(directory, output)
+        with LiveArchive(directory) as live, FileBackedArchive.open(
+            output
+        ) as compacted:
+            live_processor = UTCQQueryProcessor(
+                network, live, StIUIndex(network, live)
+            )
+            compacted_processor = UTCQQueryProcessor(
+                network, compacted, StIUIndex(network, compacted)
+            )
+            for trip in trips:
+                t = (trip.start_time + trip.end_time) // 2
+                assert live_processor.where(
+                    trip.trajectory_id, t, alpha=0.1
+                ) == compacted_processor.where(
+                    trip.trajectory_id, t, alpha=0.1
+                )
+
+
+class TestEndToEndAcceptance:
+    def test_streaming_pipeline_matches_batch_pipeline(
+        self, network, streamed, tmp_path
+    ):
+        """The issue's acceptance criterion: streaming ingest + compact
+        must answer where/when/range queries identically to the batch
+        pipeline run over the same matched dataset."""
+        directory, trips = streamed
+        output = tmp_path / "streamed.utcq"
+        compact(directory, output)
+        streamed_archive = read_archive(output)
+
+        # batch pipeline over the *same* uncertain trajectories, using
+        # the same params the writer fixed up front
+        compressor = UTCQCompressor(
+            network=network, default_interval=CD.default_interval
+        )
+        params = streamed_archive.params
+        batch_archive = type(streamed_archive)(
+            params=params,
+            trajectories=[
+                compressor.compress_trajectory(
+                    trip, params, compressor.trajectory_rng(trip.trajectory_id)
+                )
+                for trip in trips
+            ],
+        )
+
+        streamed_processor = UTCQQueryProcessor(
+            network, streamed_archive, StIUIndex(network, streamed_archive)
+        )
+        batch_processor = UTCQQueryProcessor(
+            network, batch_archive, StIUIndex(network, batch_archive)
+        )
+
+        from repro.network.grid import Rect
+
+        answered_where = answered_when = 0
+        for trip in trips:
+            t = (trip.start_time + trip.end_time) // 2
+            where_streamed = streamed_processor.where(
+                trip.trajectory_id, t, alpha=0.1
+            )
+            assert where_streamed == batch_processor.where(
+                trip.trajectory_id, t, alpha=0.1
+            )
+            answered_where += bool(where_streamed)
+
+            location = trip.best_instance().locations[0]
+            rd = min(
+                location.ndist / network.edge_length(*location.edge), 0.999
+            )
+            when_streamed = streamed_processor.when(
+                trip.trajectory_id, location.edge, rd, alpha=0.1
+            )
+            assert when_streamed == batch_processor.when(
+                trip.trajectory_id, location.edge, rd, alpha=0.1
+            )
+            answered_when += bool(when_streamed)
+
+            x, y = location.position(network)
+            rect = Rect(x - 150, y - 150, x + 150, y + 150)
+            assert streamed_processor.range(
+                rect, trip.times[0], alpha=0.1
+            ) == batch_processor.range(rect, trip.times[0], alpha=0.1)
+
+        assert answered_where > 0
+        assert answered_when > 0
+
+    def test_streamed_records_are_byte_identical_to_batch(
+        self, network, streamed, tmp_path
+    ):
+        """Stronger than query equality: with identical params the
+        streaming writer's compressed records are the batch
+        compressor's bytes, record for record."""
+        from repro.io.format import encode_trajectory_record
+
+        directory, trips = streamed
+        output = tmp_path / "bytes.utcq"
+        compact(directory, output)
+        streamed_archive = read_archive(output)
+        compressor = UTCQCompressor(
+            network=network, default_interval=CD.default_interval
+        )
+        for trip, stored in zip(trips, streamed_archive.trajectories):
+            expected = compressor.compress_trajectory(
+                trip,
+                streamed_archive.params,
+                compressor.trajectory_rng(trip.trajectory_id),
+            )
+            assert encode_trajectory_record(
+                stored
+            ) == encode_trajectory_record(expected)
+
+
+def _trip_with_id(network, trajectory_id):
+    """A minimal valid uncertain trajectory for writer edge cases."""
+    from repro.trajectories.model import (
+        MappedLocation,
+        TrajectoryInstance,
+        UncertainTrajectory,
+    )
+
+    edge = next(iter(network.edges()))
+    key = (edge.start, edge.end)
+    instance = TrajectoryInstance(
+        path=[key],
+        locations=[MappedLocation(key, 0.0), MappedLocation(key, 1.0)],
+        probability=1.0,
+    )
+    return UncertainTrajectory(trajectory_id, [instance], [0, 10])
+
+
+def test_reopen_with_different_provenance_is_refused(network, tmp_path):
+    """Params can coincide across source networks; provenance is the
+    identity check that stops mixed-network archives."""
+    directory = tmp_path / "mixed"
+    AppendableArchiveWriter(
+        directory, network, default_interval=10,
+        provenance={"profile": "CD", "dataset_seed": "11"},
+    ).close()
+    with pytest.raises(StreamArchiveError, match="provenance"):
+        AppendableArchiveWriter(
+            directory, network, default_interval=10,
+            provenance={"profile": "CD", "dataset_seed": "99"},
+        )
+    # no provenance given -> inherit the archive's and proceed
+    writer = AppendableArchiveWriter(directory, network, default_interval=10)
+    assert writer.provenance["dataset_seed"] == "11"
+    writer.close()

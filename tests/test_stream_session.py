@@ -1,0 +1,244 @@
+"""Trip sessionization: cut policies, fleet interleaving, accounting."""
+
+import random
+
+import pytest
+
+from repro.mapmatching import MatcherConfig, synthesize_raw_trajectory
+from repro.network.generators import grid_network
+from repro.stream import SessionConfig, TripSessionizer
+from repro.trajectories.datasets import CD
+from repro.trajectories.model import RawPoint, RawTrajectory
+
+MATCHER = MatcherConfig(sigma=20.0, search_radius=50.0)
+
+
+@pytest.fixture(scope="module")
+def network():
+    return grid_network(8, 8, spacing=100.0)
+
+
+def feed_of(network, seed, *, offset=0):
+    rng = random.Random(seed)
+    raw = synthesize_raw_trajectory(
+        network, CD.generation_config(), rng, noise_sigma=10.0
+    )
+    if offset:
+        raw = RawTrajectory(
+            tuple(RawPoint(p.x, p.y, p.t + offset) for p in raw)
+        )
+    return raw
+
+
+class TestConfigValidation:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            SessionConfig(gap_timeout=0)
+        with pytest.raises(ValueError):
+            SessionConfig(max_duration=-1)
+        with pytest.raises(ValueError):
+            SessionConfig(min_points=0)
+
+
+class TestCuts:
+    def test_max_duration_cut(self, network):
+        raw = feed_of(network, 41)
+        span = raw.times[-1] - raw.times[0]
+        assert span > 40  # the cut must actually trigger mid-feed
+        sessionizer = TripSessionizer(
+            network, MATCHER,
+            SessionConfig(
+                gap_timeout=10_000.0, max_duration=span / 2, min_points=1
+            ),
+        )
+        sealed = []
+        for point in raw:
+            sealed.extend(sessionizer.observe("v", point))
+        sealed.extend(sessionizer.flush())
+        assert sessionizer.counters.cuts["duration"] >= 1
+        assert len(sealed) >= 2
+        # the pieces partition the accepted points
+        total = sum(len(t.times) for t in sealed)
+        assert total == len(raw)
+        for trip in sealed:
+            assert trip.times[-1] - trip.times[0] <= span / 2
+
+    def test_min_points_discards_single_point_trips(self, network):
+        sessionizer = TripSessionizer(
+            network, MATCHER, SessionConfig(gap_timeout=60.0, min_points=2)
+        )
+        # two fixes separated by a huge gap: each trip has one point
+        sessionizer.observe("v", RawPoint(50.0, 10.0, 0))
+        sealed = sessionizer.observe("v", RawPoint(250.0, 10.0, 1_000))
+        assert sealed == []
+        assert sessionizer.counters.trips_discarded == 1  # the gap-cut one
+        assert sessionizer.flush() == []
+        assert sessionizer.counters.trips_discarded == 2  # + the flushed one
+        assert sessionizer.counters.cuts["gap"] == 1
+        assert sessionizer.counters.cuts["flush"] == 1
+
+    def test_min_points_one_keeps_single_point_trips(self, network):
+        sessionizer = TripSessionizer(
+            network, MATCHER, SessionConfig(gap_timeout=60.0, min_points=1)
+        )
+        sessionizer.observe("v", RawPoint(50.0, 10.0, 0))
+        sealed = sessionizer.flush()
+        assert len(sealed) == 1
+        assert len(sealed[0].times) == 1
+
+
+class TestFleet:
+    def test_vehicles_are_isolated(self, network):
+        """Interleaving two vehicles' feeds must give the same trips as
+        feeding each alone."""
+        raw_a = feed_of(network, 42)
+        raw_b = feed_of(network, 43, offset=raw_a.times[0] - 1000)
+        config = SessionConfig(gap_timeout=100_000.0)
+
+        interleaved = TripSessionizer(network, MATCHER, config)
+        events = sorted(
+            [("a", p) for p in raw_a] + [("b", p) for p in raw_b],
+            key=lambda item: item[1].t,
+        )
+        sealed = []
+        for vehicle, point in events:
+            sealed.extend(interleaved.observe(vehicle, point))
+        sealed.extend(interleaved.flush())
+        assert len(sealed) == 2
+        by_first_time = sorted(sealed, key=lambda t: t.times[0])
+
+        for raw, trip in zip(
+            sorted([raw_a, raw_b], key=lambda r: r.times[0]), by_first_time
+        ):
+            solo = TripSessionizer(network, MATCHER, config)
+            expected = []
+            for point in raw:
+                expected.extend(solo.observe("x", point))
+            expected.extend(solo.flush())
+            assert len(expected) == 1
+            assert trip.times == expected[0].times
+            assert [i.signature() for i in trip.instances] == [
+                i.signature() for i in expected[0].instances
+            ]
+
+    def test_ids_are_unique_and_monotonic(self, network):
+        sessionizer = TripSessionizer(
+            network, MATCHER, SessionConfig(gap_timeout=100_000.0),
+            start_id=50,
+        )
+        for seed, vehicle in ((44, "a"), (45, "b"), (46, "c")):
+            for point in feed_of(network, seed):
+                sessionizer.observe(vehicle, point)
+        sealed = sessionizer.flush()
+        ids = [t.trajectory_id for t in sealed]
+        assert ids == sorted(ids)
+        assert len(set(ids)) == len(ids)
+        assert min(ids) == 50
+
+    def test_on_seal_callback_sees_every_trip(self, network):
+        seen = []
+        sessionizer = TripSessionizer(
+            network, MATCHER, SessionConfig(gap_timeout=100_000.0),
+            on_seal=seen.append,
+        )
+        for point in feed_of(network, 47):
+            sessionizer.observe("v", point)
+        sealed = sessionizer.flush()
+        assert seen == sealed
+
+    def test_estimate_tracks_active_vehicle(self, network):
+        sessionizer = TripSessionizer(network, MATCHER)
+        assert sessionizer.estimate("ghost") is None
+        raw = feed_of(network, 48)
+        for point in raw:
+            sessionizer.observe("v", point)
+        estimate = sessionizer.estimate("v")
+        assert estimate is not None
+        _, location = estimate
+        assert network.edge_length(*location.edge) >= location.ndist
+
+
+class TestIdleEviction:
+    def test_evict_idle_seals_silent_vehicles(self, network):
+        sessionizer = TripSessionizer(
+            network, MATCHER, SessionConfig(gap_timeout=100.0)
+        )
+        raw = feed_of(network, 60)
+        for point in raw:
+            sessionizer.observe("gone", point)
+        # another vehicle keeps the clock advancing far past the timeout
+        late = RawPoint(50.0, 10.0, raw.times[-1] + 1_000)
+        sessionizer.observe("here", late)
+        sealed = sessionizer.evict_idle()
+        assert [t.times for t in sealed] == [list(raw.times)]
+        assert sessionizer.counters.cuts["gap"] == 1
+        # the evicted vehicle's state is gone; the live one remains
+        assert sessionizer.estimate("gone") is None
+        assert sessionizer.estimate("here") is not None
+
+    def test_eviction_matches_gap_cut_output(self, network):
+        """Evicting then resuming must produce the same trips as the
+        plain gap cut would have."""
+        raw = feed_of(network, 61)
+        base = feed_of(network, 62)
+        # a timeout above every intra-feed delta, so only the inter-feed
+        # silence cuts
+        timeout = float(
+            max(
+                b - a
+                for feed in (raw, base)
+                for a, b in zip(feed.times, feed.times[1:])
+            )
+            + 10
+        )
+        resumed = feed_of(
+            network, 62, offset=raw.times[-1] + int(timeout) + 200
+        )
+
+        evicting = TripSessionizer(
+            network, MATCHER, SessionConfig(gap_timeout=timeout)
+        )
+        sealed_evicting = []
+        for point in raw:
+            evicting.observe("v", point)
+        sealed_evicting.extend(
+            evicting.evict_idle(raw.times[-1] + int(timeout) + 100)
+        )
+        for point in resumed:
+            sealed_evicting.extend(evicting.observe("v", point))
+        sealed_evicting.extend(evicting.flush())
+
+        plain = TripSessionizer(
+            network, MATCHER, SessionConfig(gap_timeout=timeout)
+        )
+        sealed_plain = []
+        for point in list(raw) + list(resumed):
+            sealed_plain.extend(plain.observe("v", point))
+        sealed_plain.extend(plain.flush())
+
+        assert [t.times for t in sealed_evicting] == [
+            t.times for t in sealed_plain
+        ]
+        assert [
+            [i.signature() for i in t.instances] for t in sealed_evicting
+        ] == [[i.signature() for i in t.instances] for t in sealed_plain]
+
+    def test_automatic_eviction_via_interval(self, network):
+        sessionizer = TripSessionizer(
+            network, MATCHER, SessionConfig(gap_timeout=100.0),
+            evict_interval=1,
+        )
+        raw = feed_of(network, 63)
+        trips = []
+        for point in raw:
+            trips.extend(sessionizer.observe("gone", point))
+        # a lone fix from another vehicle, far in the future, triggers
+        # the sweep that seals the silent vehicle's trip
+        trips.extend(
+            sessionizer.observe(
+                "here", RawPoint(50.0, 10.0, raw.times[-1] + 10_000)
+            )
+        )
+        assert len(trips) == 1
+        assert trips[0].times == list(raw.times)
+        assert sessionizer.active_vehicle_count == 1  # only "here"

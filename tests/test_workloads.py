@@ -116,3 +116,32 @@ class TestReporting:
         assert "One" in dump and "Two" in dump
         log.clear()
         assert log.dump() == ""
+
+
+class TestMachineReadableResults:
+    def test_write_json_round_trips_tables(self, tmp_path):
+        import json
+
+        log = ExperimentLog()
+        log.record("Throughput", ["dataset", "points/s"], [["CD", 1234.5]])
+        log.record("Ratios", ["k", "v"], [["Total", float("inf")]])
+        path = tmp_path / "BENCH_demo.json"
+        log.write_json(path)
+        document = json.loads(path.read_text())
+        assert document["format"] == "repro-bench"
+        assert document["version"] == 1
+        tables = document["tables"]
+        assert [t["title"] for t in tables] == ["Throughput", "Ratios"]
+        assert tables[0]["headers"] == ["dataset", "points/s"]
+        assert tables[0]["rows"] == [["CD", 1234.5]]
+        # strict JSON: Infinity must be serialized as null
+        assert tables[1]["rows"] == [["Total", None]]
+
+    def test_structured_tables_still_render(self):
+        log = ExperimentLog()
+        rendered = log.record("T", ["h1", "h2"], [[1, 2]])
+        assert "h1" in rendered and "h2" in rendered
+        assert log.dump() == rendered
+        assert log.tables[0].title == "T"
+        log.clear()
+        assert log.tables == []
