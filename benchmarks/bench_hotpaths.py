@@ -1,0 +1,61 @@
+"""Hot-path microbenchmarks: bit I/O, HMM matching, TED bases, queries.
+
+A pytest wrapper around :mod:`repro.workloads.hotpath_bench` (the same
+suite ``repro bench`` runs) so the hot-path numbers appear in the
+paper-style experiment tables alongside the figure benchmarks, and in
+``results/BENCH_core_hotpaths.json``.  The canonical cross-PR perf
+trajectory lives in ``BENCH_core_hotpaths.json`` at the repo root,
+written by ``repro bench --append``.
+"""
+
+import pytest
+from conftest import RESULTS_DIR, record_experiment
+
+from repro.workloads.hotpath_bench import (
+    BENCH_HEADERS,
+    bench_bit_io,
+    bench_compression_suite,
+    bench_map_matching,
+    bench_stiu_queries,
+    bench_ted_rows,
+    write_bench_json,
+)
+
+_RESULTS = []
+
+_BENCHMARKS = {
+    "bit_io": bench_bit_io,
+    "map_matching": bench_map_matching,
+    "ted_base_search": bench_ted_rows,
+    "compression": bench_compression_suite,
+    "stiu_queries": bench_stiu_queries,
+}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _write_results():
+    """Record whatever rows ran — subset runs and failures included."""
+    yield
+    if not _RESULTS:
+        return
+    rows = [result.row("bench") for result in _RESULTS]
+    record_experiment(
+        "Hot-path microbenchmarks (word-level bit I/O, shared-frontier "
+        "HMM, pruned TED bases)",
+        list(BENCH_HEADERS),
+        rows,
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    write_bench_json(
+        _RESULTS, RESULTS_DIR / "BENCH_core_hotpaths.json", label="bench"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(_BENCHMARKS))
+def test_hotpath_benchmark(name):
+    outcome = _BENCHMARKS[name]()
+    results = outcome if isinstance(outcome, list) else [outcome]
+    for result in results:
+        assert result.work > 0
+        assert result.seconds >= 0
+        _RESULTS.append(result)

@@ -6,6 +6,17 @@ one-bit time flags, ...).  ``BitWriter`` accumulates bits into a compact
 ``bytearray`` and ``BitReader`` consumes them again.  Both operate most
 significant bit first so that serialized streams are byte-order stable and
 easy to inspect in tests.
+
+Both classes work word-at-a-time, never bit-at-a-time: the writer packs
+pending bits into one Python int accumulator and flushes whole bytes, the
+reader slices multi-byte windows with ``int.from_bytes``.  The validation
+contract is boundary-based — ``write_bit``/``write_bits`` (the public
+entry points fed with caller data) check that bits are 0/1 and
+``write_uint`` checks its range, while :meth:`BitWriter.append_bits` is
+the *trusted* bulk path for codecs that construct values internally and
+guarantee ``0 <= value < 2**width`` themselves.  Feeding ``append_bits``
+an out-of-range value corrupts the stream; that is the documented trade
+for keeping per-call validation off the compress/decompress hot path.
 """
 
 from __future__ import annotations
@@ -14,15 +25,17 @@ from typing import Iterable, Iterator
 
 
 class BitWriter:
-    """Accumulates individual bits into a byte buffer (MSB first)."""
+    """Accumulates bits into a byte buffer (MSB first), word-at-a-time."""
 
-    __slots__ = ("_buffer", "_bit_count", "_current", "_current_bits")
+    __slots__ = ("_buffer", "_bit_count", "_acc", "_acc_bits")
 
     def __init__(self) -> None:
         self._buffer = bytearray()
         self._bit_count = 0
-        self._current = 0
-        self._current_bits = 0
+        # pending bits not yet flushed to _buffer, MSB-first in an int;
+        # invariant between public calls: 0 <= _acc_bits < 8
+        self._acc = 0
+        self._acc_bits = 0
 
     def __len__(self) -> int:
         """Number of bits written so far."""
@@ -33,22 +46,53 @@ class BitWriter:
         """Number of bits written so far (alias of ``len``)."""
         return self._bit_count
 
+    def append_bits(self, value: int, width: int) -> None:
+        """Append ``width`` bits holding ``value``, MSB first — trusted.
+
+        This is the bulk fast path: the caller guarantees
+        ``0 <= value < 2**width``.  No validation happens here; the
+        checked public equivalents are :meth:`write_uint` (range-checked)
+        and :meth:`write_bits` (per-bit checked).
+        """
+        acc = (self._acc << width) | value
+        acc_bits = self._acc_bits + width
+        self._bit_count += width
+        if acc_bits >= 8:
+            rem = acc_bits & 7
+            if rem:
+                self._buffer += (acc >> rem).to_bytes((acc_bits - rem) >> 3, "big")
+                acc &= (1 << rem) - 1
+            else:
+                self._buffer += acc.to_bytes(acc_bits >> 3, "big")
+                acc = 0
+            acc_bits = rem
+        self._acc = acc
+        self._acc_bits = acc_bits
+
     def write_bit(self, bit: int) -> None:
         """Append a single bit (0 or 1)."""
-        if bit not in (0, 1):
+        if bit != 0 and bit != 1:
             raise ValueError(f"bit must be 0 or 1, got {bit!r}")
-        self._current = (self._current << 1) | bit
-        self._current_bits += 1
+        self._acc = (self._acc << 1) | bit
         self._bit_count += 1
-        if self._current_bits == 8:
-            self._buffer.append(self._current)
-            self._current = 0
-            self._current_bits = 0
+        if self._acc_bits == 7:
+            self._buffer.append(self._acc)
+            self._acc = 0
+            self._acc_bits = 0
+        else:
+            self._acc_bits += 1
 
     def write_bits(self, bits: Iterable[int]) -> None:
-        """Append each bit from ``bits`` in order."""
+        """Append each bit from ``bits`` in order (validated per bit)."""
+        value = 0
+        width = 0
         for bit in bits:
-            self.write_bit(bit)
+            if bit != 0 and bit != 1:
+                raise ValueError(f"bit must be 0 or 1, got {bit!r}")
+            value = (value << 1) | bit
+            width += 1
+        if width:
+            self.append_bits(value, width)
 
     def write_uint(self, value: int, width: int) -> None:
         """Append ``value`` as an unsigned integer using exactly ``width`` bits.
@@ -61,32 +105,45 @@ class BitWriter:
             raise ValueError(f"value must be non-negative, got {value}")
         if width < 0:
             raise ValueError(f"width must be non-negative, got {width}")
-        if value >= (1 << width) and not (width == 0 and value == 0):
+        if value >> width and not (width == 0 and value == 0):
             raise ValueError(f"value {value} does not fit in {width} bits")
-        for shift in range(width - 1, -1, -1):
-            self.write_bit((value >> shift) & 1)
+        self.append_bits(value, width)
+
+    def write_run(self, bit: int, count: int) -> None:
+        """Append ``count`` copies of ``bit`` in one accumulator push."""
+        if bit != 0 and bit != 1:
+            raise ValueError(f"bit must be 0 or 1, got {bit!r}")
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        if count:
+            self.append_bits(((1 << count) - 1) if bit else 0, count)
 
     def write_unary(self, value: int, *, terminator: int = 0) -> None:
         """Append ``value`` ones followed by a single ``terminator`` bit."""
         if value < 0:
             raise ValueError(f"unary value must be non-negative, got {value}")
-        one = 1 - terminator
-        for _ in range(value):
-            self.write_bit(one)
-        self.write_bit(terminator)
+        if terminator == 0:
+            self.append_bits(((1 << value) - 1) << 1, value + 1)
+        elif terminator == 1:
+            self.append_bits(1, value + 1)
+        else:
+            raise ValueError(f"bit must be 0 or 1, got {1 - terminator!r}")
 
     def extend(self, other: "BitWriter") -> None:
         """Append every bit written to ``other`` onto this writer."""
-        for bit in other.iter_bits():
-            self.write_bit(bit)
+        buffer = other._buffer
+        if buffer:
+            self.append_bits(int.from_bytes(buffer, "big"), len(buffer) * 8)
+        if other._acc_bits:
+            self.append_bits(other._acc, other._acc_bits)
 
     def iter_bits(self) -> Iterator[int]:
         """Yield every written bit in order."""
         for byte in self._buffer:
             for shift in range(7, -1, -1):
                 yield (byte >> shift) & 1
-        for shift in range(self._current_bits - 1, -1, -1):
-            yield (self._current >> shift) & 1
+        for shift in range(self._acc_bits - 1, -1, -1):
+            yield (self._acc >> shift) & 1
 
     def to_bits(self) -> list[int]:
         """Return the written bits as a list of 0/1 integers."""
@@ -95,8 +152,8 @@ class BitWriter:
     def getvalue(self) -> bytes:
         """Return the written bits packed into bytes (zero padded)."""
         data = bytearray(self._buffer)
-        if self._current_bits:
-            data.append(self._current << (8 - self._current_bits))
+        if self._acc_bits:
+            data.append(self._acc << (8 - self._acc_bits))
         return bytes(data)
 
 
@@ -142,34 +199,57 @@ class BitReader:
 
     def read_bit(self) -> int:
         """Read and return the next bit."""
-        if self._position >= self._bit_count:
+        position = self._position
+        if position >= self._bit_count:
             raise EOFError("attempt to read past the end of the bit stream")
-        byte = self._data[self._position >> 3]
-        bit = (byte >> (7 - (self._position & 7))) & 1
-        self._position += 1
-        return bit
+        byte = self._data[position >> 3]
+        self._position = position + 1
+        return (byte >> (7 - (position & 7))) & 1
 
     def read_bits(self, count: int) -> list[int]:
         """Read ``count`` bits and return them as a list."""
         if count < 0:
             raise ValueError(f"count must be non-negative, got {count}")
-        return [self.read_bit() for _ in range(count)]
+        if count == 0:
+            return []
+        value = self.read_uint(count)
+        return [(value >> shift) & 1 for shift in range(count - 1, -1, -1)]
 
     def read_uint(self, width: int) -> int:
-        """Read an unsigned integer stored in exactly ``width`` bits."""
+        """Read an unsigned integer stored in exactly ``width`` bits.
+
+        Reads whole byte windows at once instead of bit-at-a-time.
+        """
         if width < 0:
             raise ValueError(f"width must be non-negative, got {width}")
-        value = 0
-        for _ in range(width):
-            value = (value << 1) | self.read_bit()
-        return value
+        if width == 0:
+            return 0
+        position = self._position
+        end = position + width
+        if end > self._bit_count:
+            raise EOFError("attempt to read past the end of the bit stream")
+        first = position >> 3
+        last = (end + 7) >> 3
+        window = int.from_bytes(self._data[first:last], "big")
+        self._position = end
+        return (window >> ((last << 3) - end)) & ((1 << width) - 1)
 
     def read_unary(self, *, terminator: int = 0) -> int:
         """Read a unary value: count of bits until ``terminator`` is seen."""
+        data = self._data
+        limit = self._bit_count
+        position = self._position
         count = 0
-        while self.read_bit() != terminator:
+        while True:
+            if position >= limit:
+                self._position = position
+                raise EOFError("attempt to read past the end of the bit stream")
+            bit = (data[position >> 3] >> (7 - (position & 7))) & 1
+            position += 1
+            if bit == terminator:
+                self._position = position
+                return count
             count += 1
-        return count
 
 
 def bits_to_bytes(bits: Iterable[int]) -> bytes:
@@ -202,4 +282,4 @@ def uint_width(max_value: int) -> int:
     """
     if max_value < 0:
         raise ValueError(f"max_value must be non-negative, got {max_value}")
-    return max(max_value.bit_length(), 0)
+    return max_value.bit_length()

@@ -39,14 +39,20 @@ def encoded_length(value: int) -> int:
 
 
 def encode(writer: BitWriter, value: int) -> None:
-    """Append the improved Exp-Golomb code of ``value`` to ``writer``."""
+    """Append the improved Exp-Golomb code of ``value`` to ``writer``.
+
+    The whole code (unary group, sign, offset) is assembled into one
+    integer and appended with a single accumulator push.
+    """
     magnitude = abs(value)
-    group = group_of(magnitude)
-    writer.write_unary(group)
+    group = (magnitude + 1).bit_length() - 1
     if group == 0:
+        writer.append_bits(0, 1)
         return
-    writer.write_bit(1 if value < 0 else 0)
-    writer.write_uint(magnitude - ((1 << group) - 1), group)
+    sign = 1 if value < 0 else 0
+    offset = magnitude - ((1 << group) - 1)
+    code = (((((1 << group) - 1) << 2) | sign) << group) | offset
+    writer.append_bits(code, 2 * group + 2)
 
 
 def decode(reader: BitReader) -> int:
@@ -54,9 +60,9 @@ def decode(reader: BitReader) -> int:
     group = reader.read_unary()
     if group == 0:
         return 0
-    negative = reader.read_bit() == 1
-    magnitude = reader.read_uint(group) + ((1 << group) - 1)
-    return -magnitude if negative else magnitude
+    tail = reader.read_uint(group + 1)  # sign bit then `group` offset bits
+    magnitude = (tail & ((1 << group) - 1)) + ((1 << group) - 1)
+    return -magnitude if tail >> group else magnitude
 
 
 def encode_sequence(values: list[int]) -> BitWriter:

@@ -9,6 +9,10 @@ Subcommands::
     query       where / when / range queries over a file-backed archive
     stream      streaming ingestion: replay a live GPS feed into an
                 appendable segment archive, compact it, inspect it
+    bench       run the hot-path microbenchmarks (bit I/O, map matching,
+                TED base search, compression, StIU queries) and write
+                BENCH_core_hotpaths.json — the perf trajectory file
+                tracked at the repo root
 
 ``query`` and ``decompress`` need the road network the archive was
 compressed against.  ``compress`` records the generating profile, seed,
@@ -183,6 +187,29 @@ def build_parser() -> argparse.ArgumentParser:
     range_.add_argument("--alpha", type=float, default=0.2)
     range_.add_argument("--json", action="store_true")
     _add_dataset_arguments(range_)
+
+    bench = commands.add_parser(
+        "bench",
+        help="run the hot-path microbenchmarks and record the results",
+    )
+    bench.add_argument(
+        "--quick", action="store_true",
+        help="scaled-down workloads (CI smoke; numbers are noisier)",
+    )
+    bench.add_argument(
+        "-o", "--output", default="BENCH_core_hotpaths.json",
+        help="results file to write (default: BENCH_core_hotpaths.json "
+        "in the current directory — the repo root by convention)",
+    )
+    bench.add_argument(
+        "--label", default="current",
+        help="label recorded with each row (default: current)",
+    )
+    bench.add_argument(
+        "--append", action="store_true",
+        help="keep existing rows in the output file and add these "
+        "after them (how before/after pairs accumulate)",
+    )
 
     stream = commands.add_parser(
         "stream",
@@ -601,6 +628,26 @@ def _run_query(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    from .workloads.hotpath_bench import run_hotpath_bench, write_bench_json
+    from .workloads.reporting import render_table
+
+    results = run_hotpath_bench(quick=args.quick)
+    rows = write_bench_json(
+        results, args.output, label=args.label, append=args.append
+    )
+    print(
+        render_table(
+            f"hot-path benchmarks ({'quick' if args.quick else 'full'} "
+            f"workloads, label={args.label})",
+            ["label", "benchmark", "unit", "work", "seconds", "rate"],
+            rows,
+        )
+    )
+    print(f"wrote {args.output} ({len(rows)} rows)")
+    return 0
+
+
 def cmd_stream(args) -> int:
     from .stream.writer import StreamArchiveError
 
@@ -749,6 +796,7 @@ def main(argv: list[str] | None = None) -> int:
         "decompress": cmd_decompress,
         "query": cmd_query,
         "stream": cmd_stream,
+        "bench": cmd_bench,
     }
     try:
         return handlers[args.command](args)

@@ -64,8 +64,14 @@ def encode_reference(
 
     edge_offset = len(writer)
     expgolomb.encode_unsigned(writer, len(encoded.edge_numbers))
-    for number in encoded.edge_numbers:
-        writer.write_uint(number, params.symbol_width)
+    if encoded.edge_numbers:
+        # fixed-width row, packed into one accumulator push; every
+        # out_number fits params.symbol_width by construction
+        symbol_width = params.symbol_width
+        row = 0
+        for number in encoded.edge_numbers:
+            row = (row << symbol_width) | number
+        writer.append_bits(row, symbol_width * len(encoded.edge_numbers))
     flags_offset = len(writer)
     bits.edge = flags_offset - edge_offset + START_VERTEX_BITS
 
@@ -121,28 +127,13 @@ def encode_non_reference(
     edge_offset = len(writer)
     factors = factorize_edges(encoded.edge_numbers, reference.edge_numbers)
     factor_positions: list[int] = []
-    # Re-serialize with position tracking: write count and flag first, then
-    # record each factor's start offset.
-    checkpoint = BitWriter()
     write_edge_factors(
-        checkpoint, factors, len(reference.edge_numbers), params.symbol_width
+        writer,
+        factors,
+        len(reference.edge_numbers),
+        params.symbol_width,
+        positions=factor_positions,
     )
-    # positions require a second pass mirroring write_edge_factors' layout
-    s_width = uint_width(len(reference.edge_numbers))
-    l_width = uint_width(max(len(reference.edge_numbers) - 1, 0))
-    cursor = edge_offset + expgolomb.encoded_length(len(factors))
-    if factors:
-        cursor += 1  # last-has-mismatch flag
-    for factor in factors:
-        factor_positions.append(cursor)
-        cursor += s_width
-        if factor.start == len(reference.edge_numbers):
-            cursor += params.symbol_width
-        else:
-            cursor += l_width
-            if factor.mismatch is not None:
-                cursor += params.symbol_width
-    writer.extend(checkpoint)
     flags_offset = len(writer)
     bits.edge = flags_offset - edge_offset
 
@@ -210,14 +201,10 @@ def encode_trajectory(
     stats = CompressionStats()
 
     time_writer = BitWriter()
-    siar.encode(
+    _, positions = siar.encode_with_positions(
         time_writer, times, params.default_interval, t0_bits=params.t0_bits
     )
-    deviation_positions = tuple(
-        siar.deviation_bit_positions(
-            times, params.default_interval, t0_bits=params.t0_bits
-        )
-    )
+    deviation_positions = tuple(positions)
     stats.compressed.time = len(time_writer)
     stats.original.time = 32 * len(times)
 

@@ -95,6 +95,14 @@ def _longest_match(
     best_start, best_length = 0, 0
     n, m = len(target), len(reference)
     for start in occurrences.get(target[position], ()):
+        # only a candidate that also matches at offset best_length can
+        # beat the incumbent (matches are contiguous from offset 0)
+        if best_length and (
+            position + best_length >= n
+            or start + best_length >= m
+            or target[position + best_length] != reference[start + best_length]
+        ):
+            continue
         length = 0
         while (
             position + length < n
@@ -113,7 +121,43 @@ def _longest_match(
 def factorize_edges(
     target: Sequence[int], reference: Sequence[int]
 ) -> list[EdgeFactor]:
-    """Greedy (S, L, M) factorization of ``target`` against ``reference``."""
+    """Greedy (S, L, M) factorization of ``target`` against ``reference``.
+
+    Edge numbers fit in ``bytes`` for every realistic out-degree, so the
+    longest match runs through C-level ``bytes.find`` (smallest start on
+    ties, exactly like the pure-Python fallback below).
+    """
+    try:
+        target_bytes, reference_bytes = bytes(target), bytes(reference)
+    except (ValueError, TypeError):
+        pass
+    else:
+        factors: list[EdgeFactor] = []
+        find = reference_bytes.find
+        i = 0
+        n = len(target_bytes)
+        reference_length = len(reference_bytes)
+        while i < n:
+            start = find(target_bytes[i : i + 1])
+            if start < 0:
+                factors.append(EdgeFactor(reference_length, None, target[i]))
+                i += 1
+                continue
+            length = 1
+            while i + length < n:
+                found = find(target_bytes[i : i + length + 1])
+                if found < 0:
+                    break
+                start = found
+                length += 1
+            if i + length == n:
+                factors.append(EdgeFactor(start, length, None))
+                i += length
+            else:
+                factors.append(EdgeFactor(start, length, target[i + length]))
+                i += length + 1
+        return factors
+
     occurrences = _occurrences(reference)
     factors: list[EdgeFactor] = []
     i = 0
@@ -154,8 +198,15 @@ def write_edge_factors(
     factors: Sequence[EdgeFactor],
     reference_length: int,
     symbol_width: int,
+    *,
+    positions: list[int] | None = None,
 ) -> None:
-    """Serialize an E factor stream (§4.4 widths)."""
+    """Serialize an E factor stream (§4.4 widths).
+
+    When ``positions`` is given, each factor's absolute bit offset in
+    ``writer`` is appended to it in the same pass (the StIU spatial index
+    stores these as factor anchors).
+    """
     s_width = uint_width(reference_length)
     l_width = uint_width(max(reference_length - 1, 0))
     expgolomb.encode_unsigned(writer, len(factors))
@@ -164,6 +215,8 @@ def write_edge_factors(
     last = factors[-1]
     writer.write_bit(1 if last.mismatch is not None else 0)
     for factor in factors:
+        if positions is not None:
+            positions.append(len(writer))
         writer.write_uint(factor.start, s_width)
         if factor.start == reference_length:
             if factor.length is not None or factor.mismatch is None:

@@ -43,25 +43,33 @@ def similarity(
     """Equation 2: ``sim`` of one factor of ``v`` against ``Com_w``.
 
     Omitted (``None``) factors on either side contribute zero overlap.
+    The interval intersection is inlined: this runs once per factor pair
+    of every instance pair of every trajectory.
     """
     if factor is None:
         return 0.0
+    f_start, f_length = factor
+    f_end = f_start + f_length
     best_overlap = 0
     best_length: int | None = None
     for other in against:
         if other is None:
             continue
-        amount = overlap(other, factor)
+        o_start, o_length = other
+        lo = f_start if f_start > o_start else o_start
+        o_end = o_start + o_length
+        hi = f_end if f_end < o_end else o_end
+        amount = hi - lo
         if amount > best_overlap:
             best_overlap = amount
-            best_length = other[1]
+            best_length = o_length
         elif amount == best_overlap and amount > 0:
-            if best_length is None or other[1] < best_length:
-                best_length = other[1]  # ties take the minimum length
+            if best_length is None or o_length < best_length:
+                best_length = o_length  # ties take the minimum length
     if best_overlap == 0:
         return 0.0
     assert best_length is not None
-    return best_overlap / max(best_length, factor[1])
+    return best_overlap / (best_length if best_length > f_length else f_length)
 
 
 def fine_grained_jaccard(
@@ -73,8 +81,10 @@ def fine_grained_jaccard(
     h_w, h_v = len(com_w), len(com_v)
     if h_v == 0 or h_w == 0:
         return 0.0
-    total = sum(similarity(factor, com_w) for factor in com_v)
-    return total / max(h_w, h_v)
+    total = 0.0
+    for factor in com_v:
+        total += similarity(factor, com_w)
+    return total / (h_w if h_w > h_v else h_v)
 
 
 def score(
@@ -108,8 +118,26 @@ def score_matrix(
     if len(start_vertices) != n:
         raise ValueError("probabilities and start vertices must align")
     matrix = [[0.0] * n for _ in range(n)]
-    for w in range(n):
-        for v in range(n):
-            if w != v:
-                matrix[w][v] = score(w, v, probabilities, start_vertices, pivots)
+    # SF is zero across different start vertices, so only instances
+    # sharing an SV ever need their FJD computed.
+    groups: dict[int, list[int]] = {}
+    for index, start_vertex in enumerate(start_vertices):
+        groups.setdefault(start_vertex, []).append(index)
+    representations = pivots.representations
+    for members in groups.values():
+        if len(members) < 2:
+            continue
+        for w in members:
+            row = matrix[w]
+            probability = probabilities[w]
+            for v in members:
+                if w == v:
+                    continue
+                best = max(
+                    fine_grained_jaccard(
+                        representation[w], representation[v]
+                    )
+                    for representation in representations
+                )
+                row[v] = probability * best
     return matrix

@@ -83,13 +83,15 @@ def encode_instance(
     edge_numbers: list[int] = []
     time_flags: list[int] = []
     for path_index, edge in enumerate(instance.path):
-        number = network.out_number(*edge)
-        edge_numbers.append(number)
+        edge_numbers.append(network.out_number(*edge))
         count = counts[path_index]
-        time_flags.append(1 if count >= 1 else 0)
-        for _ in range(max(count - 1, 0)):
-            edge_numbers.append(0)
+        if count >= 1:
             time_flags.append(1)
+            if count > 1:
+                edge_numbers.extend([0] * (count - 1))
+                time_flags.extend([1] * (count - 1))
+        else:
+            time_flags.append(0)
     return InstanceTuple(
         start_vertex=instance.start_vertex,
         edge_numbers=tuple(edge_numbers),

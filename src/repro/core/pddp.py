@@ -29,15 +29,32 @@ from ..bits import expgolomb
 from ..bits.bitio import BitReader, BitWriter, uint_width
 
 
+# Fraction codes are pure functions of (x, eta) and the same handful of
+# relative distances / probabilities recurs across every instance of a
+# dataset, so both directions are memoized.  The caches are bounded (and
+# simply dropped when full) to keep long-running ingestion processes flat.
+_CACHE_LIMIT = 1 << 15
+_LENGTH_CACHE: dict[float, int] = {}
+_ENCODE_CACHE: dict[tuple[float, float], tuple[int, ...]] = {}
+_DECODE_CACHE: dict[tuple[int, ...], float] = {}
+
+
 def max_code_length(eta: float) -> int:
     """The largest code length any value needs: ``ceil(log2(1/eta))``.
 
     Truncating a binary expansion at ``I`` bits leaves an error strictly
     below ``2^-I``, so ``2^-I <= eta`` always suffices.
     """
+    cached = _LENGTH_CACHE.get(eta)
+    if cached is not None:
+        return cached
     if not 0.0 < eta < 1.0:
         raise ValueError(f"eta must be in (0, 1), got {eta}")
-    return max(int(math.ceil(math.log2(1.0 / eta))), 1)
+    length = max(int(math.ceil(math.log2(1.0 / eta))), 1)
+    if len(_LENGTH_CACHE) >= _CACHE_LIMIT:
+        _LENGTH_CACHE.clear()
+    _LENGTH_CACHE[eta] = length
+    return length
 
 
 def encode_fraction(x: float, eta: float) -> tuple[int, ...]:
@@ -47,33 +64,49 @@ def encode_fraction(x: float, eta: float) -> tuple[int, ...]:
     Values are clamped into [0, 1) first; an ``x`` within ``eta`` of zero
     encodes as the empty tuple.
     """
+    key = (x, eta)
+    cached = _ENCODE_CACHE.get(key)
+    if cached is not None:
+        return cached
     limit = max_code_length(eta)
-    x = min(max(x, 0.0), 1.0 - 2.0 ** -(limit + 1))
+    clamped = min(max(x, 0.0), 1.0 - 2.0 ** -(limit + 1))
     bits: list[int] = []
     value = 0.0
     scale = 0.5
-    if abs(value - x) <= eta:
-        return ()
-    for _ in range(limit):
-        if value + scale <= x:
-            bits.append(1)
-            value += scale
-        else:
-            bits.append(0)
-        scale /= 2
-        if abs(value - x) <= eta:
-            break
-    return tuple(bits)
+    if abs(value - clamped) <= eta:
+        bits_tuple: tuple[int, ...] = ()
+    else:
+        for _ in range(limit):
+            if value + scale <= clamped:
+                bits.append(1)
+                value += scale
+            else:
+                bits.append(0)
+            scale /= 2
+            if abs(value - clamped) <= eta:
+                break
+        bits_tuple = tuple(bits)
+    if len(_ENCODE_CACHE) >= _CACHE_LIMIT:
+        _ENCODE_CACHE.clear()
+    _ENCODE_CACHE[key] = bits_tuple
+    return bits_tuple
 
 
 def decode_fraction(bits: tuple[int, ...] | list[int]) -> float:
     """Value of a truncated binary-expansion code."""
+    key = tuple(bits)
+    cached = _DECODE_CACHE.get(key)
+    if cached is not None:
+        return cached
     value = 0.0
     scale = 0.5
-    for bit in bits:
+    for bit in key:
         if bit:
             value += scale
         scale /= 2
+    if len(_DECODE_CACHE) >= _CACHE_LIMIT:
+        _DECODE_CACHE.clear()
+    _DECODE_CACHE[key] = value
     return value
 
 
@@ -116,6 +149,14 @@ class PddpEncoder:
         )
         return header + index_bits * len(self.codes), distinct
 
+    @staticmethod
+    def _code_word(code: tuple[int, ...], length_bits: int) -> tuple[int, int]:
+        """One (value, width) word holding the length field and code bits."""
+        value = len(code)
+        for bit in code:
+            value = (value << 1) | bit
+        return value, length_bits + len(code)
+
     def serialize(self, writer: BitWriter) -> None:
         """Write mode flag, header, and all values; records positions."""
         length_bits = uint_width(max_code_length(self.eta))
@@ -128,18 +169,20 @@ class PddpEncoder:
         if use_dictionary:
             expgolomb.encode_unsigned(writer, len(distinct))
             for code in distinct:
-                writer.write_uint(len(code), length_bits)
-                writer.write_bits(code)
+                writer.append_bits(*self._code_word(code, length_bits))
             index_of = {code: i for i, code in enumerate(distinct)}
             index_bits = uint_width(max(len(distinct) - 1, 0))
             for code in self.codes:
                 positions.append(len(writer))
                 writer.write_uint(index_of[code], index_bits)
         else:
+            words = {
+                code: self._code_word(code, length_bits)
+                for code in set(self.codes)
+            }
             for code in self.codes:
                 positions.append(len(writer))
-                writer.write_uint(len(code), length_bits)
-                writer.write_bits(code)
+                writer.append_bits(*words[code])
         self._positions = positions
 
     @property

@@ -31,7 +31,40 @@ PivotFactor = tuple[int, int]  # (S, L); None entries mark omitted factors
 def pivot_factors(
     target: Sequence[int], pivot: Sequence[int]
 ) -> list[PivotFactor | None]:
-    """(S, L) factorization of ``target`` against ``pivot``."""
+    """(S, L) factorization of ``target`` against ``pivot``.
+
+    Edge numbers are tiny (bounded by the max out-degree), so both
+    sequences almost always fit in ``bytes`` and the longest match runs
+    through C-level ``bytes.find``; the pure-Python scan remains as the
+    fallback for out-of-range symbols.  Both paths pick the smallest
+    start achieving the maximal match length, so outputs are identical.
+    """
+    try:
+        target_bytes, pivot_bytes = bytes(target), bytes(pivot)
+    except (ValueError, TypeError):
+        pass
+    else:
+        factors: list[PivotFactor | None] = []
+        find = pivot_bytes.find
+        i = 0
+        n = len(target_bytes)
+        while i < n:
+            start = find(target_bytes[i : i + 1])
+            if start < 0:
+                factors.append(None)
+                i += 1
+                continue
+            length = 1
+            while i + length < n:
+                found = find(target_bytes[i : i + length + 1])
+                if found < 0:
+                    break
+                start = found
+                length += 1
+            factors.append((start, length))
+            i += length
+        return factors
+
     occurrences: dict[int, list[int]] = {}
     for position, symbol in enumerate(pivot):
         occurrences.setdefault(symbol, []).append(position)
@@ -42,6 +75,14 @@ def pivot_factors(
     while i < n:
         best_start, best_length = 0, 0
         for start in occurrences.get(target[i], ()):
+            # a candidate can only beat best_length if it also matches at
+            # offset best_length (matches are contiguous from offset 0)
+            if best_length and (
+                i + best_length >= n
+                or start + best_length >= m
+                or target[i + best_length] != pivot[start + best_length]
+            ):
+                continue
             length = 0
             while (
                 i + length < n

@@ -83,6 +83,37 @@ def encode(
     return sequence
 
 
+def encode_with_positions(
+    writer: BitWriter,
+    times: list[int],
+    default_interval: int,
+    *,
+    t0_bits: int = DEFAULT_T0_BITS,
+) -> tuple[SiarSequence, list[int]]:
+    """:func:`encode` that also returns each deviation's bit offset.
+
+    Produces exactly the :func:`encode` stream while recording
+    :func:`deviation_bit_positions` from the writer cursor in the same
+    pass, so the compressor does not represent the sequence twice.
+    ``writer`` must be empty (positions are absolute stream offsets).
+    """
+    if len(writer):
+        raise ValueError("encode_with_positions expects an empty writer")
+    sequence = represent(times, default_interval)
+    if sequence.t0 >= (1 << t0_bits):
+        raise ValueError(
+            f"t0 {sequence.t0} does not fit in {t0_bits} bits; "
+            "raise t0_bits or rebase timestamps"
+        )
+    writer.write_uint(sequence.t0, t0_bits)
+    expgolomb.encode_unsigned(writer, len(times))
+    positions: list[int] = []
+    for deviation in sequence.deviations:
+        positions.append(len(writer))
+        expgolomb.encode(writer, deviation)
+    return sequence, positions
+
+
 def decode(
     reader: BitReader,
     default_interval: int,

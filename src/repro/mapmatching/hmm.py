@@ -30,7 +30,7 @@ import math
 from dataclasses import dataclass, field
 
 from ..network.graph import RoadNetwork
-from ..network.shortest_path import shortest_path
+from ..network.shortest_path import FrontierCache
 from ..network.spatial_index import EdgeSpatialIndex
 from ..trajectories.model import (
     EdgeKey,
@@ -89,6 +89,13 @@ class ProbabilisticMapMatcher:
         self.network = network
         self.config = config or MatcherConfig()
         self.index = EdgeSpatialIndex(network)
+        # transition routing runs one shared-frontier Dijkstra per
+        # (source vertex, cutoff) instead of one bounded search per
+        # candidate pair; the cache stays warm across steps and trips,
+        # and is shared with any StreamingMapMatcher wrapping this
+        # matcher.  Matchings are identical either way (see
+        # SharedFrontier); only the cycle count changes.
+        self.frontier_cache = FrontierCache(network)
 
     # ------------------------------------------------------------------
     def _transition(
@@ -116,9 +123,7 @@ class ProbabilisticMapMatcher:
             return [], b.ndist - a.ndist
         # drive to the end of a's edge, route to the start of b's edge
         remaining = self.network.edge_length(*a.edge) - a.ndist
-        found = shortest_path(
-            self.network, a.edge[1], b.edge[0], cutoff=cutoff
-        )
+        found = self.frontier_cache.get(a.edge[1], cutoff).path_to(b.edge[0])
         if found is None:
             return None
         path, length = found

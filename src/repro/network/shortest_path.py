@@ -33,31 +33,187 @@ def dijkstra(
 
     Returns ``(distances, predecessors)`` where ``predecessors[v]`` is the
     vertex preceding ``v`` on its shortest path from ``source``.
+
+    Stale heap entries are detected by comparing the popped distance with
+    the best known one (entries for a vertex are pushed with strictly
+    decreasing distances, so a popped entry is current iff it matches) —
+    no separate settled set.  The ``forbidden_edges`` membership test is
+    hoisted out of the relaxation loop: the common no-forbidden case runs
+    a branch-free inner loop.
     """
     if not network.has_vertex(source):
         raise KeyError(f"unknown source vertex {source}")
     distances: dict[int, float] = {source: 0.0}
     predecessors: dict[int, int] = {}
-    settled: set[int] = set()
     heap: list[tuple[float, int]] = [(0.0, source)]
+    pop = heapq.heappop
+    push = heapq.heappush
+    out_edges = network.out_edges
     while heap:
-        dist, vertex = heapq.heappop(heap)
-        if vertex in settled:
-            continue
-        settled.add(vertex)
+        dist, vertex = pop(heap)
+        if dist > distances[vertex]:
+            continue  # stale entry; vertex already settled closer
         if vertex == target:
             break
-        for edge in network.out_edges(vertex):
-            if forbidden_edges and edge.key in forbidden_edges:
-                continue
+        if forbidden_edges:
+            edges = [
+                edge
+                for edge in out_edges(vertex)
+                if edge.key not in forbidden_edges
+            ]
+        else:
+            edges = out_edges(vertex)
+        for edge in edges:
             candidate = dist + edge.length
             if candidate > cutoff:
                 continue
-            if candidate < distances.get(edge.end, INFINITY):
-                distances[edge.end] = candidate
-                predecessors[edge.end] = vertex
-                heapq.heappush(heap, (candidate, edge.end))
+            end = edge.end
+            if candidate < distances.get(end, INFINITY):
+                distances[end] = candidate
+                predecessors[end] = vertex
+                push(heap, (candidate, end))
     return distances, predecessors
+
+
+class SharedFrontier:
+    """A lazily-settled bounded Dijkstra from one source, shared across
+    targets.
+
+    The map matcher scores transitions from every previous-step candidate
+    to every current-step candidate; all pairs with the same source
+    vertex and cutoff share one search.  :meth:`path_to` settles vertices
+    only as far as each requested target, keeping heap state between
+    calls, so the first target pays the search and later ones reuse it.
+
+    Results are independent of the query order: the settle sequence is a
+    fixed function of (source, cutoff), so distances and predecessors for
+    any settled target equal those of a fresh early-stopping
+    :func:`dijkstra` with the same cutoff — byte-identical matchings.
+    """
+
+    __slots__ = ("network", "source", "cutoff", "_distances",
+                 "_predecessors", "_settled", "_heap")
+
+    def __init__(
+        self, network: RoadNetwork, source: int, cutoff: float = INFINITY
+    ) -> None:
+        if not network.has_vertex(source):
+            raise KeyError(f"unknown source vertex {source}")
+        self.network = network
+        self.source = source
+        self.cutoff = cutoff
+        self._distances: dict[int, float] = {source: 0.0}
+        self._predecessors: dict[int, int] = {}
+        self._settled: set[int] = set()
+        self._heap: list[tuple[float, int]] = [(0.0, source)]
+
+    def _settle_until(self, target: int) -> bool:
+        """Pop until ``target`` settles; ``False`` when it is unreachable
+        within the cutoff.  Unlike the early-stopping :func:`dijkstra`,
+        every settled vertex is fully relaxed (which cannot change its own
+        distance or predecessor) so later targets keep exact semantics."""
+        settled = self._settled
+        if target in settled:
+            return True
+        heap = self._heap
+        distances = self._distances
+        predecessors = self._predecessors
+        cutoff = self.cutoff
+        pop = heapq.heappop
+        push = heapq.heappush
+        out_edges = self.network.out_edges
+        while heap:
+            dist, vertex = pop(heap)
+            if vertex in settled:
+                continue
+            settled.add(vertex)
+            for edge in out_edges(vertex):
+                candidate = dist + edge.length
+                if candidate > cutoff:
+                    continue
+                end = edge.end
+                if candidate < distances.get(end, INFINITY):
+                    distances[end] = candidate
+                    predecessors[end] = vertex
+                    push(heap, (candidate, end))
+            if vertex == target:
+                return True
+        return False
+
+    def distance_to(self, target: int) -> float:
+        """Shortest distance to ``target``; ``inf`` beyond the cutoff."""
+        if not self._settle_until(target):
+            return INFINITY
+        return self._distances[target]
+
+    def path_to(self, target: int) -> tuple[list[tuple[int, int]], float] | None:
+        """Shortest path to ``target`` as edge keys, or ``None``.
+
+        Matches :func:`shortest_path`: a ``source == target`` query is an
+        empty path of length zero.
+        """
+        if target == self.source:
+            return [], 0.0
+        if not self._settle_until(target):
+            return None
+        predecessors = self._predecessors
+        path: list[tuple[int, int]] = []
+        vertex = target
+        source = self.source
+        while vertex != source:
+            previous = predecessors[vertex]
+            path.append((previous, vertex))
+            vertex = previous
+        path.reverse()
+        return path, self._distances[target]
+
+
+class FrontierCache:
+    """LRU cache of :class:`SharedFrontier` searches keyed by
+    ``(source, cutoff)``.
+
+    One matcher-owned cache serves every transition of a Viterbi step
+    (same cutoff, few distinct sources) and stays warm across steps and
+    trips whenever sources and cutoffs recur — the streaming ingestion
+    matcher shares the batch matcher's cache by construction, since
+    :class:`~repro.stream.ingest.StreamingMapMatcher` wraps the same
+    :class:`~repro.mapmatching.hmm.ProbabilisticMapMatcher` instance.
+    """
+
+    __slots__ = ("network", "maxsize", "hits", "misses", "_entries")
+
+    def __init__(self, network: RoadNetwork, maxsize: int = 512) -> None:
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.network = network
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._entries: dict[tuple[int, float], SharedFrontier] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, source: int, cutoff: float) -> SharedFrontier:
+        """The (possibly cached) shared frontier for ``(source, cutoff)``."""
+        key = (source, cutoff)
+        entries = self._entries
+        frontier = entries.get(key)
+        if frontier is not None:
+            self.hits += 1
+            # refresh recency (dicts preserve insertion order)
+            del entries[key]
+            entries[key] = frontier
+            return frontier
+        self.misses += 1
+        frontier = SharedFrontier(self.network, source, cutoff)
+        if len(entries) >= self.maxsize:
+            entries.pop(next(iter(entries)))
+        entries[key] = frontier
+        return frontier
+
+    def clear(self) -> None:
+        self._entries.clear()
 
 
 def shortest_path(

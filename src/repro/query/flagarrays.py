@@ -18,7 +18,9 @@ the *original* (untrimmed) string at positions ``0..g`` inclusive, so
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
+from itertools import accumulate
 from typing import Sequence
 
 from ..core.factors import FlagFactor
@@ -33,10 +35,7 @@ class FlagArray:
 
     @classmethod
     def from_bits(cls, bits: Sequence[int]) -> "FlagArray":
-        prefix = [0]
-        for bit in bits:
-            prefix.append(prefix[-1] + bit)
-        return cls(tuple(bits), tuple(prefix))
+        return cls(tuple(bits), tuple(accumulate(bits, initial=0)))
 
     def __len__(self) -> int:
         return len(self.bits)
@@ -128,10 +127,9 @@ class OriginalArray:
         starts = self._factor_starts
         if g >= starts[-1]:
             return self._factor_ones[-1]
-        # Equation 4: the factor whose span contains position g
-        h = 0
-        while h + 1 < len(starts) and starts[h + 1] <= g:
-            h += 1
+        # Equation 4: the factor whose span contains position g (binary
+        # search over the cumulative factor starts)
+        h = bisect_right(starts, g) - 1
         factor = self.factors[h]
         # Equation 5: ones contributed by complete factors before h
         count = self._factor_ones[h]

@@ -25,6 +25,16 @@ Two things make the matcher suitable for an unbounded feed:
   progressed), so the estimate is stable under future evidence while
   costing O(1) per call — the standard fixed-lag approximation of
   full Viterbi smoothing.
+
+Transition scoring routes through the underlying matcher's shared
+:class:`~repro.network.shortest_path.FrontierCache` — one lazily-settled
+Dijkstra per (source vertex, cutoff) reused across all candidate pairs.
+Because the sessionizer hands every vehicle's streaming matcher the same
+:class:`~repro.mapmatching.hmm.ProbabilisticMapMatcher`, the whole fleet
+shares one cache: a vehicle crossing an intersection another vehicle
+just crossed reuses its settled frontier.  Sealed outputs are identical
+with or without the cache (see :class:`~repro.network.shortest_path.
+SharedFrontier` for the argument).
 """
 
 from __future__ import annotations
@@ -101,6 +111,11 @@ class StreamingMapMatcher:
     def point_count(self) -> int:
         """Accepted fixes in the current trip."""
         return len(self._points)
+
+    @property
+    def frontier_cache(self):
+        """The routing cache shared with (and owned by) the matcher."""
+        return self.matcher.frontier_cache
 
     @property
     def start_time(self) -> int:

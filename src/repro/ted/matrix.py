@@ -33,11 +33,14 @@ MAX_CANDIDATES = 32
 
 def width_vector(row: tuple[int, ...]) -> tuple[int, ...]:
     """Per-column bit widths needed by one row (minimum 1 bit)."""
-    return tuple(max(uint_width(value), 1) for value in row)
+    return tuple(value.bit_length() or 1 for value in row)
 
 
 def _fits(row_widths: tuple[int, ...], base: tuple[int, ...]) -> bool:
-    return all(r <= b for r, b in zip(row_widths, base))
+    for row_width, base_width in zip(row_widths, base):
+        if row_width > base_width:
+            return False
+    return True
 
 
 def _row_cost(
@@ -62,6 +65,13 @@ class MatrixGroup:
     entry_count: int  # B: number of columns
     rows: list[tuple[int, ...]] = field(default_factory=list)
 
+    def __post_init__(self) -> None:
+        # cached (symbol_width, use_bases, bases) — the base search scores
+        # candidates against the whole matrix, so one plan is computed per
+        # (group contents, symbol_width) and reused by serialized_size()
+        # and serialize()
+        self._plan_cache: tuple[int, bool, list[tuple[int, ...]]] | None = None
+
     def add_row(self, entries: tuple[int, ...]) -> int:
         """Append a row; returns its row index."""
         if len(entries) != self.entry_count:
@@ -69,18 +79,24 @@ class MatrixGroup:
                 f"row has {len(entries)} entries, group expects {self.entry_count}"
             )
         self.rows.append(entries)
+        self._plan_cache = None
         return len(self.rows) - 1
 
     # ------------------------------------------------------------------
     # multiple-bases selection
     # ------------------------------------------------------------------
     def select_bases(self, symbol_width: int) -> list[tuple[int, ...]]:
-        """Greedy base search over the whole matrix.
+        """Greedy base search over the whole matrix, pruned.
 
         Starts from the always-fitting column-maximum vector and adds the
-        candidate width vector with the largest total saving, evaluated
-        against every row, until no candidate helps or ``MAX_BASES`` is
-        reached.
+        candidate width vector with the largest total saving until no
+        candidate helps or ``MAX_BASES`` is reached.  Equivalent to
+        scoring every candidate against every row, but evaluated over
+        *distinct* width vectors weighted by frequency, with each
+        vector's cheapest-fitting-base sum maintained incrementally —
+        candidate scoring is a delta against that envelope instead of a
+        fresh rows x bases scan per round.  The chosen bases (and their
+        order) are identical to the exhaustive search's.
         """
         row_width_vectors = [width_vector(row) for row in self.rows]
         maxima = tuple(
@@ -96,34 +112,70 @@ class MatrixGroup:
             frequency, key=lambda w: -frequency[w]
         )[:MAX_CANDIDATES]
 
+        row_count = len(row_width_vectors)
+        # cheapest fitting-base width sum per distinct row width vector
+        # (the column-maximum base fits everything by construction)
+        best_sum = dict.fromkeys(frequency, sum(maxima))
+        header_extra = self.entry_count * uint_width(symbol_width)
+        # which distinct vectors each candidate can host, computed once —
+        # the greedy rounds below only compare width sums
+        fit_lists = {
+            candidate: (
+                sum(candidate),
+                [
+                    (widths, count)
+                    for widths, count in frequency.items()
+                    if _fits(widths, candidate)
+                ],
+            )
+            for candidate in candidates
+        }
+
         while len(bases) < MAX_BASES:
             index_bits = uint_width(len(bases))  # one more base changes it
-            current_cost = sum(
-                _row_cost(widths, bases, index_bits)
-                for widths in row_width_vectors
+            current_cost = (
+                sum(
+                    best_sum[widths] * count
+                    for widths, count in frequency.items()
+                )
+                + index_bits * row_count
             )
             best_candidate = None
             best_cost = current_cost
             for candidate in candidates:
                 if candidate in bases:
                     continue
-                trial = bases + [candidate]
-                trial_cost = sum(
-                    _row_cost(widths, trial, index_bits)
-                    for widths in row_width_vectors
-                ) + self.entry_count * uint_width(symbol_width)
+                candidate_sum, fitting = fit_lists[candidate]
+                trial_cost = current_cost + header_extra
+                for widths, count in fitting:
+                    saving = best_sum[widths] - candidate_sum
+                    if saving > 0:
+                        trial_cost -= saving * count
                 if trial_cost < best_cost:
                     best_cost = trial_cost
                     best_candidate = candidate
             if best_candidate is None:
                 break
             bases.append(best_candidate)
+            candidate_sum, fitting = fit_lists[best_candidate]
+            for widths, _count in fitting:
+                if candidate_sum < best_sum[widths]:
+                    best_sum[widths] = candidate_sum
         return bases
 
     def _encoding_plan(
         self, symbol_width: int
-    ) -> tuple[bool, list[tuple[int, ...]]]:
-        """Decide plain vs multiple-bases mode; returns (use_bases, bases)."""
+    ) -> tuple[bool, list[tuple[int, ...]], list[int]]:
+        """Decide plain vs multiple-bases mode.
+
+        Returns ``(use_bases, bases, base_index_per_row)``; the per-row
+        base choice is computed once per distinct width vector and cached
+        with the plan so :meth:`serialize` and :meth:`serialized_size`
+        never re-run the search.
+        """
+        cached = self._plan_cache
+        if cached is not None and cached[0] == symbol_width:
+            return cached[1], cached[2], cached[3]
         bases = self.select_bases(symbol_width)
         width_field = uint_width(symbol_width)
         index_bits = uint_width(len(bases) - 1)
@@ -131,12 +183,23 @@ class MatrixGroup:
             expgolomb.encoded_length(len(bases))
             + len(bases) * self.entry_count * width_field
         )
-        based_cost = header + sum(
-            self._best_base_index_and_cost(row, bases, index_bits)[1]
-            for row in self.rows
-        )
+        # (base index, row cost) per distinct width vector, matching
+        # _best_base_index_and_cost (first base with the smallest cost)
+        choice: dict[tuple[int, ...], tuple[int, int]] = {}
+        base_index_per_row: list[int] = []
+        based_cost = header
+        for row in self.rows:
+            widths = width_vector(row)
+            chosen = choice.get(widths)
+            if chosen is None:
+                chosen = self._best_base_index_and_cost(row, bases, index_bits)
+                choice[widths] = chosen
+            base_index_per_row.append(chosen[0])
+            based_cost += chosen[1]
         plain_cost = len(self.rows) * self.entry_count * symbol_width
-        return based_cost < plain_cost, bases
+        plan = (based_cost < plain_cost, bases, base_index_per_row)
+        self._plan_cache = (symbol_width, *plan)
+        return plan
 
     @staticmethod
     def _best_base_index_and_cost(
@@ -162,7 +225,9 @@ class MatrixGroup:
         """Write the group: header, mode flag, bases, and all rows."""
         expgolomb.encode_unsigned(writer, self.entry_count)
         expgolomb.encode_unsigned(writer, len(self.rows))
-        use_bases, bases = self._encoding_plan(symbol_width)
+        use_bases, bases, base_index_per_row = self._encoding_plan(
+            symbol_width
+        )
         writer.write_bit(1 if use_bases else 0)
         if not use_bases:
             for row in self.rows:
@@ -175,10 +240,7 @@ class MatrixGroup:
             for width in base:
                 writer.write_uint(width, width_field)
         index_bits = uint_width(len(bases) - 1)
-        for row in self.rows:
-            base_index, _ = self._best_base_index_and_cost(
-                row, bases, index_bits
-            )
+        for row, base_index in zip(self.rows, base_index_per_row):
             writer.write_uint(base_index, index_bits)
             for value, width in zip(row, bases[base_index]):
                 writer.write_uint(value, width)

@@ -1,0 +1,314 @@
+"""Microbenchmarks of the library's hot paths (`repro bench`).
+
+Four layers dominate end-to-end wall time: bit-level I/O (every codec),
+the map-matching HMM (every ingested point), TED's matrix base search
+(the baseline compressor), and StIU-backed queries.  This module times
+each one on a fixed, seeded workload so numbers are comparable across
+runs and across PRs, plus an end-to-end compression throughput row —
+the trajectory the `BENCH_core_hotpaths.json` file at the repo root
+tracks.
+
+The workloads are deterministic (fixed seeds, fixed sizes per mode), so
+two runs on the same machine differ only by the code under test; the
+CLI's ``--append`` mode accumulates labelled runs into one JSON document
+to record before/after pairs.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+from dataclasses import dataclass
+
+from ..bits import expgolomb
+from ..bits.bitio import BitReader, BitWriter
+from ..core.compressor import UTCQCompressor
+from ..ted.matrix import MatrixGroup
+from ..trajectories.datasets import load_dataset, profile
+from .reporting import ExperimentLog
+
+BENCH_TABLE_TITLE = "core_hotpaths"
+BENCH_HEADERS = ("label", "benchmark", "unit", "work", "seconds", "rate")
+DEFAULT_OUTPUT = "BENCH_core_hotpaths.json"
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """One measured hot path: ``rate = work / seconds`` in ``unit``."""
+
+    name: str
+    unit: str
+    work: int
+    seconds: float
+
+    @property
+    def rate(self) -> float:
+        return self.work / self.seconds if self.seconds > 0 else float("inf")
+
+    def row(self, label: str) -> list:
+        return [
+            label,
+            self.name,
+            self.unit,
+            self.work,
+            round(self.seconds, 4),
+            round(self.rate, 1),
+        ]
+
+
+# ----------------------------------------------------------------------
+# individual benchmarks
+# ----------------------------------------------------------------------
+def bench_bit_io(*, quick: bool = False) -> BenchResult:
+    """Codec-shaped bit I/O: Exp-Golomb, fixed-width fields, flag runs.
+
+    One "op" is one value written or read; the mix mirrors what the
+    SIAR/factor/PDDP encoders actually do.
+    """
+    scale = 1 if quick else 10
+    rng = random.Random(97)
+    deviations = [
+        rng.choice((-2, -1, -1, 0, 0, 0, 0, 1, 1, 2, 5, -9))
+        for _ in range(2_000 * scale)
+    ]
+    uints = [
+        (rng.randrange(1 << width), width)
+        for width in (3, 7, 12, 17)
+        for _ in range(500 * scale)
+    ]
+    flag_streams = [
+        [rng.randrange(2) for _ in range(64)] for _ in range(50 * scale)
+    ]
+    ops = 0
+    started = time.perf_counter()
+    writer = BitWriter()
+    for deviation in deviations:
+        expgolomb.encode(writer, deviation)
+    ops += len(deviations)
+    for value, width in uints:
+        writer.write_uint(value, width)
+    ops += len(uints)
+    for stream in flag_streams:
+        writer.write_bits(stream)
+    ops += sum(len(stream) for stream in flag_streams)
+    reader = BitReader.from_writer(writer)
+    for _ in deviations:
+        expgolomb.decode(reader)
+    ops += len(deviations)
+    for _, width in uints:
+        reader.read_uint(width)
+    ops += len(uints)
+    for stream in flag_streams:
+        reader.read_bits(len(stream))
+    ops += sum(len(stream) for stream in flag_streams)
+    elapsed = time.perf_counter() - started
+    return BenchResult("bit_io", "ops/s", ops, elapsed)
+
+
+def bench_map_matching(*, quick: bool = False) -> BenchResult:
+    """Batch HMM matching of a noisy synthetic fleet, in points/sec."""
+    from ..mapmatching.hmm import ProbabilisticMapMatcher
+    from ..mapmatching.noise import synthesize_raw_dataset
+    from ..network.generators import dataset_network
+
+    vehicles = 4 if quick else 40
+    prof = profile("CD")
+    network = dataset_network("CD", scale=12, seed=7)
+    raws = synthesize_raw_dataset(
+        network, prof.generation_config(), vehicles, seed=7
+    )
+    matcher = ProbabilisticMapMatcher(network)
+    points = sum(len(raw) for raw in raws)
+    started = time.perf_counter()
+    matched = matcher.match_many(raws)
+    elapsed = time.perf_counter() - started
+    assert matched, "map-matching benchmark produced no trajectories"
+    return BenchResult("map_matching", "points/s", points, elapsed)
+
+
+def bench_ted_rows(*, quick: bool = False) -> BenchResult:
+    """TED matrix base search + serialization, in rows/sec.
+
+    Row values are skewed toward small outgoing-edge numbers (the
+    distribution the multiple-bases observation relies on).
+    """
+    row_count = 60 if quick else 600
+    symbol_width = 5
+    rng = random.Random(41)
+    group = MatrixGroup(entry_count=12)
+    for _ in range(row_count):
+        group.add_row(
+            tuple(
+                rng.choice((0, 0, 1, 1, 1, 2, 3, 6, 14, 29))
+                for _ in range(group.entry_count)
+            )
+        )
+    started = time.perf_counter()
+    writer = BitWriter()
+    group.serialize(writer, symbol_width)
+    elapsed = time.perf_counter() - started
+    reader = BitReader.from_writer(writer)
+    decoded = MatrixGroup.deserialize(reader, symbol_width)
+    assert decoded.rows == group.rows, "TED matrix round trip failed"
+    return BenchResult("ted_base_search", "rows/s", row_count, elapsed)
+
+
+def bench_compression_suite(*, quick: bool = False) -> list[BenchResult]:
+    """End-to-end compression throughput, mirroring the Table 8 workload.
+
+    Runs both compressors on the same dataset (what
+    ``benchmarks/bench_table8_compression.py`` exercises) and reports the
+    combined throughput plus the per-method split — the TED baseline's
+    matrix base search historically dominates the combined number.
+    """
+    from ..ted.compressor import TEDCompressor
+
+    count = 12 if quick else 300
+    prof = profile("CD")
+    network, trajectories = load_dataset(
+        "CD", count, seed=7, network_scale=14
+    )
+    utcq = UTCQCompressor(
+        network=network,
+        default_interval=prof.default_interval,
+        eta_probability=prof.default_eta_probability,
+    )
+    started = time.perf_counter()
+    archive = utcq.compress(trajectories)
+    utcq_elapsed = time.perf_counter() - started
+    assert archive.trajectories, "compression benchmark produced no output"
+
+    ted = TEDCompressor(
+        network=network,
+        default_interval=prof.default_interval,
+        eta_probability=prof.default_eta_probability,
+    )
+    started = time.perf_counter()
+    ted.compress(trajectories)
+    ted_elapsed = time.perf_counter() - started
+
+    return [
+        BenchResult(
+            "compression", "traj/s", 2 * count, utcq_elapsed + ted_elapsed
+        ),
+        BenchResult("utcq_compression", "traj/s", count, utcq_elapsed),
+        BenchResult("ted_compression", "traj/s", count, ted_elapsed),
+    ]
+
+
+def bench_stiu_queries(*, quick: bool = False) -> BenchResult:
+    """StIU-backed where/when/range queries, in queries/sec."""
+    from ..query.queries import UTCQQueryProcessor
+    from ..query.stiu import StIUIndex
+    from .harness import build_query_workload
+
+    count = 10 if quick else 40
+    per_kind = 8 if quick else 60
+    prof = profile("CD")
+    network, trajectories = load_dataset(
+        "CD", count, seed=7, network_scale=12
+    )
+    compressor = UTCQCompressor(
+        network=network,
+        default_interval=prof.default_interval,
+        eta_probability=prof.default_eta_probability,
+    )
+    archive = compressor.compress(trajectories)
+    index = StIUIndex(network, archive)
+    processor = UTCQQueryProcessor(network, archive, index)
+    workload = build_query_workload(
+        network, trajectories, count=per_kind, seed=5
+    )
+    queries = (
+        len(workload.where_queries)
+        + len(workload.when_queries)
+        + len(workload.range_queries)
+    )
+    started = time.perf_counter()
+    for trajectory_id, t, alpha in workload.where_queries:
+        processor.where(trajectory_id, t, alpha)
+    for trajectory_id, edge, rd, alpha in workload.when_queries:
+        processor.when(trajectory_id, edge, rd, alpha)
+    for region, t, alpha in workload.range_queries:
+        processor.range(region, t, alpha)
+    elapsed = time.perf_counter() - started
+    return BenchResult("stiu_queries", "queries/s", queries, elapsed)
+
+
+# ----------------------------------------------------------------------
+# suite driver + JSON trajectory file
+# ----------------------------------------------------------------------
+def run_hotpath_bench(
+    *, quick: bool = False, repeats: int | None = None
+) -> list[BenchResult]:
+    """Run every hot-path benchmark; returns the results in fixed order.
+
+    Workloads are deterministic, so each benchmark runs ``repeats``
+    times (default 3, 1 in quick mode) and the fastest sample wins —
+    the standard noise estimator for fixed-work microbenchmarks.
+    """
+    if repeats is None:
+        repeats = 1 if quick else 3
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    suites = (
+        bench_bit_io,
+        bench_map_matching,
+        bench_ted_rows,
+        bench_compression_suite,
+        bench_stiu_queries,
+    )
+    order: list[str] = []
+    best: dict[str, BenchResult] = {}
+    for _ in range(repeats):
+        for suite in suites:
+            outcome = suite(quick=quick)
+            for result in outcome if isinstance(outcome, list) else [outcome]:
+                incumbent = best.get(result.name)
+                if incumbent is None:
+                    order.append(result.name)
+                    best[result.name] = result
+                elif result.seconds < incumbent.seconds:
+                    best[result.name] = result
+    return [best[name] for name in order]
+
+
+def load_existing_rows(path) -> list[list]:
+    """Rows of the ``core_hotpaths`` table in an existing results file.
+
+    Returns ``[]`` when the file is missing or not a repro-bench document
+    (so ``--append`` is safe on a fresh checkout).
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as stream:
+            document = json.load(stream)
+    except (OSError, ValueError):
+        return []
+    if document.get("format") != "repro-bench":
+        return []
+    for table in document.get("tables", ()):
+        if table.get("title") == BENCH_TABLE_TITLE:
+            return [list(row) for row in table.get("rows", ())]
+    return []
+
+
+def write_bench_json(
+    results: list[BenchResult],
+    path,
+    *,
+    label: str = "current",
+    append: bool = False,
+) -> list[list]:
+    """Write (or extend) the perf-trajectory JSON document at ``path``.
+
+    With ``append``, rows from an existing repro-bench document are kept
+    and the new labelled rows added after them — how one file accumulates
+    a before/after history across PRs.  Returns all rows written.
+    """
+    rows = load_existing_rows(path) if append else []
+    rows.extend(result.row(label) for result in results)
+    log = ExperimentLog()
+    log.record(BENCH_TABLE_TITLE, BENCH_HEADERS, rows)
+    log.write_json(path)
+    return rows
