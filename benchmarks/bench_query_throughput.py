@@ -1,0 +1,48 @@
+"""Query-serving throughput: the read-path perf trajectory.
+
+Runs the ``repro serve-bench`` scenarios (warm archive opens, batch
+query throughput, shard-parallel throughput) in both the legacy and the
+fast mode on the quick workload, records the paper-style table, and
+writes ``results/BENCH_query_throughput.json`` so the serving path is
+tracked across PRs alongside the repo-root trajectory file.
+"""
+
+import pytest
+from conftest import RESULTS_DIR, record_experiment
+
+from repro.workloads.query_bench import (
+    BENCH_HEADERS,
+    BENCH_TABLE_TITLE,
+    run_query_bench,
+)
+from repro.workloads.reporting import ExperimentLog
+
+_ROWS: list[list] = []
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _write_results():
+    """Record whatever rows ran — subset runs and failures included."""
+    yield
+    if not _ROWS:
+        return
+    title = "Query serving throughput (sidecar opens, batch + shards)"
+    record_experiment(title, list(BENCH_HEADERS), _ROWS)
+    log = ExperimentLog()
+    log.record(BENCH_TABLE_TITLE, BENCH_HEADERS, _ROWS)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    log.write_json(RESULTS_DIR / "BENCH_query_throughput.json")
+
+
+@pytest.mark.parametrize("mode", ["legacy", "fast"])
+def test_query_serving_throughput(mode):
+    results = run_query_bench(mode=mode, quick=True, workers=2)
+    assert [result.name for result in results] == [
+        "warm_open",
+        "batch_queries",
+        "sharded_queries",
+    ]
+    for result in results:
+        assert result.seconds > 0
+        assert result.work > 0
+        _ROWS.append(result.row(mode))

@@ -1,9 +1,11 @@
 """Persist an archive to disk and query it without loading it back.
 
 Compresses a Chengdu-profile dataset across all cores (byte-identical
-to a serial run), writes the versioned ``.utcq`` on-disk format, then
-reopens the file lazily and answers where/when queries straight off
-disk — only the touched trajectory records are ever decoded.
+to a serial run), writes the versioned ``.utcq`` on-disk format plus
+its ``.stiu`` index sidecar, then reopens the file warm — the StIU
+index loads from the sidecar instead of being rebuilt — and answers
+where/when queries straight off disk, one at a time and as a batch.
+Only the touched trajectory records are ever decoded.
 
 Run:  python examples/persist_and_query.py
 """
@@ -12,12 +14,14 @@ import os
 import tempfile
 
 from repro import (
-    FileBackedArchive,
+    BatchQueryEngine,
     StIUIndex,
     UTCQQueryProcessor,
+    WhereQuery,
     compress_parallel,
     load_dataset,
 )
+from repro.query.sidecar import save_index, sidecar_path_for
 
 
 def main() -> None:
@@ -42,10 +46,16 @@ def main() -> None:
         f"ratio {archive.stats.total_ratio:.2f})"
     )
 
-    # 3. reopen lazily: the StIU index streams trajectories through a
-    #    bounded LRU; queries decode only what they touch
-    with FileBackedArchive.open(path, cache_size=8) as on_disk:
-        index = StIUIndex(network, on_disk, grid_cells_per_side=32)
+    # 3. persist the StIU index too, so every later open is warm
+    save_index(StIUIndex(network, archive), path)
+    print(f"wrote {sidecar_path_for(path)}: index sidecar")
+
+    # 4. reopen warm: the index loads from the sidecar (no rebuild) and
+    #    trajectories stream through a bounded LRU; queries decode only
+    #    what they touch
+    index = StIUIndex.over_file(network, path, cache_size=8)
+    print(f"index loaded from sidecar: {index.loaded_from_sidecar}")
+    with index.archive as on_disk:
         queries = UTCQQueryProcessor(network, on_disk, index)
 
         target = trajectories[0]
@@ -76,6 +86,20 @@ def main() -> None:
             f"{on_disk.trajectory_count} (lazy loading works)"
         )
 
+        # 5. the same queries as one deduplicated batch
+        engine = BatchQueryEngine(network, on_disk, index)
+        batch = [
+            WhereQuery(target.trajectory_id, t, 0.2),
+            WhereQuery(target.trajectory_id, t, 0.2),  # duplicate: answered once
+        ]
+        batch_results = engine.run(batch)
+        print(
+            f"batch of {len(batch)} where-queries -> "
+            f"{len(batch_results[0])} result(s), shared answer: "
+            f"{batch_results[0] is batch_results[1]}"
+        )
+
+    os.remove(sidecar_path_for(path))
     os.remove(path)
 
 

@@ -68,9 +68,14 @@ from .network import (
     perturbed_grid_network,
 )
 from .query import (
+    BatchQueryEngine,
     BruteForceOracle,
+    RangeQuery,
+    ShardedQueryEngine,
     StIUIndex,
     UTCQQueryProcessor,
+    WhenQuery,
+    WhereQuery,
 )
 from .io import ArchiveClosedError, FileBackedArchive, read_archive, write_archive
 from .pipeline import BatchReport, compress_parallel
@@ -118,9 +123,14 @@ __all__ = [
     "dataset_network",
     "grid_network",
     "perturbed_grid_network",
+    "BatchQueryEngine",
     "BruteForceOracle",
+    "RangeQuery",
+    "ShardedQueryEngine",
     "StIUIndex",
     "UTCQQueryProcessor",
+    "WhenQuery",
+    "WhereQuery",
     "ArchiveClosedError",
     "FileBackedArchive",
     "read_archive",

@@ -32,19 +32,22 @@ def compress(bits: list[int], word_size: int = DEFAULT_WORD_SIZE) -> BitWriter:
     writer = BitWriter()
     expgolomb.encode_unsigned(writer, len(bits))
     full_words = len(bits) // word_size
+    # one C-level memcmp per word instead of a per-bit Python scan
+    data = bytes(bits)
+    fill_words = {bytes([value]) * word_size: value for value in (0, 1)}
     index = 0
     word_index = 0
     while word_index < full_words:
-        word = bits[index : index + word_size]
-        if all(b == word[0] for b in word):
-            fill_value = word[0]
+        word = data[index : index + word_size]
+        fill_value = fill_words.get(word)
+        if fill_value is not None:
             run = 1
-            while word_index + run < full_words:
-                nxt = bits[index + run * word_size : index + (run + 1) * word_size]
-                if all(b == fill_value for b in nxt):
-                    run += 1
-                else:
-                    break
+            while (
+                word_index + run < full_words
+                and data[index + run * word_size : index + (run + 1) * word_size]
+                == word
+            ):
+                run += 1
             writer.write_bit(1)
             writer.write_bit(fill_value)
             expgolomb.encode_unsigned(writer, run - 1)
@@ -52,7 +55,7 @@ def compress(bits: list[int], word_size: int = DEFAULT_WORD_SIZE) -> BitWriter:
             word_index += run
         else:
             writer.write_bit(0)
-            writer.write_bits(word)
+            writer.write_bits(bits[index : index + word_size])
             index += word_size
             word_index += 1
     tail = bits[full_words * word_size :]

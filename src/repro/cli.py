@@ -113,6 +113,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="seed for randomized pivot selection (default: 17)",
     )
     compress.add_argument(
+        "--no-sidecar", action="store_true",
+        help="skip writing the .stiu index sidecar next to the archive "
+        "(queries against the file will rebuild the index on open)",
+    )
+    compress.add_argument(
         "--quiet", action="store_true", help="suppress progress output"
     )
 
@@ -187,6 +192,71 @@ def build_parser() -> argparse.ArgumentParser:
     range_.add_argument("--alpha", type=float, default=0.2)
     range_.add_argument("--json", action="store_true")
     _add_dataset_arguments(range_)
+
+    batch = kinds.add_parser(
+        "batch",
+        help="run many queries at once through the batch engine, "
+        "optionally across shards and worker processes",
+    )
+    batch.add_argument(
+        "archives", nargs="+", metavar="archive",
+        help="one or more .utcq shard files",
+    )
+    batch.add_argument(
+        "-i", "--input", required=True,
+        help="JSON file of query objects — an array or one object per "
+        "line; '-' = stdin.  Objects look like "
+        '{"kind": "where", "trajectory": 3, "time": 41000, "alpha": 0.2}, '
+        '{"kind": "when", "trajectory": 3, "edge": [5, 6], "rd": 0.5, '
+        '"alpha": 0.2}, '
+        '{"kind": "range", "rect": [0, 0, 900, 900], "time": 41000, '
+        '"alpha": 0.2}',
+    )
+    batch.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for shard-parallel execution "
+        "(default: 1 = in-process)",
+    )
+    batch.add_argument(
+        "--json", action="store_true",
+        help="emit one JSON result line per query",
+    )
+    _add_dataset_arguments(batch)
+
+    serve_bench = commands.add_parser(
+        "serve-bench",
+        help="run the query-serving benchmark (batch throughput, "
+        "sharded throughput, warm archive opens) and record the "
+        "results in BENCH_query_throughput.json",
+    )
+    serve_bench.add_argument(
+        "--quick", action="store_true",
+        help="scaled-down workload (CI smoke; numbers are noisier)",
+    )
+    serve_bench.add_argument(
+        "--mode", choices=("legacy", "fast", "both"), default="fast",
+        help="legacy = pre-sidecar/pre-batch code paths (the 'before' "
+        "row), fast = sidecar + batch engine (default), both = run and "
+        "record the two back to back",
+    )
+    serve_bench.add_argument(
+        "--label", default="current",
+        help="label recorded with each row (default: current)",
+    )
+    serve_bench.add_argument(
+        "-o", "--output", default="BENCH_query_throughput.json",
+        help="results file to write (default: BENCH_query_throughput.json "
+        "in the current directory — the repo root by convention)",
+    )
+    serve_bench.add_argument(
+        "--append", action="store_true",
+        help="keep existing rows in the output file and add these "
+        "after them (how before/after pairs accumulate)",
+    )
+    serve_bench.add_argument(
+        "--workers", type=int, default=4,
+        help="process-pool size for the sharded scenario (default: 4)",
+    )
 
     bench = commands.add_parser(
         "bench",
@@ -388,16 +458,22 @@ def cmd_compress(args) -> int:
     )
     if not args.quiet:
         print()
-    size = archive.save(
-        args.output,
-        provenance={
-            "generator": PROVENANCE_GENERATOR,
-            "profile": prof.name,
-            "dataset_seed": str(args.dataset_seed),
-            "network_scale": str(scale),
-            "trajectory_count": str(args.count),
-        },
-    )
+    provenance = {
+        "generator": PROVENANCE_GENERATOR,
+        "profile": prof.name,
+        "dataset_seed": str(args.dataset_seed),
+        "network_scale": str(scale),
+        "trajectory_count": str(args.count),
+    }
+    if args.no_sidecar:
+        size = archive.save(args.output, provenance=provenance)
+        sidecar_path = None
+    else:
+        from .pipeline.batch import save_archive_with_index
+
+        size, sidecar_path = save_archive_with_index(
+            archive, args.output, network, provenance=provenance
+        )
     if not args.quiet:
         row = archive.stats.as_row()
         ratios = ", ".join(f"{key} {value:.2f}" for key, value in row.items())
@@ -409,6 +485,13 @@ def cmd_compress(args) -> int:
             f"({report.workers} worker{'s' if report.workers != 1 else ''})"
         )
         print(f"compression ratios — {ratios}")
+        if sidecar_path is not None:
+            import os as _os
+
+            print(
+                f"wrote {sidecar_path}: StIU index sidecar, "
+                f"{_os.path.getsize(sidecar_path)} bytes (warm query opens)"
+            )
     return 0
 
 
@@ -539,18 +622,94 @@ def cmd_decompress(args) -> int:
 
 def _query_processor(archive: FileBackedArchive, args):
     from .query.queries import UTCQQueryProcessor
+    from .query.sidecar import load_index
     from .query.stiu import StIUIndex
 
     network = _network_from_provenance(archive, args)
-    index = StIUIndex(network, archive)
+    # warm path: the .stiu sidecar written at compress/compact time
+    index = load_index(network, archive, args.archive)
+    if index is None:
+        index = StIUIndex(network, archive)
     return UTCQQueryProcessor(network, archive, index)
 
 
 def cmd_query(args) -> int:
     try:
+        if args.kind == "batch":
+            return _run_query_batch(args)
         return _run_query(args)
     except KeyError as error:
         raise SystemExit(f"error: {error.args[0]}")
+
+
+def _load_batch_queries(source: str):
+    from .query.engine import QueryEngineError, query_from_dict
+
+    if source == "-":
+        text = sys.stdin.read()
+    else:
+        try:
+            with open(source, "r", encoding="utf-8") as stream:
+                text = stream.read()
+        except FileNotFoundError:
+            raise SystemExit(f"error: no such query file: {source}")
+    text = text.strip()
+    if not text:
+        raise SystemExit("error: the query input is empty")
+    try:
+        if text.startswith("["):
+            documents = json.loads(text)
+        else:
+            documents = [
+                json.loads(line) for line in text.splitlines() if line.strip()
+            ]
+    except json.JSONDecodeError as error:
+        raise SystemExit(f"error: bad query JSON: {error}")
+    try:
+        return documents, [query_from_dict(doc) for doc in documents]
+    except QueryEngineError as error:
+        raise SystemExit(f"error: {error}")
+
+
+def _run_query_batch(args) -> int:
+    import os
+
+    from .query.engine import (
+        QueryEngineError,
+        ShardedQueryEngine,
+        result_to_jsonable,
+    )
+
+    documents, queries = _load_batch_queries(args.input)
+    for path in args.archives:
+        if not os.path.exists(path):
+            raise SystemExit(f"error: no such archive: {path}")
+    # resolve the network once from the first shard (CLI overrides win)
+    with _open_archive(args.archives[0]) as first:
+        network = _network_from_provenance(first, args)
+    try:
+        with ShardedQueryEngine(
+            args.archives, network=network, workers=args.workers
+        ) as engine:
+            results = engine.run(queries)
+    except QueryEngineError as error:
+        raise SystemExit(f"error: {error}")
+    if args.json:
+        for query, result in zip(queries, results):
+            print(json.dumps(result_to_jsonable(query, result)))
+    else:
+        hits = sum(1 for result in results if result)
+        print(
+            f"{len(queries)} queries over {len(args.archives)} "
+            f"shard{'s' if len(args.archives) != 1 else ''} "
+            f"({args.workers} worker{'s' if args.workers != 1 else ''}): "
+            f"{hits} with non-empty results"
+        )
+        for position, (document, result) in enumerate(
+            zip(documents, results)
+        ):
+            print(f"  [{position}] {document.get('kind')}: {len(result)} result(s)")
+    return 0
 
 
 def _run_query(args) -> int:
@@ -625,6 +784,37 @@ def _run_query(args) -> int:
                     print("no trajectory qualifies")
                 for trajectory_id in results:
                     print(f"trajectory {trajectory_id}")
+    return 0
+
+
+def cmd_serve_bench(args) -> int:
+    from .workloads.query_bench import run_query_bench, write_bench_json
+    from .workloads.reporting import render_table
+
+    if args.mode == "both":
+        runs = [
+            (f"{args.label}-legacy", "legacy", args.append),
+            (f"{args.label}-fast", "fast", True),
+        ]
+    else:
+        runs = [(args.label, args.mode, args.append)]
+    rows: list[list] = []
+    for label, mode, append in runs:
+        results = run_query_bench(
+            mode=mode, quick=args.quick, workers=args.workers
+        )
+        rows = write_bench_json(
+            results, args.output, label=label, append=append
+        )
+    print(
+        render_table(
+            f"query-serving benchmarks ({'quick' if args.quick else 'full'} "
+            f"workload, mode={args.mode})",
+            ["label", "benchmark", "unit", "work", "seconds", "rate"],
+            rows,
+        )
+    )
+    print(f"wrote {args.output} ({len(rows)} rows)")
     return 0
 
 
@@ -731,12 +921,12 @@ def _stream_compact(args) -> int:
     import os
 
     from .stream import compact
-
-    size, count = compact(args.directory, args.output)
-    segment_bytes = 0
     from .stream.writer import SEGMENT_DIR, load_manifest, manifest_segments
 
     manifest = load_manifest(args.directory)
+    network = _network_from_manifest_provenance(manifest)
+    size, count = compact(args.directory, args.output, network=network)
+    segment_bytes = 0
     for info in manifest_segments(manifest):
         segment_bytes += os.path.getsize(
             os.path.join(args.directory, SEGMENT_DIR, info.name)
@@ -746,7 +936,27 @@ def _stream_compact(args) -> int:
         f"{len(manifest['segments'])} segments ({segment_bytes} bytes) "
         f"into {args.output} ({size} bytes)"
     )
+    if network is not None:
+        print(
+            f"wrote {args.output}.stiu: StIU index sidecar "
+            f"(warm query opens)"
+        )
+    else:
+        print(
+            "note: no dataset provenance in the manifest; skipped the "
+            "index sidecar (queries will rebuild the index on open)"
+        )
     return 0
+
+
+def _network_from_manifest_provenance(manifest: dict):
+    """Best effort: rebuild the stream archive's network for the sidecar."""
+    from .query.engine import QueryEngineError, build_network_from_provenance
+
+    try:
+        return build_network_from_provenance(manifest.get("provenance") or {})
+    except QueryEngineError:
+        return None
 
 
 def _stream_stats(args) -> int:
@@ -797,6 +1007,7 @@ def main(argv: list[str] | None = None) -> int:
         "query": cmd_query,
         "stream": cmd_stream,
         "bench": cmd_bench,
+        "serve-bench": cmd_serve_bench,
     }
     try:
         return handlers[args.command](args)

@@ -206,10 +206,16 @@ class CompressedArchive:
         return (self.stats.original.total + 7) // 8
 
     def trajectory(self, trajectory_id: int) -> CompressedTrajectory:
-        for candidate in self.trajectories:
-            if candidate.trajectory_id == trajectory_id:
-                return candidate
-        raise KeyError(f"no trajectory {trajectory_id} in the archive")
+        id_map = self.__dict__.get("_id_map")
+        if id_map is None or len(id_map) != len(self.trajectories):
+            id_map = {t.trajectory_id: t for t in self.trajectories}
+            self.__dict__["_id_map"] = id_map
+        try:
+            return id_map[trajectory_id]
+        except KeyError:
+            raise KeyError(
+                f"no trajectory {trajectory_id} in the archive"
+            ) from None
 
     def save(self, path, *, provenance: dict[str, str] | None = None) -> int:
         """Serialize to the ``.utcq`` on-disk format; returns file size.

@@ -4,9 +4,21 @@ The query processor (§5) never calls ``decode_archive`` — it uses the
 partial entry points (time prefixes, single references, factor streams)
 together with the StIU index.  Full decoding exists for round-trip
 verification and for consumers who want the data back.
+
+:class:`DecodeSpanCache` sits between the query layer and these entry
+points: a bounded LRU of decoded spans (time sequences, reference
+tuples, materialized instances, chainage tables) keyed by trajectory or
+instance, so repeated probes of a hot trajectory cost O(span) instead
+of a full re-decode.  One cache can be shared by several query
+processors over the same archive + network (e.g. through a
+:class:`~repro.stream.live.LiveArchive` while ingestion continues).
 """
 
 from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Callable
 
 from ..bits import expgolomb
 from ..bits.bitio import BitReader, uint_width
@@ -173,6 +185,143 @@ def decode_archive(
         decode_trajectory(network, trajectory, archive.params)
         for trajectory in archive.trajectories
     ]
+
+
+class _LruSection:
+    """One bounded LRU map inside a :class:`DecodeSpanCache`.
+
+    ``capacity`` of ``None`` means unbounded; ``0`` disables the section
+    entirely (every lookup misses — the pre-cache behavior, used by the
+    benchmark's legacy mode).
+    """
+
+    __slots__ = ("capacity", "_entries", "hits", "misses")
+
+    def __init__(self, capacity: int | None) -> None:
+        if capacity is not None and capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self._entries: OrderedDict = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key):
+        value = self._entries.get(key)
+        if value is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key, value) -> None:
+        if self.capacity == 0:
+            return
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        if self.capacity is not None:
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+class DecodeSpanCache:
+    """Shared, bounded LRU of decoded trajectory spans.
+
+    Four sections, sized independently:
+
+    * ``times`` — full SIAR time sequences, keyed by trajectory id;
+    * ``references`` — decoded reference tuples, keyed by
+      ``(trajectory_id, reference_ordinal)``;
+    * ``instances`` — materialized :class:`TrajectoryInstance` objects,
+      keyed by ``(trajectory_id, instance_index)``;
+    * ``chainages`` — cumulative-length chainage tables over those
+      instances (network-dependent: share a cache only across
+      processors using the same road network).
+
+    Thread-safe: lookups take a lock around LRU mutation only; the
+    decode itself (the ``factory``) runs unlocked, so concurrent misses
+    on the same key may decode twice and harmlessly overwrite each
+    other with equal values.
+    """
+
+    def __init__(
+        self,
+        *,
+        trajectory_capacity: int | None = 1024,
+        instance_capacity: int | None = 8192,
+    ) -> None:
+        self.times = _LruSection(trajectory_capacity)
+        self.references = _LruSection(instance_capacity)
+        self.instances = _LruSection(instance_capacity)
+        self.chainages = _LruSection(instance_capacity)
+        self._lock = threading.Lock()
+
+    @classmethod
+    def legacy(cls) -> "DecodeSpanCache":
+        """The pre-PR-5 caching behavior, for before/after benchmarks:
+        references and instances memoized without bound (what the query
+        processor always did), times and chainages re-decoded on every
+        probe."""
+        cache = cls(trajectory_capacity=None, instance_capacity=None)
+        cache.times = _LruSection(0)
+        cache.chainages = _LruSection(0)
+        return cache
+
+    def _lookup(self, section: _LruSection, key, factory: Callable):
+        with self._lock:
+            value = section.get(key)
+        if value is not None:
+            return value
+        value = factory()
+        with self._lock:
+            section.put(key, value)
+        return value
+
+    def times_for(self, trajectory_id: int, factory: Callable):
+        return self._lookup(self.times, trajectory_id, factory)
+
+    def reference_for(
+        self, trajectory_id: int, ordinal: int, factory: Callable
+    ):
+        return self._lookup(
+            self.references, (trajectory_id, ordinal), factory
+        )
+
+    def instance_for(self, trajectory_id: int, index: int, factory: Callable):
+        return self._lookup(self.instances, (trajectory_id, index), factory)
+
+    def chainage_for(self, trajectory_id: int, index: int, factory: Callable):
+        return self._lookup(self.chainages, (trajectory_id, index), factory)
+
+    def clear(self) -> None:
+        with self._lock:
+            for section in (
+                self.times, self.references, self.instances, self.chainages
+            ):
+                section.clear()
+
+    def stats(self) -> dict[str, dict[str, int]]:
+        """Hit/miss/resident counters per section (instrumentation)."""
+        with self._lock:
+            return {
+                name: {
+                    "hits": section.hits,
+                    "misses": section.misses,
+                    "resident": len(section),
+                }
+                for name, section in (
+                    ("times", self.times),
+                    ("references", self.references),
+                    ("instances", self.instances),
+                    ("chainages", self.chainages),
+                )
+            }
 
 
 def decode_instance_by_index(

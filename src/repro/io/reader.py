@@ -11,6 +11,8 @@ materializing the whole dataset (the `info`/`query` CLI path).
 
 from __future__ import annotations
 
+import os
+import threading
 from collections import OrderedDict
 
 from ..core.archive import CompressedTrajectory, CompressionParams, CompressionStats
@@ -85,6 +87,16 @@ class FileBackedArchive:
             entry.trajectory_id: entry for entry in header.directory
         }
         self._closed = False
+        # Concurrent readers: positional reads (os.pread) share one file
+        # descriptor without seek races; streams without a descriptor
+        # (e.g. BytesIO) fall back to seek+read under the lock.  The same
+        # lock also guards LRU mutation, so a thread pool can hammer
+        # ``trajectory()`` while record decoding itself runs unlocked.
+        self._lock = threading.Lock()
+        try:
+            self._fd: int | None = stream.fileno()
+        except (AttributeError, OSError, ValueError):
+            self._fd = None
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -114,12 +126,13 @@ class FileBackedArchive:
     def close(self) -> None:
         """Release the file.  Closing twice is an error — it almost
         always means two owners believe they hold the archive."""
-        if self._closed:
-            raise ArchiveClosedError(
-                "FileBackedArchive is already closed"
-            )
-        self._closed = True
-        self._cache.clear()
+        with self._lock:
+            if self._closed:
+                raise ArchiveClosedError(
+                    "FileBackedArchive is already closed"
+                )
+            self._closed = True
+            self._cache.clear()
         if not self._stream.closed:
             self._stream.close()
 
@@ -169,21 +182,28 @@ class FileBackedArchive:
         return [entry.trajectory_id for entry in self.header.directory]
 
     def trajectory(self, trajectory_id: int) -> CompressedTrajectory:
-        """Load (or fetch from cache) a single trajectory by id."""
+        """Load (or fetch from cache) a single trajectory by id.
+
+        Safe to call from multiple threads: a cache miss reads the
+        record with a positional ``pread`` (no shared seek cursor) and
+        decodes it outside the lock.  Two threads racing on the same
+        uncached id may both decode it; records are immutable, so the
+        last write to the cache wins harmlessly.
+        """
         if self._closed:
             raise ArchiveClosedError(
                 f"cannot load trajectory {trajectory_id}: the archive "
                 f"is closed"
             )
-        cached = self._cache.get(trajectory_id)
-        if cached is not None:
-            self._cache.move_to_end(trajectory_id)
-            return cached
+        with self._lock:
+            cached = self._cache.get(trajectory_id)
+            if cached is not None:
+                self._cache.move_to_end(trajectory_id)
+                return cached
         entry = self._id_to_entry.get(trajectory_id)
         if entry is None:
             raise KeyError(f"no trajectory {trajectory_id} in the archive")
-        self._stream.seek(entry.offset)
-        record = self._stream.read(entry.length)
+        record = self._read_record(entry)
         if len(record) != entry.length:
             raise ArchiveFormatError(
                 f"truncated record for trajectory {trajectory_id}"
@@ -198,10 +218,29 @@ class FileBackedArchive:
                 f"directory/record id mismatch: {trajectory_id} != "
                 f"{trajectory.trajectory_id}"
             )
-        self._cache[trajectory_id] = trajectory
-        while len(self._cache) > self.cache_size:
-            self._cache.popitem(last=False)
+        with self._lock:
+            self._cache[trajectory_id] = trajectory
+            while len(self._cache) > self.cache_size:
+                self._cache.popitem(last=False)
         return trajectory
+
+    def _read_record(self, entry) -> bytes:
+        if self._fd is not None:
+            try:
+                return os.pread(self._fd, entry.length, entry.offset)
+            except OSError:
+                if self._closed:
+                    raise ArchiveClosedError(
+                        "FileBackedArchive was closed during a read"
+                    ) from None
+                raise
+        with self._lock:
+            if self._closed:
+                raise ArchiveClosedError(
+                    "FileBackedArchive was closed during a read"
+                )
+            self._stream.seek(entry.offset)
+            return self._stream.read(entry.length)
 
     def cached_trajectory_count(self) -> int:
         """How many decoded trajectories are currently resident."""

@@ -5,6 +5,7 @@ from .batch import (
     compress_parallel,
     default_worker_count,
     make_shards,
+    save_archive_with_index,
 )
 
 __all__ = [
@@ -12,4 +13,5 @@ __all__ = [
     "compress_parallel",
     "default_worker_count",
     "make_shards",
+    "save_archive_with_index",
 ]

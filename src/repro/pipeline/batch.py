@@ -176,3 +176,33 @@ def compress_parallel(
         stats=archive.stats,
     )
     return archive, report
+
+
+def save_archive_with_index(
+    archive: CompressedArchive,
+    path,
+    network: RoadNetwork,
+    *,
+    provenance: dict[str, str] | None = None,
+    grid_cells_per_side: int = 32,
+    time_partition_seconds: int = 1800,
+):
+    """Write the ``.utcq`` file plus its ``.stiu`` sidecar in one step.
+
+    Building the StIU index at write time makes every later open warm:
+    ``StIUIndex.over_file`` (and ``repro query``) load the sidecar
+    instead of re-decoding the whole archive.  Returns
+    ``(file_bytes, sidecar_path)``.
+    """
+    from ..query.sidecar import save_index
+    from ..query.stiu import StIUIndex
+
+    size = archive.save(path, provenance=provenance)
+    index = StIUIndex(
+        network,
+        archive,
+        grid_cells_per_side=grid_cells_per_side,
+        time_partition_seconds=time_partition_seconds,
+    )
+    sidecar_path = save_index(index, path)
+    return size, sidecar_path

@@ -1,6 +1,15 @@
 """Query layer: StIU index, probabilistic queries, oracle, and metrics."""
 
 from .brute import BruteForceOracle
+from .engine import (
+    BatchQueryEngine,
+    QueryEngineError,
+    RangeQuery,
+    ShardedQueryEngine,
+    WhenQuery,
+    WhereQuery,
+    query_from_dict,
+)
 from .flagarrays import FlagArray, OriginalArray
 from .metrics import (
     AccuracyReport,
@@ -15,6 +24,12 @@ from .queries import (
     WhenResult,
     WhereResult,
 )
+from .sidecar import (
+    SidecarFormatError,
+    load_index,
+    save_index,
+    sidecar_path_for,
+)
 from .stiu import (
     INFINITE_VERTEX,
     NonReferenceTuple,
@@ -26,6 +41,13 @@ from .stiu import (
 
 __all__ = [
     "BruteForceOracle",
+    "BatchQueryEngine",
+    "QueryEngineError",
+    "RangeQuery",
+    "ShardedQueryEngine",
+    "WhenQuery",
+    "WhereQuery",
+    "query_from_dict",
     "FlagArray",
     "OriginalArray",
     "AccuracyReport",
@@ -37,6 +59,10 @@ __all__ = [
     "UTCQQueryProcessor",
     "WhenResult",
     "WhereResult",
+    "SidecarFormatError",
+    "load_index",
+    "save_index",
+    "sidecar_path_for",
     "INFINITE_VERTEX",
     "NonReferenceTuple",
     "ReferenceTuple",

@@ -1,0 +1,480 @@
+"""Batch and shard-parallel execution of where/when/range queries.
+
+Serving millions of users means queries arrive in bulk, not one at a
+time.  This module adds two layers over
+:class:`~repro.query.queries.UTCQQueryProcessor`:
+
+* :class:`BatchQueryEngine` — accepts many queries at once against one
+  archive.  Identical queries are answered once, and execution is
+  reordered (results are still returned in submission order) so queries
+  touching the same trajectory or time interval run back-to-back:
+  their SIAR time decodes, reference/factor decodes, chainage tables,
+  and Lemma-4 index probes all hit the shared
+  :class:`~repro.core.decoder.DecodeSpanCache` instead of being
+  repeated per query.
+* :class:`ShardedQueryEngine` — fans a batch out across several archive
+  files ("shards") with a persistent process pool.  where/when queries
+  are routed to the single shard holding their trajectory (via the
+  archives' directory headers — no record is touched); range queries
+  broadcast to every shard and the id lists are unioned.  Workers keep
+  their shard's archive, sidecar-loaded StIU index, and decode cache
+  alive between batches, so steady-state throughput scales with cores.
+
+Every result is exactly what a lone
+:class:`~repro.query.queries.UTCQQueryProcessor` (and therefore the
+brute-force oracle, up to PDDP error) would produce; the engine only
+changes *how often* shared work is done.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass
+from typing import Sequence, Union
+
+from ..core.decoder import DecodeSpanCache
+from ..network.grid import Rect
+from ..trajectories.model import EdgeKey
+from .queries import UTCQQueryProcessor, WhenResult, WhereResult
+from .stiu import StIUIndex
+
+
+class QueryEngineError(Exception):
+    """Raised for malformed batch specs or unusable shards."""
+
+
+# ----------------------------------------------------------------------
+# query specs
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class WhereQuery:
+    """Definition 10: where was trajectory ``trajectory_id`` at ``t``?"""
+
+    trajectory_id: int
+    t: int
+    alpha: float
+
+
+@dataclass(frozen=True)
+class WhenQuery:
+    """Definition 11: when did the trajectory pass ``<edge, rd>``?"""
+
+    trajectory_id: int
+    edge: EdgeKey
+    relative_distance: float
+    alpha: float
+
+
+@dataclass(frozen=True)
+class RangeQuery:
+    """Definition 12: which trajectories overlap ``rect`` at ``t``?"""
+
+    rect: Rect
+    t: int
+    alpha: float
+
+
+Query = Union[WhereQuery, WhenQuery, RangeQuery]
+
+
+def query_from_dict(document: dict) -> Query:
+    """Parse one JSON query object (the ``repro query batch`` format)."""
+    try:
+        kind = document.get("kind")
+        if kind == "where":
+            return WhereQuery(
+                int(document["trajectory"]),
+                int(document["time"]),
+                float(document.get("alpha", 0.0)),
+            )
+        if kind == "when":
+            edge = document["edge"]
+            if len(edge) != 2:
+                raise QueryEngineError(
+                    f"'edge' must be [start, end], got {edge!r}"
+                )
+            return WhenQuery(
+                int(document["trajectory"]),
+                (int(edge[0]), int(edge[1])),
+                float(document.get("rd", 0.5)),
+                float(document.get("alpha", 0.0)),
+            )
+        if kind == "range":
+            rect = document["rect"]
+            if len(rect) != 4:
+                raise QueryEngineError(
+                    f"'rect' must be [minx, miny, maxx, maxy], got {rect!r}"
+                )
+            return RangeQuery(
+                Rect(*(float(value) for value in rect)),
+                int(document["time"]),
+                float(document.get("alpha", 0.0)),
+            )
+    except QueryEngineError:
+        raise
+    except KeyError as error:
+        raise QueryEngineError(
+            f"query object missing field {error.args[0]!r}: {document!r}"
+        ) from None
+    except (TypeError, ValueError, AttributeError) as error:
+        raise QueryEngineError(
+            f"malformed query object {document!r}: {error}"
+        ) from None
+    raise QueryEngineError(
+        f"unknown query kind {kind!r} (expected where/when/range)"
+    )
+
+
+def result_to_jsonable(query: Query, result) -> object:
+    """Render one result the way the single-query CLI paths do."""
+    if isinstance(query, WhereQuery):
+        return [
+            {
+                "instance": r.instance_index,
+                "edge": list(r.edge),
+                "ndist": r.ndist,
+                "probability": r.probability,
+            }
+            for r in result
+        ]
+    if isinstance(query, WhenQuery):
+        return [
+            {
+                "instance": r.instance_index,
+                "time": r.time,
+                "probability": r.probability,
+            }
+            for r in result
+        ]
+    return list(result)
+
+
+# ----------------------------------------------------------------------
+# single-archive batch engine
+# ----------------------------------------------------------------------
+class BatchQueryEngine:
+    """Run many queries against one archive, sharing decoded spans."""
+
+    def __init__(
+        self,
+        network,
+        archive,
+        index: StIUIndex,
+        *,
+        cache: DecodeSpanCache | None = None,
+    ) -> None:
+        self.processor = UTCQQueryProcessor(
+            network, archive, index, cache=cache
+        )
+
+    @property
+    def counters(self):
+        return self.processor.counters
+
+    def run(self, queries: Sequence[Query]) -> list:
+        """Answer every query; results align with the submission order.
+
+        A where/when query naming a trajectory the archive does not hold
+        returns ``[]`` (serving semantics — one bad id must not poison a
+        batch).
+        """
+        slots: dict[Query, list[int]] = {}
+        for position, query in enumerate(queries):
+            if not isinstance(query, (WhereQuery, WhenQuery, RangeQuery)):
+                raise QueryEngineError(
+                    f"not a query spec: {query!r} (position {position})"
+                )
+            slots.setdefault(query, []).append(position)
+        results: list = [None] * len(queries)
+        for query in sorted(slots, key=self._execution_key):
+            answer = self._execute(query)
+            for position in slots[query]:
+                results[position] = answer
+        return results
+
+    @staticmethod
+    def _execution_key(query: Query) -> tuple:
+        # trajectory-directed queries grouped per trajectory; range
+        # queries grouped by query time so interval candidate sets and
+        # Lemma-4 cell masses stay hot in the processor's memos
+        if isinstance(query, WhereQuery):
+            return (0, query.trajectory_id, query.t)
+        if isinstance(query, WhenQuery):
+            return (1, query.trajectory_id, query.edge, query.relative_distance)
+        return (2, query.t, query.rect.min_x, query.rect.min_y)
+
+    def _execute(self, query: Query):
+        processor = self.processor
+        try:
+            if isinstance(query, WhereQuery):
+                return processor.where(
+                    query.trajectory_id, query.t, query.alpha
+                )
+            if isinstance(query, WhenQuery):
+                return processor.when(
+                    query.trajectory_id,
+                    query.edge,
+                    query.relative_distance,
+                    query.alpha,
+                )
+            return processor.range(query.rect, query.t, query.alpha)
+        except KeyError:
+            return []
+
+
+# ----------------------------------------------------------------------
+# shard-parallel engine
+# ----------------------------------------------------------------------
+def build_network_from_provenance(provenance: dict[str, str]):
+    from ..network.generators import dataset_network
+    from ..trajectories.datasets import profile as dataset_profile
+
+    profile_name = provenance.get("profile")
+    seed = provenance.get("dataset_seed")
+    scale = provenance.get("network_scale")
+    if profile_name is None or seed is None:
+        raise QueryEngineError(
+            "shard carries no dataset provenance; pass an explicit "
+            "network to ShardedQueryEngine"
+        )
+    if scale is None:
+        scale = dataset_profile(profile_name).network_scale
+    return dataset_network(profile_name, scale=int(scale), seed=int(seed))
+
+
+def _open_shard_engine(
+    path,
+    network,
+    *,
+    grid_cells_per_side: int,
+    time_partition_seconds: int,
+    verify_crc: bool,
+) -> BatchQueryEngine:
+    if network is None:
+        raise QueryEngineError("network must be resolved before opening")
+    index = StIUIndex.over_file(
+        network,
+        path,
+        verify_crc=verify_crc,
+        grid_cells_per_side=grid_cells_per_side,
+        time_partition_seconds=time_partition_seconds,
+    )
+    return BatchQueryEngine(network, index.archive, index)
+
+
+# worker-global state, installed by the pool initializer: shard engines
+# (archive + sidecar index + decode cache) persist across batches
+_worker_config: dict | None = None
+_worker_engines: dict[str, BatchQueryEngine] = {}
+
+
+def _init_query_worker(config: dict) -> None:
+    global _worker_config
+    _worker_config = config
+    _worker_engines.clear()
+
+
+def _shard_engine_for(path: str) -> BatchQueryEngine:
+    assert _worker_config is not None
+    engine = _worker_engines.get(path)
+    if engine is None:
+        network = _worker_config["network"]
+        if network is None:
+            from ..io.reader import FileBackedArchive
+
+            with FileBackedArchive.open(path) as probe:
+                network = build_network_from_provenance(probe.provenance)
+        engine = _open_shard_engine(
+            path,
+            network,
+            grid_cells_per_side=_worker_config["grid_cells_per_side"],
+            time_partition_seconds=_worker_config["time_partition_seconds"],
+            verify_crc=_worker_config["verify_crc"],
+        )
+        _worker_engines[path] = engine
+    return engine
+
+
+def _run_shard_batch(task: tuple) -> list:
+    path, queries = task
+    return _shard_engine_for(path).run(queries)
+
+
+class ShardedQueryEngine:
+    """Batch queries over many archive files with a process pool.
+
+    The pool (and each worker's open shards, indexes, and decode
+    caches) persists across :meth:`run` calls, so a long-lived server
+    pays the spawn and index-load cost once.  Use as a context manager
+    or call :meth:`close`.
+
+    ``network`` may be shared by every shard (the usual case: shards of
+    one dataset); when ``None`` each worker rebuilds it from the
+    shard's provenance, exactly like ``repro query`` does.
+    """
+
+    def __init__(
+        self,
+        shard_paths: Sequence,
+        *,
+        network=None,
+        workers: int | None = None,
+        grid_cells_per_side: int = 32,
+        time_partition_seconds: int = 1800,
+        verify_crc: bool = True,
+        mp_context: str | None = None,
+    ) -> None:
+        if not shard_paths:
+            raise QueryEngineError("at least one shard path is required")
+        self.shard_paths = [str(path) for path in shard_paths]
+        if len(set(self.shard_paths)) != len(self.shard_paths):
+            raise QueryEngineError("duplicate shard paths")
+        self.network = network
+        self._config = {
+            "network": network,
+            "grid_cells_per_side": grid_cells_per_side,
+            "time_partition_seconds": time_partition_seconds,
+            "verify_crc": verify_crc,
+        }
+        self._route = self._build_routing(self.shard_paths)
+        if workers is None:
+            workers = min(len(self.shard_paths), os.cpu_count() or 1)
+        self.workers = max(1, workers)
+        self._closed = False
+        self._local_engines: dict[str, BatchQueryEngine] = {}
+        if self.workers == 1:
+            self._pool = None
+        else:
+            context = multiprocessing.get_context(mp_context)
+            self._pool = context.Pool(
+                processes=self.workers,
+                initializer=_init_query_worker,
+                initargs=(self._config,),
+            )
+
+    @staticmethod
+    def _build_routing(shard_paths: list[str]) -> dict[int, str]:
+        """trajectory id -> shard path, from the directory headers only."""
+        from ..io.format import read_header
+
+        route: dict[int, str] = {}
+        for path in shard_paths:
+            with open(path, "rb") as stream:
+                header = read_header(stream)
+            for entry in header.directory:
+                if entry.trajectory_id in route:
+                    raise QueryEngineError(
+                        f"trajectory {entry.trajectory_id} appears in "
+                        f"both {route[entry.trajectory_id]} and {path}"
+                    )
+                route[entry.trajectory_id] = path
+        return route
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+        for engine in self._local_engines.values():
+            engine.processor.archive.close()
+        self._local_engines.clear()
+
+    def __enter__(self) -> "ShardedQueryEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self, queries: Sequence[Query]) -> list:
+        """Answer every query; results align with the submission order.
+
+        Duplicate queries are collapsed before anything crosses a
+        process boundary — each distinct spec is shipped to (and
+        answered by) each involved shard exactly once per batch.
+        """
+        if self._closed:
+            raise QueryEngineError("engine is closed")
+        slots: dict[Query, list[int]] = {}
+        for position, query in enumerate(queries):
+            if not isinstance(query, (WhereQuery, WhenQuery, RangeQuery)):
+                raise QueryEngineError(
+                    f"not a query spec: {query!r} (position {position})"
+                )
+            slots.setdefault(query, []).append(position)
+
+        answers: dict[Query, object] = {}
+        tasks: dict[str, list[Query]] = {}
+        range_specs: list[RangeQuery] = []
+        for spec in slots:
+            if isinstance(spec, RangeQuery):
+                range_specs.append(spec)
+                for path in self.shard_paths:
+                    tasks.setdefault(path, []).append(spec)
+            else:
+                path = self._route.get(spec.trajectory_id)
+                if path is None:
+                    answers[spec] = []  # unknown trajectory: empty result
+                else:
+                    tasks.setdefault(path, []).append(spec)
+
+        partial_ranges: dict[Query, set[int]] = {
+            spec: set() for spec in range_specs
+        }
+        for specs, shard_answers in self._execute_tasks(tasks):
+            for spec, answer in zip(specs, shard_answers):
+                if isinstance(spec, RangeQuery):
+                    partial_ranges[spec].update(answer)
+                else:
+                    answers[spec] = answer
+        for spec, union in partial_ranges.items():
+            answers[spec] = sorted(union)
+
+        results: list = [None] * len(queries)
+        for spec, positions in slots.items():
+            answer = answers[spec]
+            for position in positions:
+                results[position] = answer
+        return results
+
+    def _execute_tasks(self, tasks: dict[str, list]):
+        items = sorted(tasks.items())
+        if self._pool is None:
+            for path, specs in items:
+                yield specs, self._local_engine(path).run(specs)
+            return
+        async_results = [
+            (specs, self._pool.apply_async(_run_shard_batch, ((path, specs),)))
+            for path, specs in items
+        ]
+        for specs, async_result in async_results:
+            yield specs, async_result.get()
+
+    def _local_engine(self, path: str) -> BatchQueryEngine:
+        engine = self._local_engines.get(path)
+        if engine is None:
+            network = self.network
+            if network is None:
+                from ..io.reader import FileBackedArchive
+
+                with FileBackedArchive.open(path) as probe:
+                    network = build_network_from_provenance(probe.provenance)
+            engine = _open_shard_engine(
+                path,
+                network,
+                grid_cells_per_side=self._config["grid_cells_per_side"],
+                time_partition_seconds=self._config["time_partition_seconds"],
+                verify_crc=self._config["verify_crc"],
+            )
+            self._local_engines[path] = engine
+        return engine
+
+

@@ -27,6 +27,7 @@ from ..bits.bitio import BitReader
 from ..core import siar
 from ..core.archive import CompressedArchive, CompressedTrajectory
 from ..core.decoder import (
+    DecodeSpanCache,
     decode_non_reference_tuple,
     decode_reference_tuple,
 )
@@ -80,20 +81,31 @@ class QueryCounters:
 
 
 class UTCQQueryProcessor:
-    """Query engine over a compressed archive + StIU index."""
+    """Query engine over a compressed archive + StIU index.
+
+    ``cache`` is the decode-span LRU shared with other processors over
+    the same archive + network (``None`` creates a private one).  It
+    memoizes decoded time sequences, reference tuples, materialized
+    instances, and chainage tables, so repeated probes of a hot
+    trajectory cost O(span) instead of a re-decode.
+    """
 
     def __init__(
         self,
         network: RoadNetwork,
         archive: CompressedArchive,
         index: StIUIndex,
+        *,
+        cache: DecodeSpanCache | None = None,
     ) -> None:
         self.network = network
         self.archive = archive
         self.index = index
         self.counters = QueryCounters()
-        self._reference_cache: dict[tuple[int, int], InstanceTuple] = {}
-        self._instance_cache: dict[tuple[int, int], TrajectoryInstance] = {}
+        self.cache = cache if cache is not None else DecodeSpanCache()
+        # per-(interval, cell) reference mass for Lemma 4; derived purely
+        # from the immutable index, so it never needs invalidation
+        self._region_mass: dict[tuple[int, int], dict[int, float]] = {}
 
     # ------------------------------------------------------------------
     # shared partial-decompression helpers
@@ -125,51 +137,66 @@ class UTCQQueryProcessor:
         return times
 
     def _full_times(self, trajectory: CompressedTrajectory) -> list[int]:
-        reader = BitReader(
-            trajectory.time_payload, trajectory.time_payload_bits
-        )
-        return siar.decode(
-            reader,
-            self.archive.params.default_interval,
-            t0_bits=self.archive.params.t0_bits,
-        )
+        def decode() -> list[int]:
+            reader = BitReader(
+                trajectory.time_payload, trajectory.time_payload_bits
+            )
+            return siar.decode(
+                reader,
+                self.archive.params.default_interval,
+                t0_bits=self.archive.params.t0_bits,
+            )
+
+        return self.cache.times_for(trajectory.trajectory_id, decode)
 
     def _reference_tuple(
         self, trajectory: CompressedTrajectory, ordinal: int
     ) -> InstanceTuple:
-        key = (trajectory.trajectory_id, ordinal)
-        cached = self._reference_cache.get(key)
-        if cached is None:
-            cached = decode_reference_tuple(
+        return self.cache.reference_for(
+            trajectory.trajectory_id,
+            ordinal,
+            lambda: decode_reference_tuple(
                 trajectory.reference_by_ordinal(ordinal), self.archive.params
-            )
-            self._reference_cache[key] = cached
-        return cached
+            ),
+        )
 
     def _materialize(
         self, trajectory: CompressedTrajectory, instance_index: int
     ) -> TrajectoryInstance:
         """Decode one instance (reference payload shared via cache)."""
-        key = (trajectory.trajectory_id, instance_index)
-        cached = self._instance_cache.get(key)
-        if cached is not None:
-            return cached
-        compressed = trajectory.instances[instance_index]
-        self.counters.instances_decoded += 1
-        if compressed.is_reference:
-            encoded = self._reference_tuple(
-                trajectory, compressed.reference_ordinal
-            )
-        else:
-            reference = self._reference_tuple(
-                trajectory, compressed.reference_ordinal
-            )
-            encoded = decode_non_reference_tuple(
-                compressed, reference, self.archive.params
-            )
-        instance = decode_instance(self.network, encoded)
-        self._instance_cache[key] = instance
-        return instance
+
+        def decode() -> TrajectoryInstance:
+            compressed = trajectory.instances[instance_index]
+            self.counters.instances_decoded += 1
+            if compressed.is_reference:
+                encoded = self._reference_tuple(
+                    trajectory, compressed.reference_ordinal
+                )
+            else:
+                reference = self._reference_tuple(
+                    trajectory, compressed.reference_ordinal
+                )
+                encoded = decode_non_reference_tuple(
+                    compressed, reference, self.archive.params
+                )
+            return decode_instance(self.network, encoded)
+
+        return self.cache.instance_for(
+            trajectory.trajectory_id, instance_index, decode
+        )
+
+    def _chain(
+        self, trajectory: CompressedTrajectory, instance_index: int
+    ) -> InstanceChainage:
+        """Chainage table of one instance (cached: building it walks the
+        whole path to accumulate edge lengths)."""
+        return self.cache.chainage_for(
+            trajectory.trajectory_id,
+            instance_index,
+            lambda: InstanceChainage(
+                self.network, self._materialize(trajectory, instance_index)
+            ),
+        )
 
     # ------------------------------------------------------------------
     # probabilistic where (Definition 10)
@@ -178,8 +205,11 @@ class UTCQQueryProcessor:
         self, trajectory_id: int, t: int, alpha: float
     ) -> list[WhereResult]:
         trajectory = self.archive.trajectory(trajectory_id)
-        times = self._decode_times_around(trajectory, t)
-        if times is None:
+        # the same guards _decode_times_around applies, without paying
+        # for a partial decode the decode-span cache makes redundant
+        if not trajectory.start_time <= t <= trajectory.end_time:
+            return []
+        if self.index.temporal_tuple_for(trajectory_id, t) is None:
             return []
         full_times = self._full_times(trajectory)
         results: list[WhereResult] = []
@@ -187,8 +217,7 @@ class UTCQQueryProcessor:
             if compressed.probability < alpha:
                 self.counters.instances_pruned += 1
                 continue
-            instance = self._materialize(trajectory, index)
-            chain = InstanceChainage(self.network, instance)
+            chain = self._chain(trajectory, index)
             position = chain.position_at_time(full_times, t)
             if position is None:
                 continue
@@ -261,8 +290,7 @@ class UTCQQueryProcessor:
             if compressed.probability < alpha:
                 self.counters.instances_pruned += 1
                 continue
-            instance = self._materialize(trajectory, index)
-            chain = InstanceChainage(self.network, instance)
+            chain = self._chain(trajectory, index)
             for passing in chain.times_at_position(
                 full_times, edge, ndist, tolerance=tolerance
             ):
@@ -289,29 +317,67 @@ class UTCQQueryProcessor:
     def range(self, region: Rect, t: int, alpha: float) -> list[int]:
         interval = self.index.interval_of(t)
         cells = self.index.grid.cells_of_rect(region)
+        # Lemma 4: indexed probability mass near RE bounds the true
+        # overlap probability from above.  One pass over the touched
+        # *occupied* cells' (memoized) mass maps accumulates every
+        # candidate's bound — most cells of a query rectangle hold no
+        # tuples at all, so intersect with the interval's occupancy
+        # first instead of probing |candidates| x |cells| map lookups.
+        bounds: dict[int, float] = {}
+        interval_map = self.index.spatial.get(interval)
+        if interval_map:
+            for cell in interval_map.keys() & set(cells):
+                for trajectory_id, mass in self._cell_reference_mass(
+                    interval, cell
+                ).items():
+                    bounds[trajectory_id] = (
+                        bounds.get(trajectory_id, 0.0) + mass
+                    )
         results: list[int] = []
-        for trajectory_id in self.index.trajectories_in_interval(t):
+        interval_entries = self.index.temporal.get(interval)
+        if not interval_entries:
+            return results
+        if alpha > 0:
+            # only trajectories with indexed mass near RE can pass the
+            # bound, so walk the (small) bounds map instead of every
+            # candidate in the interval
+            survivors = sorted(
+                trajectory_id
+                for trajectory_id, bound in bounds.items()
+                if min(bound, 1.0) >= alpha
+                and trajectory_id in interval_entries
+            )
+            self.counters.trajectories_pruned += len(interval_entries) - len(
+                survivors
+            )
+        else:
+            survivors = self.index.trajectories_in_interval(t)
+        for trajectory_id in survivors:
             trajectory = self.archive.trajectory(trajectory_id)
             if not trajectory.start_time <= t <= trajectory.end_time:
-                continue
-            # Lemma 4: indexed probability mass near RE bounds the true
-            # overlap probability from above.
-            bound = 0.0
-            seen_groups: set[int] = set()
-            for cell in cells:
-                entry = self.index.entries_for_trajectory(
-                    interval, cell, trajectory_id
-                )
-                if entry is None:
-                    continue
-                for reference in entry.references:
-                    bound += reference.p_total
-            if min(bound, 1.0) < alpha:
-                self.counters.trajectories_pruned += 1
                 continue
             if self._range_confirm(trajectory, region, t, alpha):
                 results.append(trajectory_id)
         return results
+
+    def _cell_reference_mass(
+        self, interval: int, cell: int
+    ) -> dict[int, float]:
+        """Summed ``p_total`` per trajectory for one (interval, cell)."""
+        key = (interval, cell)
+        mass = self._region_mass.get(key)
+        if mass is None:
+            mass = {}
+            for trajectory_id, entry in self.index.region_entries(
+                interval, cell
+            ).items():
+                total = 0.0
+                for reference in entry.references:
+                    total += reference.p_total
+                if total:
+                    mass[trajectory_id] = total
+            self._region_mass[key] = mass
+        return mass
 
     def _range_confirm(
         self,
@@ -349,8 +415,7 @@ class UTCQQueryProcessor:
         t: int,
         full_times: list[int],
     ) -> bool:
-        instance = self._materialize(trajectory, index)
-        chain = InstanceChainage(self.network, instance)
+        chain = self._chain(trajectory, index)
         position = chain.position_at_time(full_times, t)
         if position is None:
             return False

@@ -1,0 +1,391 @@
+"""Persistent StIU index: the versioned ``.stiu`` sidecar format.
+
+Rebuilding the StIU index on every archive open decodes every
+trajectory's time stream and factor spans — by far the dominant cost of
+``repro query`` on a warm archive.  The sidecar persists the finished
+index structures next to the archive (``<archive>.stiu``), written once
+at compress/compact time and loaded in milliseconds afterwards.
+
+Layout (all integers little-endian; ``uv`` = unsigned LEB128 varint,
+shared with :mod:`repro.io.format`)::
+
+    +--------------------------------------------------------------+
+    | magic "UTCQSTIU" (8) | version u16 | flags u16               |
+    | archive_size u64 | archive_sha256 (32 raw bytes)             |
+    | grid_cells_per_side u32 | time_partition_seconds u32         |
+    | trajectory_count u64                                         |
+    | temporal_bytes u64 | spatial_bytes u64                       |
+    Both sections are zlib-deflated on disk (``temporal_bytes`` /
+    ``spatial_bytes`` count the compressed form); the structures below
+    describe the inflated streams.
+
+    +--------------------------------------------------------------+
+    | temporal section:                                            |
+    |   uv interval_count, then per interval:                      |
+    |     uv interval, uv entry_count, then per entry:             |
+    |       uv trajectory_id, uv t.start, uv t.no, uv t.pos        |
+    +--------------------------------------------------------------+
+    | spatial section:                                             |
+    |   uv interval_count, then per interval:                      |
+    |     uv interval, uv region_count, then per region:           |
+    |       uv region, uv trajectory_count, then per trajectory:   |
+    |         uv trajectory_id                                     |
+    |         uv n_references, then per reference:                 |
+    |           uv instance_index, uv final_vertex + 1 (0 = inf),  |
+    |           uv fv.no, uv d.pos, f64 p_total, f64 p_max         |
+    |         uv n_non_references, then per non-reference:         |
+    |           uv instance_index, uv rv.id, uv rv.no, uv ma.pos   |
+    +--------------------------------------------------------------+
+
+Staleness: the header pins the archive's byte size and SHA-256.  A
+mismatch (the archive was rewritten, recompressed, or replaced) makes
+:func:`load_index` return ``None`` so the caller rebuilds; the same
+happens for a version bump or different index parameters.  The temporal
+section is parsed eagerly (every query needs it); the spatial section
+is retained as raw bytes and materialized on first spatial lookup, so
+a purely temporal query never pays for it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import struct
+import zlib
+from pathlib import Path
+
+from ..io.format import read_uvarint, write_uvarint
+from .stiu import (
+    NonReferenceTuple,
+    ReferenceTuple,
+    RegionEntry,
+    StIUIndex,
+    TemporalTuple,
+)
+
+MAGIC = b"UTCQSTIU"
+VERSION = 1
+
+_HEAD = struct.Struct("<8sHH")
+_FINGERPRINT = struct.Struct("<Q32s")
+_PARAMS = struct.Struct("<II")
+_COUNTS = struct.Struct("<Q")
+_SECTIONS = struct.Struct("<QQ")
+_F64 = struct.Struct("<d")
+
+SIDECAR_SUFFIX = ".stiu"
+
+
+class SidecarFormatError(Exception):
+    """Raised when a file is not a valid version-1 ``.stiu`` sidecar."""
+
+
+def sidecar_path_for(archive_path) -> Path:
+    """Default sidecar location: the archive path plus ``.stiu``."""
+    return Path(str(archive_path) + SIDECAR_SUFFIX)
+
+
+def archive_fingerprint(archive_path) -> tuple[int, bytes]:
+    """(byte size, SHA-256 digest) of the archive file."""
+    digest = hashlib.sha256()
+    size = 0
+    with open(archive_path, "rb") as stream:
+        while True:
+            chunk = stream.read(1 << 20)
+            if not chunk:
+                break
+            size += len(chunk)
+            digest.update(chunk)
+    return size, digest.digest()
+
+
+# ----------------------------------------------------------------------
+# serialization
+# ----------------------------------------------------------------------
+def _encode_temporal(index: StIUIndex) -> bytes:
+    out = bytearray()
+    write_uvarint(out, len(index.temporal))
+    for interval in sorted(index.temporal):
+        entries = index.temporal[interval]
+        write_uvarint(out, interval)
+        write_uvarint(out, len(entries))
+        for trajectory_id in sorted(entries):
+            entry = entries[trajectory_id]
+            write_uvarint(out, trajectory_id)
+            write_uvarint(out, entry.start)
+            write_uvarint(out, entry.number)
+            write_uvarint(out, entry.bit_position)
+    return bytes(out)
+
+
+def _encode_spatial(index: StIUIndex) -> bytes:
+    out = bytearray()
+    spatial = index.spatial
+    write_uvarint(out, len(spatial))
+    for interval in sorted(spatial):
+        region_map = spatial[interval]
+        write_uvarint(out, interval)
+        write_uvarint(out, len(region_map))
+        for region in sorted(region_map):
+            entry_map = region_map[region]
+            write_uvarint(out, region)
+            write_uvarint(out, len(entry_map))
+            for trajectory_id in sorted(entry_map):
+                entry = entry_map[trajectory_id]
+                write_uvarint(out, trajectory_id)
+                write_uvarint(out, len(entry.references))
+                for reference in entry.references:
+                    write_uvarint(out, reference.instance_index)
+                    write_uvarint(out, reference.final_vertex + 1)
+                    write_uvarint(out, reference.entry_number)
+                    write_uvarint(out, reference.distance_position)
+                    out += _F64.pack(reference.p_total)
+                    out += _F64.pack(reference.p_max)
+                write_uvarint(out, len(entry.non_references))
+                for non_reference in entry.non_references:
+                    write_uvarint(out, non_reference.instance_index)
+                    write_uvarint(out, non_reference.anchor_vertex)
+                    write_uvarint(out, non_reference.anchor_number)
+                    write_uvarint(out, non_reference.factor_position)
+    return bytes(out)
+
+
+def _decode_temporal(
+    data: bytes,
+) -> tuple[dict[int, dict[int, TemporalTuple]], dict[int, list[TemporalTuple]]]:
+    position = 0
+    interval_count, position = read_uvarint(data, position)
+    temporal: dict[int, dict[int, TemporalTuple]] = {}
+    per_trajectory: dict[int, list[TemporalTuple]] = {}
+    for _ in range(interval_count):
+        interval, position = read_uvarint(data, position)
+        entry_count, position = read_uvarint(data, position)
+        entries: dict[int, TemporalTuple] = {}
+        for _ in range(entry_count):
+            trajectory_id, position = read_uvarint(data, position)
+            start, position = read_uvarint(data, position)
+            number, position = read_uvarint(data, position)
+            bit_position, position = read_uvarint(data, position)
+            entry = TemporalTuple(start, number, bit_position)
+            entries[trajectory_id] = entry
+            per_trajectory.setdefault(trajectory_id, []).append(entry)
+        temporal[interval] = entries
+    if position != len(data):
+        raise SidecarFormatError("trailing bytes in temporal section")
+    # _build_temporal appends tuples in timestamp order; restore it
+    for tuples in per_trajectory.values():
+        tuples.sort(key=lambda entry: (entry.start, entry.number))
+    return temporal, per_trajectory
+
+
+def _read_f64(data: bytes, position: int) -> tuple[float, int]:
+    if position + _F64.size > len(data):
+        raise SidecarFormatError("truncated float in spatial section")
+    (value,) = _F64.unpack_from(data, position)
+    return value, position + _F64.size
+
+
+def _decode_spatial(
+    data: bytes,
+) -> dict[int, dict[int, dict[int, RegionEntry]]]:
+    position = 0
+    interval_count, position = read_uvarint(data, position)
+    spatial: dict[int, dict[int, dict[int, RegionEntry]]] = {}
+    for _ in range(interval_count):
+        interval, position = read_uvarint(data, position)
+        region_count, position = read_uvarint(data, position)
+        region_map: dict[int, dict[int, RegionEntry]] = {}
+        for _ in range(region_count):
+            region, position = read_uvarint(data, position)
+            trajectory_count, position = read_uvarint(data, position)
+            entry_map: dict[int, RegionEntry] = {}
+            for _ in range(trajectory_count):
+                trajectory_id, position = read_uvarint(data, position)
+                entry = RegionEntry()
+                reference_count, position = read_uvarint(data, position)
+                for _ in range(reference_count):
+                    instance_index, position = read_uvarint(data, position)
+                    shifted_vertex, position = read_uvarint(data, position)
+                    entry_number, position = read_uvarint(data, position)
+                    distance_position, position = read_uvarint(data, position)
+                    p_total, position = _read_f64(data, position)
+                    p_max, position = _read_f64(data, position)
+                    entry.references.append(
+                        ReferenceTuple(
+                            instance_index,
+                            # 0 encodes fv = inf (INFINITE_VERTEX == -1)
+                            shifted_vertex - 1,
+                            entry_number,
+                            distance_position,
+                            p_total,
+                            p_max,
+                        )
+                    )
+                non_reference_count, position = read_uvarint(data, position)
+                for _ in range(non_reference_count):
+                    instance_index, position = read_uvarint(data, position)
+                    anchor_vertex, position = read_uvarint(data, position)
+                    anchor_number, position = read_uvarint(data, position)
+                    factor_position, position = read_uvarint(data, position)
+                    entry.non_references.append(
+                        NonReferenceTuple(
+                            instance_index,
+                            anchor_vertex,
+                            anchor_number,
+                            factor_position,
+                        )
+                    )
+                entry_map[trajectory_id] = entry
+            region_map[region] = entry_map
+        spatial[interval] = region_map
+    if position != len(data):
+        raise SidecarFormatError("trailing bytes in spatial section")
+    return spatial
+
+
+# ----------------------------------------------------------------------
+# public API
+# ----------------------------------------------------------------------
+def save_index(
+    index: StIUIndex, archive_path, *, sidecar_path=None
+) -> Path:
+    """Persist ``index`` next to its archive; returns the sidecar path.
+
+    The write is atomic (tmp + ``os.replace``), so a concurrent reader
+    never observes a half-written sidecar.
+    """
+    target = (
+        sidecar_path_for(archive_path)
+        if sidecar_path is None
+        else Path(sidecar_path)
+    )
+    size, digest = archive_fingerprint(archive_path)
+    temporal_blob = zlib.compress(_encode_temporal(index), 6)
+    spatial_blob = zlib.compress(_encode_spatial(index), 6)
+    blob = bytearray()
+    blob += _HEAD.pack(MAGIC, VERSION, 0)
+    blob += _FINGERPRINT.pack(size, digest)
+    blob += _PARAMS.pack(
+        index.grid.cells_per_side, index.time_partition_seconds
+    )
+    blob += _COUNTS.pack(index.archive.trajectory_count)
+    blob += _SECTIONS.pack(len(temporal_blob), len(spatial_blob))
+    blob += temporal_blob
+    blob += spatial_blob
+    tmp = target.with_name(target.name + ".tmp")
+    with open(tmp, "wb") as out:
+        out.write(bytes(blob))
+    os.replace(tmp, target)
+    return target
+
+
+def read_sidecar(sidecar_path) -> dict:
+    """Parse a sidecar file into its raw parts (strict: raises
+    :class:`SidecarFormatError` on any structural problem)."""
+    with open(sidecar_path, "rb") as stream:
+        data = stream.read()
+
+    def take(offset: int, size: int, what: str) -> bytes:
+        if offset + size > len(data):
+            raise SidecarFormatError(f"truncated sidecar ({what})")
+        return data[offset : offset + size]
+
+    offset = 0
+    magic, version, _flags = _HEAD.unpack(take(offset, _HEAD.size, "magic"))
+    offset += _HEAD.size
+    if magic != MAGIC:
+        raise SidecarFormatError(f"bad magic {magic!r}; not a StIU sidecar")
+    if version != VERSION:
+        raise SidecarFormatError(
+            f"unsupported sidecar version {version} (reader supports "
+            f"{VERSION})"
+        )
+    archive_size, archive_sha = _FINGERPRINT.unpack(
+        take(offset, _FINGERPRINT.size, "fingerprint")
+    )
+    offset += _FINGERPRINT.size
+    cells_per_side, time_partition = _PARAMS.unpack(
+        take(offset, _PARAMS.size, "params")
+    )
+    offset += _PARAMS.size
+    (trajectory_count,) = _COUNTS.unpack(take(offset, _COUNTS.size, "counts"))
+    offset += _COUNTS.size
+    temporal_bytes, spatial_bytes = _SECTIONS.unpack(
+        take(offset, _SECTIONS.size, "sections")
+    )
+    offset += _SECTIONS.size
+    temporal_deflated = take(offset, temporal_bytes, "temporal section")
+    offset += temporal_bytes
+    spatial_deflated = take(offset, spatial_bytes, "spatial section")
+    offset += spatial_bytes
+    if offset != len(data):
+        raise SidecarFormatError("trailing bytes after spatial section")
+    try:
+        temporal_blob = zlib.decompress(temporal_deflated)
+        spatial_blob = zlib.decompress(spatial_deflated)
+    except zlib.error as error:
+        raise SidecarFormatError(f"corrupt deflated section: {error}") from None
+    return {
+        "archive_size": archive_size,
+        "archive_sha256": archive_sha,
+        "grid_cells_per_side": cells_per_side,
+        "time_partition_seconds": time_partition,
+        "trajectory_count": trajectory_count,
+        "temporal_blob": temporal_blob,
+        "spatial_blob": spatial_blob,
+    }
+
+
+def load_index(
+    network,
+    archive,
+    archive_path,
+    *,
+    sidecar_path=None,
+    grid_cells_per_side: int = 32,
+    time_partition_seconds: int = 1800,
+) -> StIUIndex | None:
+    """Load a fresh index from the sidecar, or ``None`` to rebuild.
+
+    ``None`` covers every recoverable condition — missing or corrupt
+    sidecar, version bump, parameter mismatch, stale archive
+    fingerprint — so the caller's fallback is always a plain build.
+    """
+    target = (
+        sidecar_path_for(archive_path)
+        if sidecar_path is None
+        else Path(sidecar_path)
+    )
+    try:
+        document = read_sidecar(target)
+    except (FileNotFoundError, SidecarFormatError):
+        return None
+    if document["grid_cells_per_side"] != grid_cells_per_side:
+        return None
+    if document["time_partition_seconds"] != time_partition_seconds:
+        return None
+    if document["trajectory_count"] != archive.trajectory_count:
+        return None
+    size, digest = archive_fingerprint(archive_path)
+    if (size, digest) != (
+        document["archive_size"],
+        document["archive_sha256"],
+    ):
+        return None
+    try:
+        temporal, per_trajectory = _decode_temporal(document["temporal_blob"])
+    except SidecarFormatError:
+        return None
+    index = StIUIndex(
+        network,
+        archive,
+        grid_cells_per_side=grid_cells_per_side,
+        time_partition_seconds=time_partition_seconds,
+        build=False,
+    )
+    index.temporal = temporal
+    index._trajectory_tuples = per_trajectory
+    spatial_blob = document["spatial_blob"]
+    index._spatial_loader = lambda: _decode_spatial(spatial_blob)
+    index.loaded_from_sidecar = True
+    return index

@@ -24,6 +24,7 @@ Two layers, built at compression time:
 from __future__ import annotations
 
 import bisect
+import threading
 from dataclasses import dataclass, field
 
 from ..core.archive import CompressedArchive, CompressedTrajectory
@@ -99,14 +100,25 @@ class StIUIndex:
         verify_crc: bool = True,
         grid_cells_per_side: int = 32,
         time_partition_seconds: int = 1800,
+        sidecar: object = "auto",
+        write_sidecar: bool = False,
     ) -> "StIUIndex":
-        """Open ``path`` lazily and build the index over it.
+        """Open ``path`` lazily and index it, preferring the sidecar.
+
+        ``sidecar`` is the persistence policy: ``"auto"`` loads the
+        default ``<path>.stiu`` sidecar when it exists and matches the
+        archive (falling back to a full build otherwise), an explicit
+        path loads that file, and ``None`` always rebuilds.  With
+        ``write_sidecar`` a freshly built index is persisted so the next
+        open is warm.  ``index.loaded_from_sidecar`` records which path
+        was taken.
 
         The file-backed archive stays open for the index's lifetime (and
         is reachable as ``index.archive`` for a query processor); close
         it via ``index.archive.close()`` when done.
         """
         from ..io.reader import DEFAULT_CACHE_SIZE, FileBackedArchive
+        from . import sidecar as sidecar_io
 
         archive = FileBackedArchive.open(
             path,
@@ -114,12 +126,37 @@ class StIUIndex:
             verify_crc=verify_crc,
         )
         try:
-            return cls(
+            if sidecar is not None:
+                sidecar_path = (
+                    sidecar_io.sidecar_path_for(path)
+                    if sidecar == "auto"
+                    else sidecar
+                )
+                index = sidecar_io.load_index(
+                    network,
+                    archive,
+                    path,
+                    sidecar_path=sidecar_path,
+                    grid_cells_per_side=grid_cells_per_side,
+                    time_partition_seconds=time_partition_seconds,
+                )
+                if index is not None:
+                    return index
+            index = cls(
                 network,
                 archive,
                 grid_cells_per_side=grid_cells_per_side,
                 time_partition_seconds=time_partition_seconds,
             )
+            if write_sidecar:
+                sidecar_io.save_index(
+                    index,
+                    path,
+                    sidecar_path=(
+                        None if sidecar in (None, "auto") else sidecar
+                    ),
+                )
+            return index
         except Exception:
             archive.close()
             raise
@@ -131,20 +168,75 @@ class StIUIndex:
         *,
         grid_cells_per_side: int = 32,
         time_partition_seconds: int = 1800,
+        build: bool = True,
     ) -> None:
+        """``build=False`` creates an empty shell whose ``temporal`` /
+        ``spatial`` structures the sidecar loader fills in; every normal
+        caller wants the default full build."""
         if time_partition_seconds < 1:
             raise ValueError("time partition must be at least one second")
         self.network = network
         self.archive = archive
         self.time_partition_seconds = time_partition_seconds
         self.grid = GridPartition.for_network(network, grid_cells_per_side)
+        self.loaded_from_sidecar = False
         # temporal[interval][trajectory_id] -> TemporalTuple
         self.temporal: dict[int, dict[int, TemporalTuple]] = {}
         # per-trajectory sorted temporal tuples for binary search
         self._trajectory_tuples: dict[int, list[TemporalTuple]] = {}
-        # spatial[interval][region][trajectory_id] -> RegionEntry
-        self.spatial: dict[int, dict[int, dict[int, RegionEntry]]] = {}
-        self._build()
+        # memoized sorted candidate lists per interval and per-trajectory
+        # start arrays (index is immutable once built/loaded)
+        self._interval_candidates: dict[int, list[int]] = {}
+        self._tuple_starts: dict[int, list[int]] = {}
+        # spatial[interval][region][trajectory_id] -> RegionEntry;
+        # sidecar loads materialize it lazily through the property
+        self._spatial: dict[int, dict[int, dict[int, RegionEntry]]] = {}
+        self._spatial_loader = None
+        self._spatial_lock = threading.Lock()
+        if build:
+            self._build()
+
+    @property
+    def spatial(self) -> dict[int, dict[int, dict[int, RegionEntry]]]:
+        if self._spatial_loader is not None:
+            with self._spatial_lock:
+                loader = self._spatial_loader
+                if loader is not None:
+                    try:
+                        spatial = loader()
+                    except Exception:
+                        # corrupt spatial section (only discovered now —
+                        # the sidecar parses it lazily): fall back to
+                        # building it from the archive, like a stale
+                        # sidecar would have at open time
+                        self._spatial_loader = None
+                        self._rebuild_spatial()
+                    else:
+                        self._spatial = spatial
+                        self._spatial_loader = None
+        return self._spatial
+
+    def _rebuild_spatial(self) -> None:
+        """Recompute the spatial layer from the archive (loader fallback).
+
+        Only called with ``_spatial_loader`` already cleared, so the
+        ``self.spatial`` accesses inside ``_build_spatial`` see the dict
+        being filled rather than re-entering the loader path.
+        """
+        from ..bits.bitio import BitReader
+        from ..core import siar
+
+        self._spatial = {}
+        for trajectory in self.archive.trajectories:
+            reader = BitReader(
+                trajectory.time_payload, trajectory.time_payload_bits
+            )
+            times = siar.decode(
+                reader,
+                self.archive.params.default_interval,
+                t0_bits=self.archive.params.t0_bits,
+            )
+            self._build_spatial(trajectory, times)
 
     # ------------------------------------------------------------------
     # construction
@@ -403,14 +495,22 @@ class StIUIndex:
         tuples = self._trajectory_tuples.get(trajectory_id)
         if not tuples:
             return None
-        starts = [entry.start for entry in tuples]
+        starts = self._tuple_starts.get(trajectory_id)
+        if starts is None:
+            starts = [entry.start for entry in tuples]
+            self._tuple_starts[trajectory_id] = starts
         position = bisect.bisect_right(starts, t) - 1
         if position < 0:
             return None
         return tuples[position]
 
     def trajectories_in_interval(self, t: int) -> list[int]:
-        return sorted(self.temporal.get(self.interval_of(t), {}).keys())
+        interval = self.interval_of(t)
+        cached = self._interval_candidates.get(interval)
+        if cached is None:
+            cached = sorted(self.temporal.get(interval, {}).keys())
+            self._interval_candidates[interval] = cached
+        return list(cached)
 
     def region_entries(
         self, interval: int, region: int

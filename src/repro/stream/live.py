@@ -26,6 +26,7 @@ from ..core.archive import (
     CompressionParams,
     CompressionStats,
 )
+from ..core.decoder import DecodeSpanCache
 from ..io.reader import DEFAULT_CACHE_SIZE, ArchiveClosedError, FileBackedArchive
 from .writer import SEGMENT_DIR, StreamArchiveError, load_manifest, manifest_segments
 
@@ -63,6 +64,12 @@ class LiveArchive:
         self._params: CompressionParams | None = None
         self._provenance: dict[str, str] = {}
         self._closed = False
+        # Decoded spans survive refresh(): sealed segments are immutable,
+        # so trajectories decoded before a refresh stay valid after it.
+        # Query processors built over this archive should pass this cache
+        # (see query_processor()) so mid-ingestion queries keep their
+        # warm spans across index rebuilds.
+        self.decode_cache = DecodeSpanCache()
         self.refresh()
 
     @classmethod
@@ -181,3 +188,34 @@ class LiveArchive:
         if segment is None:
             raise KeyError(f"no trajectory {trajectory_id} in the archive")
         return segment.trajectory(trajectory_id)
+
+    # ------------------------------------------------------------------
+    # querying
+    # ------------------------------------------------------------------
+    def query_processor(
+        self,
+        network,
+        *,
+        grid_cells_per_side: int = 32,
+        time_partition_seconds: int = 1800,
+    ):
+        """Build a fresh StIU index over the current snapshot and return
+        a query processor sharing this archive's decode-span cache.
+
+        Call again after :meth:`refresh` to serve newly sealed segments;
+        spans decoded through the previous processor stay warm because
+        the cache outlives the index rebuild.
+        """
+        from ..query.queries import UTCQQueryProcessor
+        from ..query.stiu import StIUIndex
+
+        self._check_open()
+        index = StIUIndex(
+            network,
+            self,
+            grid_cells_per_side=grid_cells_per_side,
+            time_partition_seconds=time_partition_seconds,
+        )
+        return UTCQQueryProcessor(
+            network, self, index, cache=self.decode_cache
+        )

@@ -372,6 +372,9 @@ def compact(
     output,
     *,
     extra_provenance: dict[str, str] | None = None,
+    network: RoadNetwork | None = None,
+    grid_cells_per_side: int = 32,
+    time_partition_seconds: int = 1800,
 ) -> tuple[int, int]:
     """Merge all sealed segments into one canonical ``.utcq`` archive.
 
@@ -383,6 +386,11 @@ def compact(
     Returns ``(file_bytes, trajectory_count)``.  The segment files are
     left in place; delete the directory once the compacted archive is
     verified.
+
+    With ``network`` the compacted archive also gets a persistent StIU
+    sidecar (``<output>.stiu``), so the first query against it skips
+    the index rebuild — the same warm-open path ``repro compress``
+    produces.
     """
     directory = Path(directory)
     manifest = load_manifest(directory)
@@ -410,4 +418,15 @@ def compact(
     provenance["compacted_segments"] = str(len(segments))
     provenance.update(extra_provenance or {})
     size = write_archive(archive, output, provenance=provenance)
+    if network is not None:
+        from ..query.sidecar import save_index
+        from ..query.stiu import StIUIndex
+
+        index = StIUIndex(
+            network,
+            archive,
+            grid_cells_per_side=grid_cells_per_side,
+            time_partition_seconds=time_partition_seconds,
+        )
+        save_index(index, output)
     return size, archive.trajectory_count

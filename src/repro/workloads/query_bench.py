@@ -1,0 +1,340 @@
+"""Query-serving benchmark (`repro serve-bench`).
+
+PR 4 tracked the *write* path in ``BENCH_core_hotpaths.json``; this
+module tracks the *read* path in ``BENCH_query_throughput.json`` — the
+perf-trajectory file for query serving at the repo root.
+
+The workload models a serving frontend:
+
+* a fixed seeded dataset is compressed once and saved as a single
+  archive plus a 4-way sharded copy (both with ``.stiu`` sidecars);
+* a pool of distinct where/when/range queries is sampled from the
+  dataset (:func:`~repro.workloads.harness.build_query_workload`), then
+  a request stream is drawn from it with Zipf-like skew — popular
+  queries repeat, exactly the locality a decode-span cache and batch
+  dedupe exist for;
+* three scenarios are timed, each in two modes:
+
+  - ``warm_open``  — archive open to first query result.  ``legacy``
+    rebuilds the StIU index from the records (the only option before
+    the sidecar existed); ``fast`` loads the ``.stiu`` sidecar.
+  - ``batch_queries`` — the request stream against one archive.
+    ``legacy`` answers one query at a time with the pre-PR-5 caching
+    behavior (:meth:`DecodeSpanCache.legacy`); ``fast`` hands the whole
+    stream to a :class:`~repro.query.engine.BatchQueryEngine`.
+  - ``sharded_queries`` — the same stream against the 4-way sharded
+    copy.  ``legacy`` routes queries by hand to per-shard processors
+    (ranges fan out and union); ``fast`` uses a warm
+    :class:`~repro.query.engine.ShardedQueryEngine` process pool.
+
+Both modes are measured steady-state (a warm-up pass, then best of
+``repeats``), so the rows compare code paths, not cold caches against
+warm ones.  All numbers are on the same machine-generated dataset, so
+two labelled runs (``pr5-before`` via ``--mode legacy``, ``pr5-after``
+via ``--mode fast``) are directly comparable.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+
+from ..core.archive import CompressedArchive
+from ..core.compressor import UTCQCompressor
+from ..core.decoder import DecodeSpanCache
+from ..trajectories.datasets import load_dataset, profile
+from .hotpath_bench import BenchResult
+from .reporting import ExperimentLog
+
+BENCH_TABLE_TITLE = "query_throughput"
+BENCH_HEADERS = ("label", "benchmark", "unit", "work", "seconds", "rate")
+DEFAULT_OUTPUT = "BENCH_query_throughput.json"
+
+SHARD_COUNT = 4
+MODES = ("legacy", "fast")
+
+
+def build_serving_workload(
+    network,
+    trajectories,
+    *,
+    distinct_per_kind: int,
+    total: int,
+    workload_seed: int = 5,
+    draw_seed: int = 11,
+):
+    """A skewed request stream over a distinct query pool.
+
+    Returns ``(distinct_queries, stream)`` where ``stream`` draws
+    ``total`` requests from the pool with weight ``1 / (rank + 1)`` —
+    a Zipf-like popularity curve, so a handful of hot queries dominate
+    the stream the way popular locations dominate real traffic.
+    """
+    from ..query.engine import RangeQuery, WhenQuery, WhereQuery
+    from .harness import build_query_workload
+
+    workload = build_query_workload(
+        network, trajectories, count=distinct_per_kind, seed=workload_seed
+    )
+    distinct = (
+        [WhereQuery(*args) for args in workload.where_queries]
+        + [WhenQuery(*args) for args in workload.when_queries]
+        + [RangeQuery(*args) for args in workload.range_queries]
+    )
+    rng = random.Random(draw_seed)
+    weights = [1.0 / (rank + 1) for rank in range(len(distinct))]
+    stream = rng.choices(distinct, weights=weights, k=total)
+    return distinct, stream
+
+
+class _ServingFixture:
+    """Dataset + archives + request stream shared by every scenario."""
+
+    def __init__(self, root, *, quick: bool) -> None:
+        import os
+
+        count = 60 if quick else 240
+        scale = 12 if quick else 14
+        prof = profile("CD")
+        self.network, self.trajectories = load_dataset(
+            "CD", count, seed=7, network_scale=scale
+        )
+        compressor = UTCQCompressor(
+            network=self.network,
+            default_interval=prof.default_interval,
+            eta_probability=prof.default_eta_probability,
+        )
+        self.archive = compressor.compress(self.trajectories)
+        self.archive_path = os.path.join(root, "serving.utcq")
+        self._save_with_sidecar(self.archive, self.archive_path)
+        self.shard_paths = []
+        total = len(self.archive.trajectories)
+        for shard in range(SHARD_COUNT):
+            lo = shard * total // SHARD_COUNT
+            hi = (shard + 1) * total // SHARD_COUNT
+            part = CompressedArchive(
+                params=self.archive.params,
+                trajectories=self.archive.trajectories[lo:hi],
+            )
+            path = os.path.join(root, f"shard-{shard}.utcq")
+            self._save_with_sidecar(part, path)
+            self.shard_paths.append(path)
+        _, self.stream = build_serving_workload(
+            self.network,
+            self.trajectories,
+            distinct_per_kind=60 if quick else 200,
+            total=600 if quick else 3000,
+        )
+
+    def _save_with_sidecar(self, archive, path) -> None:
+        from ..query.sidecar import save_index
+        from ..query.stiu import StIUIndex
+
+        archive.save(path)
+        save_index(StIUIndex(self.network, archive), path)
+
+
+def _run_stream_one_at_a_time(processors, route, stream):
+    """The pre-batch serving loop: one query, one processor call."""
+    from ..query.engine import RangeQuery, WhereQuery
+
+    for query in stream:
+        if isinstance(query, RangeQuery):
+            if len(processors) == 1:
+                next(iter(processors.values())).range(
+                    query.rect, query.t, query.alpha
+                )
+            else:
+                merged: set[int] = set()
+                for processor in processors.values():
+                    merged.update(
+                        processor.range(query.rect, query.t, query.alpha)
+                    )
+                sorted(merged)
+        elif isinstance(query, WhereQuery):
+            processors[route[query.trajectory_id]].where(
+                query.trajectory_id, query.t, query.alpha
+            )
+        else:
+            processors[route[query.trajectory_id]].when(
+                query.trajectory_id,
+                query.edge,
+                query.relative_distance,
+                query.alpha,
+            )
+
+
+def _best_of(repeats: int, run) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        run()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def bench_warm_open(
+    fixture: _ServingFixture, *, mode: str, repeats: int
+) -> BenchResult:
+    """Archive-open-to-first-result latency, in opens/sec."""
+    from ..query.queries import UTCQQueryProcessor
+    from ..query.stiu import StIUIndex
+
+    first = next(
+        query
+        for query in fixture.stream
+        if hasattr(query, "trajectory_id") and hasattr(query, "t")
+    )
+    sidecar_policy = None if mode == "legacy" else "auto"
+
+    def open_and_query() -> None:
+        index = StIUIndex.over_file(
+            fixture.network, fixture.archive_path, sidecar=sidecar_policy
+        )
+        try:
+            processor = UTCQQueryProcessor(
+                fixture.network, index.archive, index
+            )
+            processor.where(first.trajectory_id, first.t, first.alpha)
+        finally:
+            index.archive.close()
+
+    best = _best_of(repeats, open_and_query)
+    return BenchResult("warm_open", "opens/s", 1, best)
+
+
+def bench_batch_queries(
+    fixture: _ServingFixture, *, mode: str, repeats: int
+) -> BenchResult:
+    """The request stream against one archive, in queries/sec."""
+    from ..query.engine import BatchQueryEngine
+    from ..query.queries import UTCQQueryProcessor
+    from ..query.stiu import StIUIndex
+
+    index = StIUIndex.over_file(fixture.network, fixture.archive_path)
+    try:
+        if mode == "legacy":
+            processor = UTCQQueryProcessor(
+                fixture.network,
+                index.archive,
+                index,
+                cache=DecodeSpanCache.legacy(),
+            )
+            processors = {fixture.archive_path: processor}
+            route = {
+                trajectory_id: fixture.archive_path
+                for trajectory_id in index.archive.trajectory_ids()
+            }
+            run = lambda: _run_stream_one_at_a_time(  # noqa: E731
+                processors, route, fixture.stream
+            )
+        else:
+            engine = BatchQueryEngine(fixture.network, index.archive, index)
+            run = lambda: engine.run(fixture.stream)  # noqa: E731
+        run()  # steady state: caches warm in both modes
+        best = _best_of(repeats, run)
+    finally:
+        index.archive.close()
+    return BenchResult("batch_queries", "queries/s", len(fixture.stream), best)
+
+
+def bench_sharded_queries(
+    fixture: _ServingFixture, *, mode: str, repeats: int, workers: int
+) -> BenchResult:
+    """The request stream against the sharded copy, in queries/sec."""
+    from ..query.engine import ShardedQueryEngine
+    from ..query.queries import UTCQQueryProcessor
+    from ..query.stiu import StIUIndex
+
+    if mode == "legacy":
+        processors = {}
+        route = {}
+        indexes = []
+        for path in fixture.shard_paths:
+            index = StIUIndex.over_file(fixture.network, path, sidecar=None)
+            indexes.append(index)
+            processors[path] = UTCQQueryProcessor(
+                fixture.network,
+                index.archive,
+                index,
+                cache=DecodeSpanCache.legacy(),
+            )
+            for trajectory_id in index.archive.trajectory_ids():
+                route[trajectory_id] = path
+        try:
+            run = lambda: _run_stream_one_at_a_time(  # noqa: E731
+                processors, route, fixture.stream
+            )
+            run()
+            best = _best_of(repeats, run)
+        finally:
+            for index in indexes:
+                index.archive.close()
+    else:
+        with ShardedQueryEngine(
+            fixture.shard_paths, network=fixture.network, workers=workers
+        ) as engine:
+            engine.run(fixture.stream)  # warm the pool + worker caches
+            best = _best_of(repeats, lambda: engine.run(fixture.stream))
+    return BenchResult(
+        "sharded_queries", "queries/s", len(fixture.stream), best
+    )
+
+
+def run_query_bench(
+    *,
+    mode: str = "fast",
+    quick: bool = False,
+    repeats: int | None = None,
+    workers: int = SHARD_COUNT,
+) -> list[BenchResult]:
+    """Run the three serving scenarios in one mode; fixed result order."""
+    import tempfile
+
+    if mode not in MODES:
+        raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
+    if repeats is None:
+        repeats = 2 if quick else 3
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    with tempfile.TemporaryDirectory(prefix="repro-serve-bench-") as root:
+        fixture = _ServingFixture(root, quick=quick)
+        return [
+            bench_warm_open(fixture, mode=mode, repeats=max(repeats, 3)),
+            bench_batch_queries(fixture, mode=mode, repeats=repeats),
+            bench_sharded_queries(
+                fixture, mode=mode, repeats=repeats, workers=workers
+            ),
+        ]
+
+
+def load_existing_rows(path) -> list[list]:
+    """Rows of the ``query_throughput`` table in an existing results file."""
+    try:
+        with open(path, "r", encoding="utf-8") as stream:
+            document = json.load(stream)
+    except (OSError, ValueError):
+        return []
+    if document.get("format") != "repro-bench":
+        return []
+    for table in document.get("tables", ()):
+        if table.get("title") == BENCH_TABLE_TITLE:
+            return [list(row) for row in table.get("rows", ())]
+    return []
+
+
+def write_bench_json(
+    results: list[BenchResult],
+    path,
+    *,
+    label: str = "current",
+    append: bool = False,
+) -> list[list]:
+    """Write (or extend) the query-serving perf trajectory at ``path``."""
+    rows = load_existing_rows(path) if append else []
+    rows.extend(result.row(label) for result in results)
+    log = ExperimentLog()
+    log.record(BENCH_TABLE_TITLE, BENCH_HEADERS, rows)
+    log.write_json(path)
+    return rows

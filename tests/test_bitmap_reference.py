@@ -1,0 +1,85 @@
+"""Word-level bitmap ``compress()`` vs the original per-bit reference.
+
+The optimized encoder compares whole words with C-level ``bytes``
+equality instead of scanning ``all(b == word[0] ...)`` bit by bit.  The
+reference implementation below reproduces the seed's per-bit scan
+verbatim; the property tests require bit-identical output streams for
+the same inputs, across word sizes and run shapes.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bits import bitmap, expgolomb
+from repro.bits.bitio import BitReader, BitWriter
+
+
+def reference_compress(bits, word_size=bitmap.DEFAULT_WORD_SIZE):
+    """The seed's per-bit fill detection (reference semantics)."""
+    writer = BitWriter()
+    expgolomb.encode_unsigned(writer, len(bits))
+    full_words = len(bits) // word_size
+    index = 0
+    word_index = 0
+    while word_index < full_words:
+        word = bits[index : index + word_size]
+        if all(b == word[0] for b in word):
+            fill_value = word[0]
+            run = 1
+            while word_index + run < full_words:
+                nxt = bits[index + run * word_size : index + (run + 1) * word_size]
+                if all(b == fill_value for b in nxt):
+                    run += 1
+                else:
+                    break
+            writer.write_bit(1)
+            writer.write_bit(fill_value)
+            expgolomb.encode_unsigned(writer, run - 1)
+            index += run * word_size
+            word_index += run
+        else:
+            writer.write_bit(0)
+            writer.write_bits(word)
+            index += word_size
+            word_index += 1
+    tail = bits[full_words * word_size :]
+    writer.write_bits(tail)
+    return writer
+
+
+def assert_streams_equal(bits, word_size):
+    expected = reference_compress(bits, word_size)
+    got = bitmap.compress(bits, word_size)
+    assert len(got) == len(expected)
+    assert got.getvalue() == expected.getvalue()
+
+
+@given(st.lists(st.integers(0, 1), max_size=600))
+def test_compress_matches_reference(bits):
+    assert_streams_equal(bits, bitmap.DEFAULT_WORD_SIZE)
+
+
+@given(
+    st.lists(st.integers(0, 1), max_size=300),
+    st.integers(min_value=2, max_value=17),
+)
+def test_compress_matches_reference_any_word_size(bits, word_size):
+    assert_streams_equal(bits, word_size)
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 1), st.integers(1, 70)), max_size=12
+    ),
+    st.integers(min_value=2, max_value=12),
+)
+def test_compress_matches_reference_on_runs(runs, word_size):
+    """Run-structured inputs exercise the fill-extension scan."""
+    bits = [bit for bit, count in runs for _ in range(count)]
+    assert_streams_equal(bits, word_size)
+
+
+@given(st.lists(st.integers(0, 1), max_size=400))
+def test_optimized_stream_still_round_trips(bits):
+    writer = bitmap.compress(bits)
+    assert bitmap.decompress(BitReader.from_writer(writer)) == bits

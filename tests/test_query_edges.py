@@ -73,7 +73,7 @@ class TestInstanceCaching:
     def test_materialize_caches(self, world):
         _, _, archive, _, processor = world
         processor.counters.reset()
-        processor._instance_cache.clear()
+        processor.cache.clear()
         trajectory = archive.trajectories[0]
         a = processor._materialize(trajectory, 0)
         decoded_after_first = processor.counters.instances_decoded
@@ -93,15 +93,14 @@ class TestInstanceCaching:
                 break
         if target is None:
             pytest.skip("no trajectory with two non-references")
-        processor._reference_cache.clear()
-        processor._instance_cache.clear()
+        processor.cache.clear()
         indices = [
             i
             for i, inst in enumerate(target.instances)
             if not inst.is_reference
         ][:2]
         processor._materialize(target, indices[0])
-        cache_size = len(processor._reference_cache)
+        cache_size = len(processor.cache.references)
         processor._materialize(target, indices[1])
         # a shared reference must not be decoded twice
         same_ref = (
@@ -109,7 +108,39 @@ class TestInstanceCaching:
             == target.instances[indices[1]].reference_ordinal
         )
         if same_ref:
-            assert len(processor._reference_cache) == cache_size
+            assert len(processor.cache.references) == cache_size
+
+    def test_shared_cache_across_processors(self, world):
+        """Two processors over the same archive share decoded spans."""
+        from repro.core.decoder import DecodeSpanCache
+        from repro.query import UTCQQueryProcessor
+
+        network, _, archive, index, _ = world
+        cache = DecodeSpanCache()
+        first = UTCQQueryProcessor(network, archive, index, cache=cache)
+        second = UTCQQueryProcessor(network, archive, index, cache=cache)
+        trajectory = archive.trajectories[0]
+        a = first._materialize(trajectory, 0)
+        b = second._materialize(trajectory, 0)
+        assert a is b
+        assert second.counters.instances_decoded == 0
+
+    def test_legacy_cache_disables_span_sections(self, world):
+        from repro.core.decoder import DecodeSpanCache
+        from repro.query import UTCQQueryProcessor
+
+        network, _, archive, index, _ = world
+        processor = UTCQQueryProcessor(
+            network, archive, index, cache=DecodeSpanCache.legacy()
+        )
+        trajectory = archive.trajectories[0]
+        first = processor._full_times(trajectory)
+        second = processor._full_times(trajectory)
+        assert first == second
+        assert first is not second  # times never memoized in legacy mode
+        assert processor._materialize(trajectory, 0) is processor._materialize(
+            trajectory, 0
+        )
 
 
 class TestCounters:

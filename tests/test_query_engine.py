@@ -1,0 +1,281 @@
+"""Batch / shard-parallel query engine vs the one-at-a-time processor
+and the brute-force oracle.
+
+The engine must be a pure execution strategy: on any workload its
+results are *identical* to calling the query processor once per query,
+and therefore within PDDP error of the uncompressed oracle — the same
+accuracy contract the single-query tests pin.  Sharding (with and
+without worker processes) must be invisible in the results.
+"""
+
+import random
+
+import pytest
+
+from repro.core.archive import CompressedArchive
+from repro.core.compressor import compress_dataset
+from repro.query import (
+    BatchQueryEngine,
+    BruteForceOracle,
+    QueryEngineError,
+    RangeQuery,
+    ShardedQueryEngine,
+    StIUIndex,
+    UTCQQueryProcessor,
+    WhenQuery,
+    WhereQuery,
+    query_from_dict,
+    save_index,
+    when_accuracy,
+    where_accuracy,
+)
+from repro.trajectories.datasets import load_dataset
+from repro.workloads.harness import build_query_workload
+
+SHARDS = 3
+
+
+@pytest.fixture(scope="module")
+def world(tmp_path_factory):
+    network, trajectories = load_dataset("CD", 40, seed=47, network_scale=12)
+    archive = compress_dataset(network, trajectories, default_interval=10)
+    root = tmp_path_factory.mktemp("engine")
+    shard_paths = []
+    total = len(archive.trajectories)
+    for shard in range(SHARDS):
+        lo = shard * total // SHARDS
+        hi = (shard + 1) * total // SHARDS
+        part = CompressedArchive(
+            params=archive.params, trajectories=archive.trajectories[lo:hi]
+        )
+        path = root / f"shard-{shard}.utcq"
+        part.save(path)
+        save_index(StIUIndex(network, part), path)
+        shard_paths.append(path)
+    return network, trajectories, archive, shard_paths
+
+
+def make_queries(network, trajectories, *, count, seed, alpha_zero=False):
+    workload = build_query_workload(
+        network, trajectories, count=count, seed=seed
+    )
+    if alpha_zero:
+        return (
+            [WhereQuery(tid, t, 0.0) for tid, t, _ in workload.where_queries]
+            + [
+                WhenQuery(tid, edge, rd, 0.0)
+                for tid, edge, rd, _ in workload.when_queries
+            ]
+            + [RangeQuery(rect, t, 0.3) for rect, t, _ in workload.range_queries]
+        )
+    return (
+        [WhereQuery(*args) for args in workload.where_queries]
+        + [WhenQuery(*args) for args in workload.when_queries]
+        + [RangeQuery(*args) for args in workload.range_queries]
+    )
+
+
+def run_one_at_a_time(processor, queries):
+    results = []
+    for query in queries:
+        if isinstance(query, WhereQuery):
+            results.append(
+                processor.where(query.trajectory_id, query.t, query.alpha)
+            )
+        elif isinstance(query, WhenQuery):
+            results.append(
+                processor.when(
+                    query.trajectory_id,
+                    query.edge,
+                    query.relative_distance,
+                    query.alpha,
+                )
+            )
+        else:
+            results.append(processor.range(query.rect, query.t, query.alpha))
+    return results
+
+
+class TestBatchEngine:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_matches_one_at_a_time_exactly(self, world, seed):
+        network, trajectories, archive, _ = world
+        queries = make_queries(network, trajectories, count=30, seed=seed)
+        rng = random.Random(seed)
+        rng.shuffle(queries)
+        index = StIUIndex(network, archive)
+        expected = run_one_at_a_time(
+            UTCQQueryProcessor(network, archive, index), queries
+        )
+        got = BatchQueryEngine(network, archive, index).run(queries)
+        assert got == expected
+
+    def test_matches_brute_force_oracle(self, world):
+        network, trajectories, archive, _ = world
+        queries = make_queries(
+            network, trajectories, count=20, seed=9, alpha_zero=True
+        )
+        index = StIUIndex(network, archive)
+        engine = BatchQueryEngine(network, archive, index)
+        oracle = BruteForceOracle(network, trajectories)
+        results = engine.run(queries)
+        range_mismatches = 0
+        for query, result in zip(queries, results):
+            if isinstance(query, WhereQuery):
+                expected = oracle.where(
+                    query.trajectory_id, query.t, query.alpha
+                )
+                assert where_accuracy(
+                    network, expected, result
+                ).f1 == pytest.approx(1.0)
+            elif isinstance(query, WhenQuery):
+                expected = oracle.when(
+                    query.trajectory_id,
+                    query.edge,
+                    query.relative_distance,
+                    query.alpha,
+                )
+                assert when_accuracy(expected, result).recall == pytest.approx(
+                    1.0
+                )
+            else:
+                expected = oracle.range(query.rect, query.t, query.alpha)
+                # PDDP rounding can flip borderline trajectories
+                range_mismatches += len(set(expected) ^ set(result))
+        assert range_mismatches <= 3
+
+    def test_duplicates_answered_once(self, world):
+        network, trajectories, archive, _ = world
+        trajectory = trajectories[0]
+        query = WhereQuery(
+            trajectory.trajectory_id,
+            (trajectory.start_time + trajectory.end_time) // 2,
+            0.0,
+        )
+        engine = BatchQueryEngine(network, archive, StIUIndex(network, archive))
+        results = engine.run([query, query, query])
+        assert results[0] == results[1] == results[2]
+        assert results[0] is results[1]  # one execution, shared answer
+
+    def test_unknown_trajectory_yields_empty(self, world):
+        network, _, archive, _ = world
+        engine = BatchQueryEngine(network, archive, StIUIndex(network, archive))
+        assert engine.run([WhereQuery(10**9, 1000, 0.0)]) == [[]]
+
+    def test_rejects_non_queries(self, world):
+        network, _, archive, _ = world
+        engine = BatchQueryEngine(network, archive, StIUIndex(network, archive))
+        with pytest.raises(QueryEngineError):
+            engine.run(["where?"])
+
+
+class TestShardedEngine:
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_matches_single_archive_engine(self, world, workers):
+        network, trajectories, archive, shard_paths = world
+        queries = make_queries(network, trajectories, count=25, seed=17)
+        # repeats exercise the cross-process dedupe path
+        queries = queries + queries[::3]
+        expected = BatchQueryEngine(
+            network, archive, StIUIndex(network, archive)
+        ).run(queries)
+        with ShardedQueryEngine(
+            shard_paths, network=network, workers=workers
+        ) as engine:
+            got = engine.run(queries)
+        assert got == expected
+
+    def test_network_resolved_from_provenance(self, tmp_path):
+        """Shards written by the CLI path carry enough provenance to
+        rebuild the network inside each worker."""
+        from repro.pipeline.batch import save_archive_with_index
+
+        network, trajectories = load_dataset(
+            "CD", 10, seed=31, network_scale=12
+        )
+        archive = compress_dataset(network, trajectories, default_interval=10)
+        path = tmp_path / "prov.utcq"
+        save_archive_with_index(
+            archive,
+            path,
+            network,
+            provenance={
+                "profile": "CD",
+                "dataset_seed": "31",
+                "network_scale": "12",
+            },
+        )
+        trajectory = trajectories[0]
+        query = WhereQuery(
+            trajectory.trajectory_id,
+            (trajectory.start_time + trajectory.end_time) // 2,
+            0.0,
+        )
+        with ShardedQueryEngine([path], workers=1) as engine:
+            got = engine.run([query])
+        index = StIUIndex(network, archive)
+        expected = UTCQQueryProcessor(network, archive, index).where(
+            query.trajectory_id, query.t, query.alpha
+        )
+        assert got == [expected]
+
+    def test_duplicate_trajectory_ids_rejected(self, world, tmp_path):
+        network, _, archive, shard_paths = world
+        clone = tmp_path / "clone.utcq"
+        archive.save(clone)
+        with pytest.raises(QueryEngineError):
+            ShardedQueryEngine(
+                [shard_paths[0], clone], network=network, workers=1
+            )
+
+    def test_closed_engine_rejects_runs(self, world):
+        network, _, _, shard_paths = world
+        engine = ShardedQueryEngine(
+            shard_paths, network=network, workers=1
+        )
+        engine.close()
+        with pytest.raises(QueryEngineError):
+            engine.run([])
+
+
+class TestQuerySpecs:
+    def test_round_trip_from_dicts(self):
+        where = query_from_dict(
+            {"kind": "where", "trajectory": 3, "time": 41000, "alpha": 0.2}
+        )
+        assert where == WhereQuery(3, 41000, 0.2)
+        when = query_from_dict(
+            {"kind": "when", "trajectory": 3, "edge": [5, 6], "rd": 0.25}
+        )
+        assert when == WhenQuery(3, (5, 6), 0.25, 0.0)
+        range_ = query_from_dict(
+            {"kind": "range", "rect": [0, 0, 10, 10], "time": 7, "alpha": 0.5}
+        )
+        assert range_ == RangeQuery(range_.rect, 7, 0.5)
+        assert (range_.rect.min_x, range_.rect.max_y) == (0.0, 10.0)
+
+    def test_bad_specs_rejected(self):
+        with pytest.raises(QueryEngineError):
+            query_from_dict({"kind": "teleport"})
+        with pytest.raises(QueryEngineError):
+            query_from_dict({"kind": "where", "trajectory": 1})
+        with pytest.raises(QueryEngineError):
+            query_from_dict({"kind": "when", "trajectory": 1, "edge": [1]})
+        with pytest.raises(QueryEngineError):
+            query_from_dict(
+                {"kind": "range", "rect": [0, 0, 1], "time": 0}
+            )
+
+    def test_malformed_values_rejected_not_crashed(self):
+        # non-sequence edge / rect, unparseable numbers, non-dict input:
+        # all surface as QueryEngineError, never a raw TypeError
+        with pytest.raises(QueryEngineError):
+            query_from_dict({"kind": "when", "trajectory": 1, "edge": 5})
+        with pytest.raises(QueryEngineError):
+            query_from_dict({"kind": "range", "rect": 7, "time": 0})
+        with pytest.raises(QueryEngineError):
+            query_from_dict(
+                {"kind": "where", "trajectory": "three", "time": 0}
+            )
+        with pytest.raises(QueryEngineError):
+            query_from_dict([1, 2])

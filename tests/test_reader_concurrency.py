@@ -1,0 +1,110 @@
+"""Concurrent readers against one ``FileBackedArchive``.
+
+The archive serves record reads with positional ``pread`` calls, so a
+single shared handle has no seek cursor to race on; the LRU is guarded
+by a lock.  These tests hammer one archive from a thread pool — with a
+cache big enough to hold everything and with a pathologically tiny one
+that forces constant eviction and re-reads — and require every returned
+record to be identical to a serially-loaded reference.
+"""
+
+import random
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.core.compressor import compress_dataset
+from repro.io.format import write_archive
+from repro.io.reader import ArchiveClosedError, FileBackedArchive
+from repro.trajectories.datasets import load_dataset
+
+THREADS = 8
+ROUNDS = 60
+
+
+@pytest.fixture(scope="module")
+def archive_path(tmp_path_factory):
+    network, trajectories = load_dataset("CD", 20, seed=13, network_scale=12)
+    archive = compress_dataset(network, trajectories, default_interval=10)
+    path = tmp_path_factory.mktemp("concurrency") / "archive.utcq"
+    write_archive(archive, path)
+    return path
+
+
+@pytest.fixture(scope="module")
+def reference(archive_path):
+    with FileBackedArchive.open(archive_path, cache_size=1000) as archive:
+        return {
+            trajectory_id: archive.trajectory(trajectory_id)
+            for trajectory_id in archive.trajectory_ids()
+        }
+
+
+def _records_equal(a, b):
+    return (
+        a.trajectory_id == b.trajectory_id
+        and a.time_payload == b.time_payload
+        and a.time_payload_bits == b.time_payload_bits
+        and a.point_count == b.point_count
+        and len(a.instances) == len(b.instances)
+        and all(
+            x.payload == y.payload and x.payload_bits == y.payload_bits
+            for x, y in zip(a.instances, b.instances)
+        )
+    )
+
+
+@pytest.mark.parametrize("cache_size", [1000, 2])
+def test_thread_pool_hammer(archive_path, reference, cache_size):
+    ids = sorted(reference)
+    with FileBackedArchive.open(archive_path, cache_size=cache_size) as archive:
+
+        def worker(seed):
+            rng = random.Random(seed)
+            bad = 0
+            for _ in range(ROUNDS):
+                trajectory_id = rng.choice(ids)
+                loaded = archive.trajectory(trajectory_id)
+                if not _records_equal(loaded, reference[trajectory_id]):
+                    bad += 1
+            return bad
+
+        with ThreadPoolExecutor(max_workers=THREADS) as pool:
+            corrupt = sum(pool.map(worker, range(THREADS)))
+    assert corrupt == 0
+
+
+def test_concurrent_iteration_and_random_access(archive_path, reference):
+    ids = sorted(reference)
+    with FileBackedArchive.open(archive_path, cache_size=3) as archive:
+
+        def iterate(_):
+            return sum(1 for _ in archive.trajectories)
+
+        def poke(seed):
+            rng = random.Random(seed)
+            for _ in range(ROUNDS):
+                archive.trajectory(rng.choice(ids))
+            return len(ids)
+
+        with ThreadPoolExecutor(max_workers=6) as pool:
+            counts = list(pool.map(iterate, range(3)))
+            counts += list(pool.map(poke, range(3)))
+    assert all(count == len(ids) for count in counts)
+
+
+def test_closed_archive_raises_for_all_threads(archive_path, reference):
+    ids = sorted(reference)
+    archive = FileBackedArchive.open(archive_path, cache_size=4)
+    archive.close()
+
+    def read(_):
+        try:
+            archive.trajectory(ids[0])
+        except ArchiveClosedError:
+            return True
+        return False
+
+    with ThreadPoolExecutor(max_workers=4) as pool:
+        outcomes = list(pool.map(read, range(8)))
+    assert all(outcomes)

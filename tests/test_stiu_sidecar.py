@@ -1,0 +1,291 @@
+"""Persistence tests for the ``.stiu`` StIU index sidecar.
+
+Covers the round trip (a sidecar-loaded index is structurally identical
+to a fresh build and answers queries identically), staleness detection
+(rewritten archive, truncated/corrupt sidecar, parameter mismatch, and
+version bump all force a rebuild), and the write-at-compress-time
+integrations (``save_archive_with_index``, stream ``compact``).
+"""
+
+import struct
+
+import pytest
+
+from repro.core.compressor import compress_dataset
+from repro.pipeline.batch import save_archive_with_index
+from repro.query import sidecar
+from repro.query.stiu import StIUIndex
+from repro.trajectories.datasets import load_dataset
+from repro.workloads.harness import build_query_workload
+
+
+@pytest.fixture(scope="module")
+def world(tmp_path_factory):
+    network, trajectories = load_dataset("CD", 25, seed=19, network_scale=12)
+    archive = compress_dataset(network, trajectories, default_interval=10)
+    path = tmp_path_factory.mktemp("sidecar") / "archive.utcq"
+    archive.save(path)
+    return network, trajectories, archive, path
+
+
+def build_index(network, path, **kwargs):
+    return StIUIndex.over_file(network, path, sidecar=None, **kwargs)
+
+
+def assert_same_index(a: StIUIndex, b: StIUIndex) -> None:
+    assert a.temporal == b.temporal
+    assert a._trajectory_tuples == b._trajectory_tuples
+    assert a.spatial.keys() == b.spatial.keys()
+    for interval in a.spatial:
+        assert a.spatial[interval].keys() == b.spatial[interval].keys()
+        for region in a.spatial[interval]:
+            left = a.spatial[interval][region]
+            right = b.spatial[interval][region]
+            assert left.keys() == right.keys()
+            for trajectory_id in left:
+                assert (
+                    left[trajectory_id].references
+                    == right[trajectory_id].references
+                )
+                assert (
+                    left[trajectory_id].non_references
+                    == right[trajectory_id].non_references
+                )
+
+
+class TestRoundTrip:
+    def test_loaded_index_is_structurally_identical(self, world):
+        network, _, _, path = world
+        built = build_index(network, path)
+        try:
+            sidecar.save_index(built, path)
+        finally:
+            built.archive.close()
+        loaded = StIUIndex.over_file(network, path)
+        rebuilt = build_index(network, path)
+        try:
+            assert loaded.loaded_from_sidecar
+            assert not rebuilt.loaded_from_sidecar
+            assert_same_index(loaded, rebuilt)
+        finally:
+            loaded.archive.close()
+            rebuilt.archive.close()
+
+    def test_loaded_index_answers_queries_identically(self, world):
+        from repro.query.queries import UTCQQueryProcessor
+
+        network, trajectories, _, path = world
+        workload = build_query_workload(
+            network, trajectories, count=25, seed=3
+        )
+        loaded = StIUIndex.over_file(network, path)
+        rebuilt = build_index(network, path)
+        try:
+            assert loaded.loaded_from_sidecar
+            warm = UTCQQueryProcessor(network, loaded.archive, loaded)
+            cold = UTCQQueryProcessor(network, rebuilt.archive, rebuilt)
+            for trajectory_id, t, alpha in workload.where_queries:
+                assert warm.where(trajectory_id, t, alpha) == cold.where(
+                    trajectory_id, t, alpha
+                )
+            for trajectory_id, edge, rd, alpha in workload.when_queries:
+                assert warm.when(
+                    trajectory_id, edge, rd, alpha
+                ) == cold.when(trajectory_id, edge, rd, alpha)
+            for region, t, alpha in workload.range_queries:
+                assert warm.range(region, t, alpha) == cold.range(
+                    region, t, alpha
+                )
+        finally:
+            loaded.archive.close()
+            rebuilt.archive.close()
+
+    def test_spatial_section_is_lazy(self, world):
+        network, _, _, path = world
+        loaded = StIUIndex.over_file(network, path)
+        try:
+            assert loaded.loaded_from_sidecar
+            assert loaded._spatial_loader is not None
+            _ = loaded.spatial
+            assert loaded._spatial_loader is None
+        finally:
+            loaded.archive.close()
+
+
+class TestStaleness:
+    def test_missing_sidecar_falls_back_to_build(self, world, tmp_path):
+        network, _, archive, _ = world
+        path = tmp_path / "fresh.utcq"
+        archive.save(path)
+        index = StIUIndex.over_file(network, path)
+        try:
+            assert not index.loaded_from_sidecar
+        finally:
+            index.archive.close()
+
+    def test_write_sidecar_on_build(self, world, tmp_path):
+        network, _, archive, _ = world
+        path = tmp_path / "fresh.utcq"
+        archive.save(path)
+        index = StIUIndex.over_file(network, path, write_sidecar=True)
+        index.archive.close()
+        assert sidecar.sidecar_path_for(path).exists()
+        warm = StIUIndex.over_file(network, path)
+        try:
+            assert warm.loaded_from_sidecar
+        finally:
+            warm.archive.close()
+
+    def test_rewritten_archive_invalidates_sidecar(self, world, tmp_path):
+        network, trajectories, archive, _ = world
+        path = tmp_path / "mutating.utcq"
+        archive.save(path)
+        index = StIUIndex.over_file(network, path, write_sidecar=True)
+        index.archive.close()
+        # rewrite the archive with fewer trajectories: same path, new bytes
+        smaller = compress_dataset(
+            network, trajectories[:10], default_interval=10
+        )
+        smaller.save(path)
+        stale = StIUIndex.over_file(network, path)
+        try:
+            assert not stale.loaded_from_sidecar
+        finally:
+            stale.archive.close()
+
+    def test_same_size_rewrite_detected_by_sha(self, world, tmp_path):
+        network, _, archive, _ = world
+        path = tmp_path / "flipped.utcq"
+        archive.save(path)
+        index = StIUIndex.over_file(network, path, write_sidecar=True)
+        index.archive.close()
+        # flip one payload byte without changing the file size
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0xFF
+        path.write_bytes(bytes(data))
+        assert sidecar.load_index(
+            network,
+            _DummyArchive(archive.trajectory_count),
+            path,
+        ) is None
+
+    def test_parameter_mismatch_forces_rebuild(self, world, tmp_path):
+        network, _, archive, _ = world
+        path = tmp_path / "params.utcq"
+        archive.save(path)
+        index = StIUIndex.over_file(network, path, write_sidecar=True)
+        index.archive.close()
+        other_grid = StIUIndex.over_file(
+            network, path, grid_cells_per_side=16
+        )
+        other_partition = StIUIndex.over_file(
+            network, path, time_partition_seconds=900
+        )
+        try:
+            assert not other_grid.loaded_from_sidecar
+            assert not other_partition.loaded_from_sidecar
+        finally:
+            other_grid.archive.close()
+            other_partition.archive.close()
+
+    def test_version_bump_rejected(self, world, tmp_path):
+        network, _, archive, _ = world
+        path = tmp_path / "versioned.utcq"
+        archive.save(path)
+        index = StIUIndex.over_file(network, path, write_sidecar=True)
+        index.archive.close()
+        sidecar_path = sidecar.sidecar_path_for(path)
+        data = bytearray(sidecar_path.read_bytes())
+        struct.pack_into("<H", data, 8, sidecar.VERSION + 1)
+        sidecar_path.write_bytes(bytes(data))
+        with pytest.raises(sidecar.SidecarFormatError):
+            sidecar.read_sidecar(sidecar_path)
+        rebuilt = StIUIndex.over_file(network, path)
+        try:
+            assert not rebuilt.loaded_from_sidecar
+        finally:
+            rebuilt.archive.close()
+
+    def test_corrupt_lazy_spatial_section_falls_back_to_rebuild(
+        self, world, tmp_path
+    ):
+        """The spatial section is parsed lazily; if it turns out corrupt
+        at first access, the index rebuilds it from the archive instead
+        of silently serving an empty spatial map."""
+        network, _, archive, _ = world
+        path = tmp_path / "lazy.utcq"
+        archive.save(path)
+        loaded = StIUIndex.over_file(network, path, write_sidecar=True)
+        loaded.archive.close()
+        loaded = StIUIndex.over_file(network, path)
+        try:
+            assert loaded.loaded_from_sidecar
+            loaded._spatial_loader = lambda: (_ for _ in ()).throw(
+                sidecar.SidecarFormatError("corrupt spatial section")
+            )
+            rebuilt = build_index(network, path)
+            try:
+                assert_same_index(loaded, rebuilt)
+            finally:
+                rebuilt.archive.close()
+        finally:
+            loaded.archive.close()
+
+    def test_truncated_sidecar_rejected(self, world, tmp_path):
+        network, _, archive, _ = world
+        path = tmp_path / "truncated.utcq"
+        archive.save(path)
+        index = StIUIndex.over_file(network, path, write_sidecar=True)
+        index.archive.close()
+        sidecar_path = sidecar.sidecar_path_for(path)
+        data = sidecar_path.read_bytes()
+        sidecar_path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(sidecar.SidecarFormatError):
+            sidecar.read_sidecar(sidecar_path)
+        rebuilt = StIUIndex.over_file(network, path)
+        try:
+            assert not rebuilt.loaded_from_sidecar
+        finally:
+            rebuilt.archive.close()
+
+
+class _DummyArchive:
+    def __init__(self, trajectory_count):
+        self.trajectory_count = trajectory_count
+
+
+class TestWriteIntegrations:
+    def test_save_archive_with_index(self, world, tmp_path):
+        network, _, archive, _ = world
+        path = tmp_path / "pipeline.utcq"
+        size, sidecar_path = save_archive_with_index(archive, path, network)
+        assert size == path.stat().st_size
+        assert sidecar_path.exists()
+        warm = StIUIndex.over_file(network, path)
+        try:
+            assert warm.loaded_from_sidecar
+        finally:
+            warm.archive.close()
+
+    def test_compact_writes_sidecar(self, tmp_path):
+        from repro.stream import AppendableArchiveWriter, compact
+        from repro.trajectories.datasets import load_dataset
+
+        network, trajectories = load_dataset(
+            "CD", 8, seed=29, network_scale=12
+        )
+        directory = tmp_path / "stream"
+        with AppendableArchiveWriter(
+            directory, network, default_interval=10,
+            segment_max_trajectories=3,
+        ) as writer:
+            for trajectory in trajectories:
+                writer.append(trajectory)
+        output = tmp_path / "compacted.utcq"
+        compact(directory, output, network=network)
+        assert sidecar.sidecar_path_for(output).exists()
+        warm = StIUIndex.over_file(network, output)
+        try:
+            assert warm.loaded_from_sidecar
+        finally:
+            warm.archive.close()
