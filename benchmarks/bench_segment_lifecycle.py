@@ -1,0 +1,194 @@
+"""Long-haul soak of the segment lifecycle: ingest, compact, GC, query.
+
+Round after round of fleet feed is replayed into one stream archive
+while a :class:`CompactionDaemon` merges rotated segments in the
+background and a TTL GC drops whole cold segments — the steady state a
+real deployment lives in.  Each round samples resident set size (via
+``/proc/self/status``) and live-view query latency; the suite asserts
+the storage-engine promises: live segment count, RSS, and query
+latency all stay bounded however long the soak runs.
+
+``REPRO_SOAK_SECONDS`` caps the soak's wall-clock budget (default 60,
+the CI quick mode); rows land in
+``results/BENCH_stream_throughput.json`` next to the ingest-throughput
+table so both stream-tier trajectories travel in one artifact.
+"""
+
+import os
+import random
+import resource
+import time
+
+import pytest
+from conftest import RESULTS_DIR, merge_results_json, record_experiment
+
+from repro.mapmatching.noise import synthesize_raw_dataset
+from repro.network.generators import dataset_network
+from repro.stream import (
+    AppendableArchiveWriter,
+    CompactionDaemon,
+    LiveArchive,
+    SessionConfig,
+    SizeTieredPolicy,
+    TripSessionizer,
+    gc_segments,
+    replay,
+)
+from repro.trajectories.datasets import profile
+from repro.trajectories.model import RawPoint, RawTrajectory
+from repro.workloads.reporting import ExperimentLog
+
+PROFILE = "CD"
+VEHICLES = 6
+NETWORK_SCALE = 12
+SEGMENT_MAX = 8
+#: feed time distance between rounds; GC keeps ~RETAIN_ROUNDS of them
+ROUND_FEED_SECONDS = 200_000
+RETAIN_ROUNDS = 3
+SOAK_SECONDS = float(os.environ.get("REPRO_SOAK_SECONDS", "60"))
+MIN_ROUNDS = 4
+MAX_ROUNDS = 400
+
+HEADERS = [
+    "round", "trips", "live trips", "segments", "generation",
+    "merges", "dropped", "disk KiB", "rss KiB", "query ms",
+]
+
+_ROWS: list[list] = []
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _write_results():
+    yield
+    if not _ROWS:
+        return
+    title = "Segment lifecycle soak (ingest + compaction + GC + queries)"
+    record_experiment(title, HEADERS, _ROWS)
+    log = ExperimentLog()
+    log.record("segment_lifecycle_soak", HEADERS, _ROWS)
+    merge_results_json(RESULTS_DIR / "BENCH_stream_throughput.json", log)
+
+
+def _rss_kib() -> int:
+    """Current RSS in KiB (Linux), else the peak RSS getrusage reports."""
+    try:
+        with open("/proc/self/status", encoding="ascii") as stream:
+            for line in stream:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1])
+    except OSError:
+        pass
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+
+
+def _shifted(feeds, offset: int):
+    """The same fleet feed, replayed ``offset`` seconds later."""
+    return [
+        RawTrajectory(
+            tuple(RawPoint(p.x, p.y, p.t + offset) for p in raw.points)
+        )
+        for raw in feeds
+    ]
+
+
+def _sample_query_ms(live, network, rng) -> float:
+    processor = live.query_processor(network)
+    ids = live.trajectory_ids()
+    if not ids:
+        return 0.0
+    picks = rng.sample(ids, min(16, len(ids)))
+    started = time.perf_counter()
+    for trajectory_id in picks:
+        trajectory = live.trajectory(trajectory_id)
+        t = (trajectory.start_time + trajectory.end_time) // 2
+        processor.where(trajectory_id, t, alpha=0.1)
+    return (time.perf_counter() - started) * 1000 / len(picks)
+
+
+def test_segment_lifecycle_soak(tmp_path):
+    prof = profile(PROFILE)
+    network = dataset_network(PROFILE, scale=NETWORK_SCALE, seed=7)
+    base_feeds = synthesize_raw_dataset(
+        network, prof.generation_config(), VEHICLES, seed=7
+    )
+    sessionizer = TripSessionizer(
+        network, config=SessionConfig(gap_timeout=3600.0)
+    )
+    rng = random.Random(11)
+    writer = AppendableArchiveWriter(
+        tmp_path / "fleet",
+        network,
+        default_interval=prof.default_interval,
+        segment_max_trajectories=SEGMENT_MAX,
+    )
+    daemon = CompactionDaemon(
+        writer, policy=SizeTieredPolicy(min_merge=3, max_merge=6),
+        interval=0.05,
+    )
+    live = LiveArchive(tmp_path / "fleet")
+    trips_total = 0
+    dropped_total = 0
+    deadline = time.monotonic() + SOAK_SECONDS
+    with daemon, live:
+        for round_index in range(MAX_ROUNDS):
+            if round_index >= MIN_ROUNDS and time.monotonic() >= deadline:
+                break
+            feeds = _shifted(base_feeds, round_index * ROUND_FEED_SECONDS)
+            report = replay(
+                sessionizer, feeds, writer=writer, daemon=daemon
+            )
+            trips_total += report.trips_sealed
+            dropped = gc_segments(
+                writer.store,
+                ttl_seconds=RETAIN_ROUNDS * ROUND_FEED_SECONDS,
+            )
+            dropped_total += sum(s.trajectory_count for s in dropped)
+            live.refresh()
+            query_ms = _sample_query_ms(live, network, rng)
+            disk_kib = sum(s.file_bytes for s in writer.segments()) // 1024
+            _ROWS.append(
+                [
+                    round_index,
+                    trips_total,
+                    live.trajectory_count,
+                    writer.segment_count,
+                    writer.generation,
+                    daemon.stats.merges,
+                    dropped_total,
+                    disk_kib,
+                    _rss_kib(),
+                    round(query_ms, 2),
+                ]
+            )
+        writer.close()
+
+    assert len(_ROWS) >= MIN_ROUNDS
+    assert trips_total > 0
+    assert daemon.stats.merges > 0, "the daemon never merged anything"
+    assert dropped_total > 0, "GC never dropped a cold segment"
+    # every live index assembly came from sidecars, never a rebuild
+    assert live.sidecar_misses == 0
+
+    # bounded state: retention caps live trips/segments/disk, so the
+    # last round must not exceed the high-water mark of the warmup
+    # rounds by more than noise
+    warmup = _ROWS[: MIN_ROUNDS]
+    final = _ROWS[-1]
+    max_live_trips = max(row[2] for row in warmup)
+    max_segments = max(row[3] for row in warmup)
+    max_disk = max(row[7] for row in warmup)
+    assert final[2] <= max_live_trips * 2
+    assert final[3] <= max_segments * 2 + 2
+    assert final[7] <= max_disk * 2 + 64
+
+    # bounded memory: RSS growth beyond the warmed-up process stays
+    # small (slack covers allocator noise and interpreter pools)
+    warm_rss = warmup[-1][8]
+    assert final[8] <= warm_rss + 192 * 1024, (
+        f"RSS grew {final[8] - warm_rss} KiB over the soak"
+    )
+
+    # flat query latency: the final round answers in the same ballpark
+    # as the warmup rounds (generous bound; absolute values are logged)
+    warm_ms = max(row[9] for row in warmup if row[9] > 0) or 1.0
+    assert final[9] <= warm_ms * 5 + 5.0

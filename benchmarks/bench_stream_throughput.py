@@ -9,7 +9,7 @@ ingestion path is tracked across PRs.
 """
 
 import pytest
-from conftest import RESULTS_DIR, record_experiment
+from conftest import RESULTS_DIR, merge_results_json, record_experiment
 
 from repro.mapmatching.noise import synthesize_raw_dataset
 from repro.network.generators import dataset_network
@@ -44,8 +44,7 @@ def _write_results():
     record_experiment(title, HEADERS, _ROWS)
     log = ExperimentLog()
     log.record("stream_throughput", HEADERS, _ROWS)
-    RESULTS_DIR.mkdir(exist_ok=True)
-    log.write_json(RESULTS_DIR / "BENCH_stream_throughput.json")
+    merge_results_json(RESULTS_DIR / "BENCH_stream_throughput.json", log)
 
 
 @pytest.mark.parametrize("name", ["DK", "CD", "HZ"])

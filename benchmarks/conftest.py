@@ -82,6 +82,37 @@ def record_experiment(title, headers, rows):
     return EXPERIMENT_LOG.record(title, headers, rows)
 
 
+def merge_results_json(path, log):
+    """Write ``log`` into ``path``, keeping other modules' tables.
+
+    Several benchmark modules share one results file (e.g. the ingest
+    throughput and the segment-lifecycle soak both land in
+    ``BENCH_stream_throughput.json``); a plain ``write_json`` from each
+    would clobber the other's tables.  Tables with the same title are
+    replaced, everything else is preserved.
+    """
+    import json
+
+    path = pathlib.Path(path)
+    existing = []
+    if path.exists():
+        try:
+            existing = json.loads(path.read_text())["tables"]
+        except (json.JSONDecodeError, KeyError, OSError):
+            existing = []
+    fresh_titles = {table.title for table in log.tables}
+    document = {
+        "format": "repro-bench",
+        "version": 1,
+        "tables": [
+            table for table in existing if table.get("title") not in fresh_titles
+        ]
+        + [table.as_dict() for table in log.tables],
+    }
+    path.parent.mkdir(exist_ok=True)
+    path.write_text(json.dumps(document, indent=2) + "\n")
+
+
 def pytest_terminal_summary(terminalreporter):
     if not EXPERIMENT_LOG.tables:
         return

@@ -339,11 +339,63 @@ def build_parser() -> argparse.ArgumentParser:
 
     compact_ = actions.add_parser(
         "compact",
-        help="merge all sealed segments into one canonical .utcq archive",
+        help="merge segments: into one canonical .utcq archive (with "
+        "OUTPUT), or in place under an LSM policy (--policy/--daemon)",
     )
     compact_.add_argument("directory", help="stream-archive directory")
     compact_.add_argument(
-        "output", help="path of the canonical archive to write"
+        "output", nargs="?", default=None,
+        help="path of the canonical archive to write (omit to run "
+        "in-place policy compaction instead)",
+    )
+    compact_.add_argument(
+        "--policy", choices=("size-tiered", "leveled"), default=None,
+        help="in-place merge policy (default when no OUTPUT: size-tiered)",
+    )
+    compact_.add_argument(
+        "--min-merge", type=int, default=4,
+        help="size-tiered: segments per merge, minimum (default: 4)",
+    )
+    compact_.add_argument(
+        "--max-merge", type=int, default=8,
+        help="size-tiered: segments per merge, maximum (default: 8)",
+    )
+    compact_.add_argument(
+        "--fanout", type=int, default=4,
+        help="leveled: segments per level before promotion (default: 4)",
+    )
+    compact_.add_argument(
+        "--daemon", action="store_true",
+        help="keep compacting on a background thread for --duration "
+        "seconds instead of draining once and exiting",
+    )
+    compact_.add_argument(
+        "--interval", type=float, default=0.5,
+        help="daemon poll interval in seconds (default: 0.5)",
+    )
+    compact_.add_argument(
+        "--duration", type=float, default=10.0,
+        help="how long the daemon runs in seconds (default: 10)",
+    )
+
+    gc_ = actions.add_parser(
+        "gc",
+        help="retention: drop whole segments older than a cutoff",
+    )
+    gc_.add_argument("directory", help="stream-archive directory")
+    cutoff = gc_.add_mutually_exclusive_group(required=True)
+    cutoff.add_argument(
+        "--drop-before", type=int, default=None, metavar="T",
+        help="drop segments whose newest timestamp is before T",
+    )
+    cutoff.add_argument(
+        "--ttl", type=int, default=None, metavar="SECONDS",
+        help="drop segments older than SECONDS relative to the newest "
+        "timestamp in the archive (the stream clock)",
+    )
+    gc_.add_argument(
+        "--dry-run", action="store_true",
+        help="report what would be dropped without touching anything",
     )
 
     stats_ = actions.add_parser(
@@ -844,6 +896,7 @@ def cmd_stream(args) -> int:
     handlers = {
         "replay": _stream_replay,
         "compact": _stream_compact,
+        "gc": _stream_gc,
         "stats": _stream_stats,
     }
     try:
@@ -923,6 +976,8 @@ def _stream_compact(args) -> int:
     from .stream import compact
     from .stream.writer import SEGMENT_DIR, load_manifest, manifest_segments
 
+    if args.output is None:
+        return _stream_compact_in_place(args)
     manifest = load_manifest(args.directory)
     network = _network_from_manifest_provenance(manifest)
     size, count = compact(args.directory, args.output, network=network)
@@ -949,6 +1004,76 @@ def _stream_compact(args) -> int:
     return 0
 
 
+def _stream_compact_in_place(args) -> int:
+    import time as _time
+
+    from .stream import CompactionDaemon, load_manifest, make_policy
+
+    manifest = load_manifest(args.directory)
+    network = _network_from_manifest_provenance(manifest)
+    policy_name = args.policy or "size-tiered"
+    if policy_name == "size-tiered":
+        policy = make_policy(
+            policy_name, min_merge=args.min_merge, max_merge=args.max_merge
+        )
+    else:
+        policy = make_policy(policy_name, fanout=args.fanout)
+    daemon = CompactionDaemon(
+        args.directory,
+        policy=policy,
+        network=network,
+        interval=args.interval,
+    )
+    before = len(manifest["segments"])
+    if args.daemon:
+        daemon.start()
+        try:
+            _time.sleep(args.duration)
+        finally:
+            stats = daemon.stop()
+    else:
+        daemon.run_once()
+        stats = daemon.stats
+    after = len(load_manifest(args.directory)["segments"])
+    print(
+        f"{policy.describe()}: {stats.merges} merge(s), "
+        f"{stats.segments_merged} segments in, {before} -> {after} "
+        f"segments, {stats.bytes_read} bytes read / "
+        f"{stats.bytes_written} written "
+        f"(generation {daemon.store.state.generation})"
+    )
+    if network is None:
+        print(
+            "note: no dataset provenance in the manifest; merged segments "
+            "got no index sidecars (live queries will rebuild for them)"
+        )
+    return 0
+
+
+def _stream_gc(args) -> int:
+    from .stream import ManifestStore, gc_segments
+
+    store = ManifestStore.open(args.directory)
+    dropped = gc_segments(
+        store,
+        drop_before=args.drop_before,
+        ttl_seconds=args.ttl,
+        dry_run=args.dry_run,
+    )
+    verb = "would drop" if args.dry_run else "dropped"
+    print(
+        f"{verb} {len(dropped)} segment(s), "
+        f"{sum(s.trajectory_count for s in dropped)} trajectories, "
+        f"{sum(s.file_bytes for s in dropped)} bytes"
+    )
+    for info in dropped:
+        print(
+            f"  {info.name}: times {info.min_time}..{info.max_time}, "
+            f"ids {info.min_trajectory_id}..{info.max_trajectory_id}"
+        )
+    return 0
+
+
 def _network_from_manifest_provenance(manifest: dict):
     """Best effort: rebuild the stream archive's network for the sidecar."""
     from .query.engine import QueryEngineError, build_network_from_provenance
@@ -967,7 +1092,10 @@ def _stream_stats(args) -> int:
     if args.json:
         print(json.dumps(manifest, indent=2, sort_keys=True))
         return 0
-    print(f"{args.directory}: stream archive, manifest v{manifest['version']}")
+    print(
+        f"{args.directory}: stream archive, manifest "
+        f"v{manifest['version']} generation {manifest.get('generation', 0)}"
+    )
     print(
         f"  trajectories {manifest['trajectory_count']}, "
         f"instances {manifest['instance_count']}, "
@@ -984,7 +1112,8 @@ def _stream_stats(args) -> int:
         )
         for info in segments:
             print(
-                f"    {info.name}: {info.trajectory_count} trajectories, "
+                f"    {info.name} (L{info.level}): "
+                f"{info.trajectory_count} trajectories, "
                 f"ids {info.min_trajectory_id}..{info.max_trajectory_id}, "
                 f"{info.file_bytes} bytes"
             )

@@ -389,3 +389,38 @@ def load_index(
     index._spatial_loader = lambda: _decode_spatial(spatial_blob)
     index.loaded_from_sidecar = True
     return index
+
+
+def load_or_build_index(
+    network,
+    archive,
+    archive_path,
+    *,
+    sidecar_path=None,
+    grid_cells_per_side: int = 32,
+    time_partition_seconds: int = 1800,
+) -> tuple[StIUIndex, bool]:
+    """Load the index from its sidecar, or build it; never ``None``.
+
+    Returns ``(index, from_sidecar)`` — the flag is what the streaming
+    tier's sidecar-hit accounting (and its "opens never rebuild" test)
+    keys on.  The build fallback covers every recoverable sidecar
+    condition :func:`load_index` maps to ``None``.
+    """
+    index = load_index(
+        network,
+        archive,
+        archive_path,
+        sidecar_path=sidecar_path,
+        grid_cells_per_side=grid_cells_per_side,
+        time_partition_seconds=time_partition_seconds,
+    )
+    if index is not None:
+        return index, True
+    index = StIUIndex(
+        network,
+        archive,
+        grid_cells_per_side=grid_cells_per_side,
+        time_partition_seconds=time_partition_seconds,
+    )
+    return index, False

@@ -161,6 +161,54 @@ class StIUIndex:
             archive.close()
             raise
 
+    @classmethod
+    def merged(
+        cls,
+        network: RoadNetwork,
+        archive,
+        parts: list["StIUIndex"],
+        *,
+        grid_cells_per_side: int = 32,
+        time_partition_seconds: int = 1800,
+    ) -> "StIUIndex":
+        """Union per-segment indexes into one index over their union.
+
+        Trajectory ids are globally unique across a stream archive's
+        segments, so merging is a plain dict union per layer — the
+        result is structurally identical to building over the combined
+        archive.  The spatial layer stays lazy: parts loaded from
+        sidecars keep their deflated sections unparsed until the first
+        spatial lookup on the merged index.
+        """
+        index = cls(
+            network,
+            archive,
+            grid_cells_per_side=grid_cells_per_side,
+            time_partition_seconds=time_partition_seconds,
+            build=False,
+        )
+        parts = list(parts)
+        for part in parts:
+            for interval, entries in part.temporal.items():
+                index.temporal.setdefault(interval, {}).update(entries)
+            index._trajectory_tuples.update(part._trajectory_tuples)
+        if parts:
+
+            def merge_spatial():
+                spatial: dict[int, dict[int, dict[int, RegionEntry]]] = {}
+                for part in parts:
+                    for interval, region_map in part.spatial.items():
+                        target = spatial.setdefault(interval, {})
+                        for region, entry_map in region_map.items():
+                            target.setdefault(region, {}).update(entry_map)
+                return spatial
+
+            index._spatial_loader = merge_spatial
+        index.loaded_from_sidecar = bool(parts) and all(
+            part.loaded_from_sidecar for part in parts
+        )
+        return index
+
     def __init__(
         self,
         network: RoadNetwork,

@@ -1,5 +1,5 @@
 """Streaming ingestion: online map matching, sessionization, appendable
-archives, and live querying.
+archives with an LSM-style segment lifecycle, and live querying.
 
 The batch pipeline (``match -> compress -> save``) assumes the dataset
 exists in full before work starts.  This package turns it into a live
@@ -11,16 +11,42 @@ path::
     TripSessionizer                  gap / duration / match cuts
          │                           -> sealed UncertainTrajectory trips
          ▼
-    AppendableArchiveWriter          rotating .utcq segments + manifest
-         │
+    AppendableArchiveWriter          rotating .utcq segments + .stiu
+         │                           sidecars + generational manifest
+         ├── CompactionDaemon        background size-tiered / leveled
+         │                           merges while ingestion continues
+         ├── gc_segments             retention: drop whole cold segments
          ├── LiveArchive             query the sealed union mid-ingestion
+         │                           (indexes assembled from sidecars)
          └── compact()               one canonical batch-format archive
 
-The CLI front end is ``repro stream replay | compact | stats``.
+The manifest is crash-safe (atomic rename, fsync, generation numbers)
+and :func:`recover` reconciles a directory after a kill — adopting the
+orphan segment a crash between rotation and manifest commit leaves
+behind, and sweeping everything else.  The CLI front end is
+``repro stream replay | compact | gc | stats``.
 """
 
+from .compaction import (
+    CompactionDaemon,
+    CompactionPolicy,
+    CompactionStats,
+    CompactionTask,
+    LeveledPolicy,
+    SizeTieredPolicy,
+    drain_compactions,
+    gc_segments,
+    make_policy,
+    merge_segments,
+)
 from .ingest import ObserveStatus, StreamCounters, StreamingMapMatcher
 from .live import LiveArchive
+from .manifest import (
+    Filesystem,
+    ManifestStore,
+    RecoveryReport,
+    recover,
+)
 from .replay import ReplayReport, feed_events, replay
 from .session import SessionConfig, SessionCounters, TripSessionizer
 from .writer import (
@@ -49,4 +75,18 @@ __all__ = [
     "compact",
     "load_manifest",
     "manifest_segments",
+    "CompactionDaemon",
+    "CompactionPolicy",
+    "CompactionStats",
+    "CompactionTask",
+    "LeveledPolicy",
+    "SizeTieredPolicy",
+    "drain_compactions",
+    "gc_segments",
+    "make_policy",
+    "merge_segments",
+    "Filesystem",
+    "ManifestStore",
+    "RecoveryReport",
+    "recover",
 ]

@@ -1,0 +1,506 @@
+"""Background LSM-style compaction and retention for stream archives.
+
+PR 2's :func:`~repro.stream.writer.compact` is a single-shot,
+stop-the-world merge: fine for a finished run, wrong for a service that
+ingests forever.  This module adds the storage-engine answer —
+incremental merges of rotated segments while ingestion continues:
+
+* **Policies** decide *what* to merge.  :class:`SizeTieredPolicy`
+  merges runs of similarly-sized segments (the Cassandra/RocksDB
+  universal shape); :class:`LeveledPolicy` promotes the oldest
+  ``fanout`` segments of the fullest level into one segment at the next
+  level, so segment count stays ``O(fanout · log n)``.
+* :func:`merge_segments` performs one merge crash-safely: the merged
+  segment (and its ``.stiu`` sidecar) is written tmp + fsync + rename
+  under a fresh name, the manifest swap of the source entries for the
+  merged entry is a single committed generation, and only then are the
+  source files unlinked.  A crash at any boundary is repaired by
+  :func:`~repro.stream.manifest.recover` — an uncommitted merge output
+  is swept, committed-but-not-unlinked sources are swept, and no
+  sealed trip is ever lost or duplicated.
+* :class:`CompactionDaemon` runs a policy on a background thread
+  against the *same* :class:`~repro.stream.manifest.ManifestStore` the
+  writer commits through, so seals and merges interleave under one
+  lock while queries keep flowing.
+* :func:`gc_segments` is time-partitioned retention: whole cold
+  segments (``max_time`` before the cutoff) are dropped from the
+  manifest and deleted — the drop-a-day path of the production story.
+
+Record bytes are never rewritten, only regrouped, and trajectory-id
+order is preserved — so the canonical one-shot ``compact()`` output is
+byte-identical whatever merge schedule ran before it (the
+compaction-equivalence property suite pins this with SHA-256).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..core.archive import CompressedArchive, CompressedTrajectory
+from ..io.format import read_archive, read_header
+from .manifest import ManifestStore, SegmentInfo, StreamArchiveError
+
+
+# ----------------------------------------------------------------------
+# policies
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CompactionTask:
+    """One planned merge: which segments, and the level of the output."""
+
+    segments: tuple[SegmentInfo, ...]
+    target_level: int
+
+    @property
+    def names(self) -> list[str]:
+        return [s.name for s in self.segments]
+
+
+class CompactionPolicy:
+    """Decides which sealed segments to merge next (or nothing)."""
+
+    def plan(self, segments: list[SegmentInfo]) -> CompactionTask | None:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+@dataclass
+class SizeTieredPolicy(CompactionPolicy):
+    """Merge runs of similarly-sized segments, smallest tiers first.
+
+    Segments (in trajectory-id order) whose file sizes stay within
+    ``size_ratio`` of the run's smallest member form a tier; the first
+    run of at least ``min_merge`` members is merged (capped at
+    ``max_merge``).  Small fresh segments therefore coalesce quickly
+    while big merged ones are left alone until enough peers exist.
+    """
+
+    min_merge: int = 4
+    max_merge: int = 8
+    size_ratio: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.min_merge < 2:
+            raise ValueError("min_merge must be >= 2")
+        if self.max_merge < self.min_merge:
+            raise ValueError("max_merge must be >= min_merge")
+        if self.size_ratio < 1.0:
+            raise ValueError("size_ratio must be >= 1.0")
+
+    def plan(self, segments: list[SegmentInfo]) -> CompactionTask | None:
+        ordered = sorted(segments, key=lambda s: s.min_trajectory_id)
+        run: list[SegmentInfo] = []
+        run_min = 0
+        best: list[SegmentInfo] | None = None
+        for info in ordered:
+            if not run:
+                run, run_min = [info], info.file_bytes
+                continue
+            low = min(run_min, info.file_bytes)
+            high = max(
+                max(s.file_bytes for s in run), info.file_bytes
+            )
+            if low > 0 and high <= low * self.size_ratio:
+                run.append(info)
+                run_min = low
+                if len(run) >= self.max_merge:
+                    best = run
+                    break
+            else:
+                if len(run) >= self.min_merge:
+                    best = run
+                    break
+                run, run_min = [info], info.file_bytes
+        if best is None and len(run) >= self.min_merge:
+            best = run
+        if best is None:
+            return None
+        chosen = best[: self.max_merge]
+        return CompactionTask(
+            segments=tuple(chosen),
+            target_level=max(s.level for s in chosen) + 1,
+        )
+
+    def describe(self) -> str:
+        return (
+            f"size-tiered(min={self.min_merge}, max={self.max_merge}, "
+            f"ratio={self.size_ratio:g})"
+        )
+
+
+@dataclass
+class LeveledPolicy(CompactionPolicy):
+    """Promote the oldest ``fanout`` segments of an overfull level.
+
+    Fresh seals land at level 0; whenever any level below ``max_level``
+    holds at least ``fanout`` segments, its oldest ``fanout`` (by
+    trajectory id) merge into one segment at the next level.  Steady
+    state keeps fewer than ``fanout`` segments per level, so the open
+    segment count — and with it every LiveArchive refresh — stays
+    logarithmic in the trips ingested.
+    """
+
+    fanout: int = 4
+    max_level: int = 6
+
+    def __post_init__(self) -> None:
+        if self.fanout < 2:
+            raise ValueError("fanout must be >= 2")
+        if self.max_level < 1:
+            raise ValueError("max_level must be >= 1")
+
+    def plan(self, segments: list[SegmentInfo]) -> CompactionTask | None:
+        by_level: dict[int, list[SegmentInfo]] = {}
+        for info in segments:
+            by_level.setdefault(info.level, []).append(info)
+        for level in sorted(by_level):
+            if level >= self.max_level:
+                continue
+            members = by_level[level]
+            if len(members) >= self.fanout:
+                members.sort(key=lambda s: s.min_trajectory_id)
+                chosen = members[: self.fanout]
+                return CompactionTask(
+                    segments=tuple(chosen), target_level=level + 1
+                )
+        return None
+
+    def describe(self) -> str:
+        return f"leveled(fanout={self.fanout}, max_level={self.max_level})"
+
+
+POLICIES = {
+    "size-tiered": SizeTieredPolicy,
+    "leveled": LeveledPolicy,
+}
+
+
+def make_policy(name: str, **kwargs) -> CompactionPolicy:
+    """Instantiate a policy by its CLI name (``size-tiered``/``leveled``)."""
+    try:
+        factory = POLICIES[name]
+    except KeyError:
+        raise StreamArchiveError(
+            f"unknown compaction policy {name!r}; "
+            f"choose from {sorted(POLICIES)}"
+        ) from None
+    return factory(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# one merge
+# ----------------------------------------------------------------------
+def merge_segments(
+    store: ManifestStore,
+    task: CompactionTask,
+    *,
+    network=None,
+    grid_cells_per_side: int = 32,
+    time_partition_seconds: int = 1800,
+) -> SegmentInfo:
+    """Merge one task's segments into a single new segment, crash-safely.
+
+    Record bytes are preserved exactly (segments are read back with
+    full CRC verification and re-serialized unchanged), so downstream
+    one-shot compaction stays byte-identical.  With ``network`` the
+    merged segment gets a fresh ``.stiu`` sidecar before the manifest
+    swap, so live queries stay rebuild-free across compactions.
+    """
+    from .writer import write_segment_file
+
+    current = {s.name for s in store.segments()}
+    missing = [name for name in task.names if name not in current]
+    if missing:
+        raise StreamArchiveError(
+            f"compaction task is stale: {missing} no longer in the manifest"
+        )
+    trajectories: list[CompressedTrajectory] = []
+    for info in task.segments:
+        segment = read_archive(store.segment_path(info.name))
+        if segment.params != store.state.params:
+            raise StreamArchiveError(
+                f"segment {info.name} params differ from the manifest"
+            )
+        trajectories.extend(segment.trajectories)
+    trajectories.sort(key=lambda t: t.trajectory_id)
+    for first, second in zip(trajectories, trajectories[1:]):
+        if first.trajectory_id >= second.trajectory_id:
+            raise StreamArchiveError(
+                f"duplicate trajectory id {second.trajectory_id} across "
+                f"merged segments"
+            )
+    archive = CompressedArchive(
+        params=store.state.params, trajectories=trajectories
+    )
+    with store.lock:
+        name = store.allocate_segment_name()
+        size = write_segment_file(
+            archive,
+            store.segment_path(name),
+            provenance=store.state.provenance,
+            fs=store.fs,
+        )
+        if network is not None:
+            from ..query.sidecar import save_index
+            from ..query.stiu import StIUIndex
+
+            index = StIUIndex(
+                network,
+                archive,
+                grid_cells_per_side=grid_cells_per_side,
+                time_partition_seconds=time_partition_seconds,
+            )
+            save_index(
+                index,
+                store.segment_path(name),
+                sidecar_path=store.sidecar_path(name),
+            )
+        merged = SegmentInfo(
+            name=name,
+            trajectory_count=archive.trajectory_count,
+            instance_count=archive.instance_count,
+            min_trajectory_id=trajectories[0].trajectory_id,
+            max_trajectory_id=trajectories[-1].trajectory_id,
+            min_time=min(s.min_time for s in task.segments),
+            max_time=max(s.max_time for s in task.segments),
+            file_bytes=size,
+            level=task.target_level,
+        )
+        store.replace_segments(task.names, merged)
+    # sources are garbage once the swap generation is durable; a crash
+    # from here on only leaves unreferenced files for recover() to sweep
+    for info in task.segments:
+        _unlink_quietly(store, store.segment_path(info.name))
+        _unlink_quietly(store, store.sidecar_path(info.name))
+    return merged
+
+
+def _unlink_quietly(store: ManifestStore, path: Path) -> None:
+    try:
+        store.fs.unlink(path)
+    except FileNotFoundError:
+        pass
+
+
+# ----------------------------------------------------------------------
+# retention / TTL
+# ----------------------------------------------------------------------
+def gc_segments(
+    store: ManifestStore,
+    *,
+    drop_before: int | None = None,
+    ttl_seconds: int | None = None,
+    now: int | None = None,
+    dry_run: bool = False,
+) -> list[SegmentInfo]:
+    """Drop whole cold segments: every segment with ``max_time`` strictly
+    before the cutoff.
+
+    The cutoff is ``drop_before``, or ``now - ttl_seconds`` with ``now``
+    defaulting to the newest timestamp in the archive (the stream
+    clock — wall clock would silently empty a replayed historical
+    feed).  Aggregate stats shrink by each dropped segment's header
+    stats, so ``LiveArchive.stats`` and the manifest stay consistent.
+    Returns the dropped segments (``dry_run`` only reports them).
+    """
+    if (drop_before is None) == (ttl_seconds is None):
+        raise StreamArchiveError(
+            "specify exactly one of drop_before / ttl_seconds"
+        )
+    with store.lock:
+        segments = store.segments()
+        if drop_before is not None:
+            cutoff = drop_before
+        else:
+            if now is None:
+                if not segments:
+                    return []
+                now = max(s.max_time for s in segments)
+            cutoff = now - ttl_seconds
+        doomed = [s for s in segments if s.max_time < cutoff]
+        if not doomed or dry_run:
+            return doomed
+        dropped_stats = None
+        for info in doomed:
+            with open(store.segment_path(info.name), "rb") as stream:
+                header = read_header(stream)
+            if dropped_stats is None:
+                dropped_stats = header.stats
+            else:
+                dropped_stats.add(header.stats)
+        store.drop_segments(
+            [s.name for s in doomed], dropped_stats=dropped_stats
+        )
+    for info in doomed:
+        _unlink_quietly(store, store.segment_path(info.name))
+        _unlink_quietly(store, store.sidecar_path(info.name))
+    return doomed
+
+
+# ----------------------------------------------------------------------
+# the daemon
+# ----------------------------------------------------------------------
+@dataclass
+class CompactionStats:
+    """Work counters of one daemon (or one drain_compactions run)."""
+
+    merges: int = 0
+    segments_merged: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    cycles: int = 0
+
+    def note(self, task: CompactionTask, merged: SegmentInfo) -> None:
+        self.merges += 1
+        self.segments_merged += len(task.segments)
+        self.bytes_read += sum(s.file_bytes for s in task.segments)
+        self.bytes_written += merged.file_bytes
+
+
+class CompactionDaemon:
+    """Runs a compaction policy on a background thread.
+
+    Pass the :class:`~repro.stream.writer.AppendableArchiveWriter`
+    whose store it should share (merges then interleave safely with
+    seals), or a directory for standalone operation on a quiesced
+    archive.  ``network`` enables merged-segment sidecars; when a
+    writer is given its network is used automatically.
+
+    Use as a context manager, or ``start()``/``stop()``.  ``notify()``
+    wakes the thread immediately (the replay harness calls it after
+    every seal); otherwise it polls every ``interval`` seconds.  A
+    policy exception stops the thread and re-raises from :meth:`stop`.
+    """
+
+    def __init__(
+        self,
+        source,
+        *,
+        policy: CompactionPolicy | None = None,
+        network=None,
+        interval: float = 0.5,
+        grid_cells_per_side: int = 32,
+        time_partition_seconds: int = 1800,
+    ) -> None:
+        from .writer import AppendableArchiveWriter
+
+        if isinstance(source, AppendableArchiveWriter):
+            self.store = source.store
+            if network is None:
+                network = source.network
+        elif isinstance(source, ManifestStore):
+            self.store = source
+        else:
+            self.store = ManifestStore.open(source)
+        self.policy = policy or SizeTieredPolicy()
+        self.network = network
+        self.interval = interval
+        self.grid_cells_per_side = grid_cells_per_side
+        self.time_partition_seconds = time_partition_seconds
+        self.stats = CompactionStats()
+        self._wake = threading.Event()
+        self._halt = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._error: BaseException | None = None
+
+    # -- synchronous core ----------------------------------------------
+    def run_once(self) -> int:
+        """Apply the policy until it finds no work; returns merge count."""
+        merges = 0
+        while not self._halt.is_set():
+            task = self.policy.plan(self.store.segments())
+            if task is None:
+                break
+            merged = merge_segments(
+                self.store,
+                task,
+                network=self.network,
+                grid_cells_per_side=self.grid_cells_per_side,
+                time_partition_seconds=self.time_partition_seconds,
+            )
+            self.stats.note(task, merged)
+            merges += 1
+        self.stats.cycles += 1
+        return merges
+
+    # -- thread lifecycle ----------------------------------------------
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "CompactionDaemon":
+        if self._thread is not None:
+            raise StreamArchiveError("compaction daemon already started")
+        self._thread = threading.Thread(
+            target=self._loop, name="utcq-compaction", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def notify(self) -> None:
+        """Wake the daemon now (e.g. right after a segment seal)."""
+        self._wake.set()
+
+    def stop(self, *, timeout: float | None = 30.0) -> CompactionStats:
+        """Stop the thread, re-raise any background failure, return stats."""
+        self._halt.set()
+        self._wake.set()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+            self._thread = None
+        if self._error is not None:
+            error, self._error = self._error, None
+            raise error
+        return self.stats
+
+    def _loop(self) -> None:
+        try:
+            while not self._halt.is_set():
+                self.run_once()
+                self._wake.wait(timeout=self.interval)
+                self._wake.clear()
+            # drain once more so a final notify-then-stop isn't lost
+            self.run_once()
+        except BaseException as error:  # surfaced by stop()
+            self._error = error
+
+    def __enter__(self) -> "CompactionDaemon":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def drain_compactions(
+    directory_or_store,
+    *,
+    policy: CompactionPolicy | None = None,
+    network=None,
+    **kwargs,
+) -> CompactionStats:
+    """Run a policy to quiescence synchronously (the CLI's non-daemon
+    mode); returns the work counters."""
+    daemon = CompactionDaemon(
+        directory_or_store, policy=policy, network=network, **kwargs
+    )
+    daemon.run_once()
+    return daemon.stats
+
+
+__all__ = [
+    "CompactionDaemon",
+    "CompactionPolicy",
+    "CompactionStats",
+    "CompactionTask",
+    "LeveledPolicy",
+    "POLICIES",
+    "SizeTieredPolicy",
+    "drain_compactions",
+    "gc_segments",
+    "make_policy",
+    "merge_segments",
+]

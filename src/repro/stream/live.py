@@ -1,4 +1,4 @@
-"""Query view over a growing stream archive.
+"""Query view over a growing (and background-compacting) stream archive.
 
 :class:`LiveArchive` unions the sealed segments of an
 :class:`~repro.stream.writer.AppendableArchiveWriter` directory behind
@@ -8,17 +8,30 @@ duck type as :class:`~repro.core.archive.CompressedArchive` and
 :class:`~repro.io.reader.FileBackedArchive`.  A
 :class:`~repro.query.stiu.StIUIndex` and
 :class:`~repro.query.queries.UTCQQueryProcessor` built over it answer
-where/when/range queries while the writer keeps appending.
+where/when/range queries while the writer keeps appending and the
+compaction daemon keeps merging.
 
-Consistency model: a ``LiveArchive`` is a snapshot of the segments
-sealed at :meth:`refresh` time.  Sealed segments are immutable, so the
-snapshot never changes underneath an index built on it; call
-:meth:`refresh` (and rebuild the index) to pick up newly sealed
-segments.  The unsealed buffer inside the writer is never visible.
+Consistency model: a ``LiveArchive`` is a snapshot of the manifest
+generation read at :meth:`refresh` time.  Segment files are immutable,
+so the snapshot never changes underneath an index built on it; call
+:meth:`refresh` to pick up newly sealed segments *and* compaction
+results (merged segments replace their sources in the id map, while
+the replaced readers are retired — kept open until :meth:`close` so
+queries in flight on an older snapshot still complete).  The unsealed
+buffer inside the writer is never visible.
+
+Indexing: segments carry ``.stiu`` sidecars written at rotation and
+merge time, so :meth:`build_index` *loads* per-segment indexes and
+merges them instead of decoding every record — an open of a sidecar-ed
+archive never triggers a StIU rebuild (``sidecar_misses`` counts the
+exceptions, e.g. segments sealed with ``write_sidecars=False``).
+Per-segment indexes are cached by segment name, so a refresh only
+pays for segments it has not seen.
 """
 
 from __future__ import annotations
 
+import threading
 from pathlib import Path
 
 from ..core.archive import (
@@ -28,7 +41,14 @@ from ..core.archive import (
 )
 from ..core.decoder import DecodeSpanCache
 from ..io.reader import DEFAULT_CACHE_SIZE, ArchiveClosedError, FileBackedArchive
-from .writer import SEGMENT_DIR, StreamArchiveError, load_manifest, manifest_segments
+from .manifest import (
+    SEGMENT_DIR,
+    SIDECAR_SUFFIX,
+    StreamArchiveError,
+    load_manifest,
+    manifest_segments,
+    params_from_dict,
+)
 
 
 class _LiveTrajectorySequence:
@@ -58,12 +78,29 @@ class LiveArchive:
         self.directory = Path(directory)
         self.cache_size = cache_size
         self.verify_crc = verify_crc
-        self._segments: list[FileBackedArchive] = []
-        self._segment_names: set[str] = set()
+        self._archives: dict[str, FileBackedArchive] = {}
+        self._levels: dict[str, int] = {}
+        self._retired: list[FileBackedArchive] = []
         self._id_to_segment: dict[int, FileBackedArchive] = {}
         self._params: CompressionParams | None = None
         self._provenance: dict[str, str] = {}
         self._closed = False
+        self.generation = 0
+        self._refresh_lock = threading.Lock()
+        # per-segment StIU indexes, cached by segment name (immutable
+        # files -> immutable indexes); cleared entry-wise as compaction
+        # retires segments.  _index_key pins the grid parameters the
+        # cache was built with.
+        self._segment_indexes: dict[str, object] = {}
+        self._index_key: tuple[int, int] | None = None
+        #: how many segment indexes came from .stiu sidecars vs. were
+        #: rebuilt by decoding records (cumulative over this instance);
+        #: ``sidecar_stale`` counts segments whose files were compacted
+        #: away under this snapshot and had to be indexed from the
+        #: still-open reader
+        self.sidecar_hits = 0
+        self.sidecar_misses = 0
+        self.sidecar_stale = 0
         # Decoded spans survive refresh(): sealed segments are immutable,
         # so trajectories decoded before a refresh stay valid after it.
         # Query processors built over this archive should pass this cache
@@ -93,7 +130,7 @@ class LiveArchive:
     def close(self) -> None:
         self._check_open()
         self._closed = True
-        for segment in self._segments:
+        for segment in list(self._archives.values()) + self._retired:
             if not segment.closed:
                 segment.close()
 
@@ -108,37 +145,55 @@ class LiveArchive:
     # snapshot maintenance
     # ------------------------------------------------------------------
     def refresh(self) -> int:
-        """Open any newly sealed segments; returns how many were added."""
-        self._check_open()
-        manifest = load_manifest(self.directory)
-        params = manifest["params"]
-        self._provenance = dict(manifest.get("provenance", {}))
-        added = 0
-        for info in manifest_segments(manifest):
-            if info.name in self._segment_names:
-                continue
-            segment = FileBackedArchive.open(
-                self.directory / SEGMENT_DIR / info.name,
-                cache_size=self.cache_size,
-                verify_crc=self.verify_crc,
-            )
-            if self._params is None:
-                self._params = segment.params
-            elif segment.params != self._params:
-                segment.close()
-                raise StreamArchiveError(
-                    f"segment {info.name} params differ from the archive's"
-                )
-            self._segments.append(segment)
-            self._segment_names.add(info.name)
-            for trajectory_id in segment.trajectory_ids():
-                self._id_to_segment[trajectory_id] = segment
-            added += 1
-        if self._params is None and params:
-            from .writer import _params_from_dict
+        """Adopt the manifest's current segment set; returns how many
+        segments were newly opened.
 
-            self._params = _params_from_dict(params)
-        return added
+        Newly sealed segments are opened; segments compaction removed
+        are retired (their readers stay open for queries already in
+        flight and are closed with the archive).  The id map is rebuilt
+        atomically, so concurrent :meth:`trajectory` calls see either
+        the old snapshot or the new one, never a mix.
+        """
+        self._check_open()
+        with self._refresh_lock:
+            manifest = load_manifest(self.directory)
+            self._provenance = dict(manifest.get("provenance", {}))
+            self.generation = manifest.get("generation", 0)
+            infos = manifest_segments(manifest)
+            current = {info.name for info in infos}
+            added = 0
+            for info in infos:
+                if info.name in self._archives:
+                    self._levels[info.name] = info.level
+                    continue
+                segment = FileBackedArchive.open(
+                    self.directory / SEGMENT_DIR / info.name,
+                    cache_size=self.cache_size,
+                    verify_crc=self.verify_crc,
+                )
+                if self._params is None:
+                    self._params = segment.params
+                elif segment.params != self._params:
+                    segment.close()
+                    raise StreamArchiveError(
+                        f"segment {info.name} params differ from the "
+                        f"archive's"
+                    )
+                self._archives[info.name] = segment
+                self._levels[info.name] = info.level
+                added += 1
+            for name in sorted(set(self._archives) - current):
+                self._retired.append(self._archives.pop(name))
+                self._levels.pop(name, None)
+                self._segment_indexes.pop(name, None)
+            id_map: dict[int, FileBackedArchive] = {}
+            for segment in self._archives.values():
+                for trajectory_id in segment.trajectory_ids():
+                    id_map[trajectory_id] = segment
+            self._id_to_segment = id_map
+            if self._params is None and manifest["params"]:
+                self._params = params_from_dict(manifest["params"])
+            return added
 
     # ------------------------------------------------------------------
     # CompressedArchive-compatible surface
@@ -154,7 +209,7 @@ class LiveArchive:
     @property
     def stats(self) -> CompressionStats:
         total = CompressionStats()
-        for segment in self._segments:
+        for segment in self._archives.values():
             total.add(segment.stats)
         return total
 
@@ -164,15 +219,24 @@ class LiveArchive:
 
     @property
     def trajectory_count(self) -> int:
-        return sum(s.trajectory_count for s in self._segments)
+        return len(self._id_to_segment)
 
     @property
     def instance_count(self) -> int:
-        return sum(s.instance_count for s in self._segments)
+        return sum(s.instance_count for s in self._archives.values())
 
     @property
     def segment_count(self) -> int:
-        return len(self._segments)
+        return len(self._archives)
+
+    @property
+    def retired_count(self) -> int:
+        """Readers kept open for old snapshots after compaction."""
+        return len(self._retired)
+
+    def segment_levels(self) -> dict[str, int]:
+        """Current segment names mapped to their compaction level."""
+        return dict(self._levels)
 
     @property
     def trajectories(self) -> _LiveTrajectorySequence:
@@ -190,8 +254,72 @@ class LiveArchive:
         return segment.trajectory(trajectory_id)
 
     # ------------------------------------------------------------------
-    # querying
+    # indexing / querying
     # ------------------------------------------------------------------
+    def build_index(
+        self,
+        network,
+        *,
+        grid_cells_per_side: int = 32,
+        time_partition_seconds: int = 1800,
+    ):
+        """A StIU index over the current snapshot, sidecar-first.
+
+        Each segment contributes its persisted ``.stiu`` index when one
+        exists (written at rotation/merge time); only segments without
+        a usable sidecar are decoded and rebuilt.  Per-segment indexes
+        are cached by name, so successive calls after a refresh pay
+        only for unseen segments.  The merged index is a fresh object
+        each call (cheap — dict unions over the cached parts).
+        """
+        from ..query.sidecar import load_or_build_index
+        from ..query.stiu import StIUIndex
+
+        self._check_open()
+        with self._refresh_lock:
+            key = (grid_cells_per_side, time_partition_seconds)
+            if self._index_key != key:
+                self._segment_indexes.clear()
+                self._index_key = key
+            parts = []
+            for name, segment in sorted(self._archives.items()):
+                part = self._segment_indexes.get(name)
+                if part is None:
+                    path = self.directory / SEGMENT_DIR / name
+                    try:
+                        part, from_sidecar = load_or_build_index(
+                            network,
+                            segment,
+                            path,
+                            sidecar_path=Path(str(path) + SIDECAR_SUFFIX),
+                            grid_cells_per_side=grid_cells_per_side,
+                            time_partition_seconds=time_partition_seconds,
+                        )
+                        if from_sidecar:
+                            self.sidecar_hits += 1
+                        else:
+                            self.sidecar_misses += 1
+                    except OSError:
+                        # a concurrent merge unlinked this segment after
+                        # the snapshot was taken; its reader is still
+                        # open, so index the records through it
+                        part = StIUIndex(
+                            network,
+                            segment,
+                            grid_cells_per_side=grid_cells_per_side,
+                            time_partition_seconds=time_partition_seconds,
+                        )
+                        self.sidecar_stale += 1
+                    self._segment_indexes[name] = part
+                parts.append(part)
+            return StIUIndex.merged(
+                network,
+                self,
+                parts,
+                grid_cells_per_side=grid_cells_per_side,
+                time_partition_seconds=time_partition_seconds,
+            )
+
     def query_processor(
         self,
         network,
@@ -199,20 +327,18 @@ class LiveArchive:
         grid_cells_per_side: int = 32,
         time_partition_seconds: int = 1800,
     ):
-        """Build a fresh StIU index over the current snapshot and return
-        a query processor sharing this archive's decode-span cache.
+        """Build (or assemble from sidecars) a StIU index over the
+        current snapshot and return a query processor sharing this
+        archive's decode-span cache.
 
-        Call again after :meth:`refresh` to serve newly sealed segments;
-        spans decoded through the previous processor stay warm because
-        the cache outlives the index rebuild.
+        Call again after :meth:`refresh` to serve newly sealed or
+        freshly merged segments; spans decoded through the previous
+        processor stay warm because the cache outlives the index.
         """
         from ..query.queries import UTCQQueryProcessor
-        from ..query.stiu import StIUIndex
 
-        self._check_open()
-        index = StIUIndex(
+        index = self.build_index(
             network,
-            self,
             grid_cells_per_side=grid_cells_per_side,
             time_partition_seconds=time_partition_seconds,
         )

@@ -77,6 +77,7 @@ def replay(
     feeds: Mapping[Hashable, RawTrajectory] | Sequence[RawTrajectory],
     *,
     writer: AppendableArchiveWriter | None = None,
+    daemon=None,
     speed: float = 0.0,
     on_trip: Callable[[UncertainTrajectory], None] | None = None,
     sleep: Callable[[float], None] = time.sleep,
@@ -90,7 +91,11 @@ def replay(
     :class:`~repro.stream.live.LiveArchive` can be queried, mid-replay);
     the writer is flushed via :meth:`~AppendableArchiveWriter.
     seal_segment` at the end but **not** closed — the caller owns it.
-    ``on_trip`` is called with every sealed trip.
+    ``daemon`` is an optional
+    :class:`~repro.stream.compaction.CompactionDaemon` to
+    :meth:`~repro.stream.compaction.CompactionDaemon.notify` whenever a
+    segment rotates, so background merges chase ingestion instead of
+    polling.  ``on_trip`` is called with every sealed trip.
     """
     if speed < 0:
         raise ValueError(f"speed must be >= 0, got {speed}")
@@ -104,7 +109,10 @@ def replay(
     def deliver(trips: Iterable[UncertainTrajectory]) -> None:
         for trip in trips:
             if writer is not None:
+                before = writer.segment_count
                 writer.append(trip)
+                if daemon is not None and writer.segment_count != before:
+                    daemon.notify()
             if on_trip is not None:
                 on_trip(trip)
 
@@ -121,7 +129,8 @@ def replay(
         deliver(sessionizer.observe(vehicle, point))
     deliver(sessionizer.flush())
     if writer is not None:
-        writer.seal_segment()
+        if writer.seal_segment() is not None and daemon is not None:
+            daemon.notify()
     return ReplayReport(
         points=points,
         trips_sealed=sessionizer.counters.trips_sealed - sealed_before,

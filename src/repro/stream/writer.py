@@ -1,4 +1,5 @@
-"""Appendable archives: rotating ``.utcq`` segments plus a JSON manifest.
+"""Appendable archives: rotating ``.utcq`` segments plus a crash-safe
+versioned manifest.
 
 The batch ``.utcq`` format is write-once (header counts, directory and
 dataset-wide stats are all computed up front), which is exactly wrong
@@ -9,40 +10,44 @@ stores do:
 * sealed trips are compressed immediately (deterministically, via the
   per-trajectory RNG) and buffered;
 * every ``segment_max_trajectories`` trips the buffer is written as an
-  ordinary, self-contained ``.utcq`` **segment** under ``segments/``;
-* ``manifest.json`` is rewritten atomically (tmp + ``os.replace``)
-  after each seal, recording the segment list, shared compression
-  params, aggregate stats, and provenance.
+  ordinary, self-contained ``.utcq`` **segment** under ``segments/``
+  (tmp + fsync + rename, so a torn segment is never visible under its
+  final name), together with a per-segment ``.stiu`` index sidecar so
+  live queries never rebuild an index;
+* the :class:`~repro.stream.manifest.ManifestStore` commits a new
+  manifest generation after each seal — atomic rename, durable fsyncs,
+  monotonic generation numbers.
 
 Every segment is a valid archive readable by the standard
 :class:`~repro.io.reader.FileBackedArchive`, so a
 :class:`~repro.stream.live.LiveArchive` can union the sealed segments
-for querying *while ingestion continues*.  :func:`compact` later merges
-all segments into one canonical archive byte-compatible with
-:mod:`repro.io.format` — indistinguishable from a batch-written file.
+for querying *while ingestion continues*, and a
+:class:`~repro.stream.compaction.CompactionDaemon` can merge rotated
+segments in the background through the shared store.  :func:`compact`
+merges all segments into one archive byte-compatible with
+:mod:`repro.io.format` — indistinguishable from a batch-written file,
+whatever compaction history the segments went through.
 
 Because ingestion cannot know the dataset-wide maximum start time the
 batch pipeline derives ``t0_bits`` from, the writer fixes ``t0_bits``
 (default 32) up front; the parameter travels in the header, so readers,
 indexes and queries are unaffected.
 
-A writer re-opened on an existing directory resumes appending: the
-manifest is the recovery point (an interrupted run loses at most the
-unsealed buffer, never a sealed segment).
+A writer re-opened on an existing directory first runs
+:func:`~repro.stream.manifest.recover` (adopting or deleting any
+orphan a crash left behind) and then resumes appending: the manifest is
+the recovery point, and an interrupted run loses at most the unsealed
+buffer, never a sealed segment.
 """
 
 from __future__ import annotations
 
-import json
-import os
-from dataclasses import dataclass
 from pathlib import Path
 
 from ..bits.bitio import uint_width
 from ..core.archive import (
     CompressedArchive,
     CompressedTrajectory,
-    ComponentBits,
     CompressionParams,
     CompressionStats,
 )
@@ -54,119 +59,60 @@ from ..core.compressor import (
 from ..io.format import read_archive, write_archive
 from ..network.graph import RoadNetwork
 from ..trajectories.model import UncertainTrajectory
-
-MANIFEST_NAME = "manifest.json"
-SEGMENT_DIR = "segments"
-MANIFEST_FORMAT = "utcq-stream-manifest"
-MANIFEST_VERSION = 1
-
-_COMPONENT_FIELDS = (
-    "time", "edge", "distance", "flags", "probability", "overhead",
+from .manifest import (
+    MANIFEST_FORMAT,
+    MANIFEST_NAME,
+    MANIFEST_VERSION,
+    SEGMENT_DIR,
+    Filesystem,
+    ManifestStore,
+    RecoveryReport,
+    SegmentInfo,
+    StreamArchiveError,
+    load_manifest,
+    manifest_segments,
+    params_from_dict as _params_from_dict,
+    params_to_dict as _params_to_dict,
+    recover,
+    stats_from_list as _stats_from_list,
+    stats_to_list as _stats_to_list,
 )
 
-
-class StreamArchiveError(Exception):
-    """Raised when a stream-archive directory or manifest is invalid."""
-
-
-# ----------------------------------------------------------------------
-# manifest (de)serialization helpers
-# ----------------------------------------------------------------------
-def _params_to_dict(params: CompressionParams) -> dict:
-    return {
-        "eta_distance": params.eta_distance,
-        "eta_probability": params.eta_probability,
-        "default_interval": params.default_interval,
-        "symbol_width": params.symbol_width,
-        "t0_bits": params.t0_bits,
-        "pivot_count": params.pivot_count,
-    }
+__all__ = [
+    "AppendableArchiveWriter",
+    "MANIFEST_FORMAT",
+    "MANIFEST_NAME",
+    "MANIFEST_VERSION",
+    "SEGMENT_DIR",
+    "SegmentInfo",
+    "StreamArchiveError",
+    "compact",
+    "load_manifest",
+    "manifest_segments",
+    "write_segment_file",
+]
 
 
-def _params_from_dict(data: dict) -> CompressionParams:
-    try:
-        return CompressionParams(**data)
-    except TypeError as error:
-        raise StreamArchiveError(f"bad params in manifest: {error}") from None
+def write_segment_file(
+    archive: CompressedArchive,
+    path,
+    *,
+    provenance: dict[str, str],
+    fs: Filesystem,
+) -> int:
+    """Write ``archive`` to ``path`` atomically; returns the file size.
 
-
-def _stats_to_list(stats: CompressionStats) -> list[int]:
-    return [getattr(stats.original, f) for f in _COMPONENT_FIELDS] + [
-        getattr(stats.compressed, f) for f in _COMPONENT_FIELDS
-    ]
-
-
-def _stats_from_list(values: list[int]) -> CompressionStats:
-    if len(values) != 12:
-        raise StreamArchiveError(
-            f"manifest stats must hold 12 values, got {len(values)}"
-        )
-    return CompressionStats(
-        original=ComponentBits(*values[:6]),
-        compressed=ComponentBits(*values[6:]),
-    )
-
-
-@dataclass(frozen=True)
-class SegmentInfo:
-    """One sealed segment as recorded in the manifest."""
-
-    name: str
-    trajectory_count: int
-    instance_count: int
-    min_trajectory_id: int
-    max_trajectory_id: int
-    min_time: int
-    max_time: int
-    file_bytes: int
-
-    def as_dict(self) -> dict:
-        return {
-            "name": self.name,
-            "trajectory_count": self.trajectory_count,
-            "instance_count": self.instance_count,
-            "min_trajectory_id": self.min_trajectory_id,
-            "max_trajectory_id": self.max_trajectory_id,
-            "min_time": self.min_time,
-            "max_time": self.max_time,
-            "file_bytes": self.file_bytes,
-        }
-
-    @classmethod
-    def from_dict(cls, data: dict) -> "SegmentInfo":
-        try:
-            return cls(**data)
-        except TypeError as error:
-            raise StreamArchiveError(
-                f"bad segment entry in manifest: {error}"
-            ) from None
-
-
-def load_manifest(directory) -> dict:
-    """Read and validate a stream-archive manifest; returns its dict."""
-    path = Path(directory) / MANIFEST_NAME
-    try:
-        with open(path, encoding="utf-8") as stream:
-            manifest = json.load(stream)
-    except FileNotFoundError:
-        raise StreamArchiveError(
-            f"no stream archive at {directory} (missing {MANIFEST_NAME})"
-        ) from None
-    except json.JSONDecodeError as error:
-        raise StreamArchiveError(f"corrupt manifest {path}: {error}") from None
-    if manifest.get("format") != MANIFEST_FORMAT:
-        raise StreamArchiveError(
-            f"{path} is not a stream-archive manifest"
-        )
-    if manifest.get("version") != MANIFEST_VERSION:
-        raise StreamArchiveError(
-            f"unsupported manifest version {manifest.get('version')}"
-        )
-    return manifest
-
-
-def manifest_segments(manifest: dict) -> list[SegmentInfo]:
-    return [SegmentInfo.from_dict(entry) for entry in manifest["segments"]]
+    The bytes land under ``path + '.tmp'`` first, are fsynced, renamed
+    over the final name, and the parent directory is fsynced — the
+    sequence whose every boundary the crash-injection suite kills at.
+    """
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    size = write_archive(archive, tmp, provenance=provenance)
+    fs.fsync_path(tmp)
+    fs.replace(tmp, path)
+    fs.fsync_dir(path.parent)
+    return size
 
 
 class AppendableArchiveWriter:
@@ -178,6 +124,11 @@ class AppendableArchiveWriter:
         with AppendableArchiveWriter(path, network, default_interval=10) as w:
             for trip in trips:
                 w.append(trip)
+
+    ``write_sidecars`` (default on) builds the per-segment StIU index
+    at rotation time and persists it as ``<segment>.stiu``, so a
+    :class:`~repro.stream.live.LiveArchive` never pays an index rebuild;
+    pass ``False`` to trade first-query latency for ingest throughput.
     """
 
     def __init__(
@@ -193,12 +144,16 @@ class AppendableArchiveWriter:
         segment_max_trajectories: int = 64,
         t0_bits: int = 32,
         provenance: dict[str, str] | None = None,
+        write_sidecars: bool = True,
+        grid_cells_per_side: int = 32,
+        time_partition_seconds: int = 1800,
+        fs: Filesystem | None = None,
     ) -> None:
         if segment_max_trajectories < 1:
             raise ValueError("segment_max_trajectories must be >= 1")
         self.directory = Path(directory)
         self.segments_directory = self.directory / SEGMENT_DIR
-        self.segments_directory.mkdir(parents=True, exist_ok=True)
+        self.network = network
         self._compressor = UTCQCompressor(
             network=network,
             default_interval=default_interval,
@@ -217,27 +172,30 @@ class AppendableArchiveWriter:
         )
         self.segment_max_trajectories = segment_max_trajectories
         self.provenance = dict(provenance or {})
+        self.write_sidecars = write_sidecars
+        self.grid_cells_per_side = grid_cells_per_side
+        self.time_partition_seconds = time_partition_seconds
         self._pending: list[CompressedTrajectory] = []
-        self._segments: list[SegmentInfo] = []
-        self._stats = CompressionStats()
         self._last_id = -1
         self._closed = False
+        self.last_recovery: RecoveryReport | None = None
         if (self.directory / MANIFEST_NAME).exists():
+            self.store = ManifestStore.open(self.directory, fs=fs)
             self._resume()
         else:
-            self._write_manifest()
+            self.store = ManifestStore.create(
+                self.directory, self.params, self.provenance, fs=fs
+            )
 
     def _resume(self) -> None:
-        manifest = load_manifest(self.directory)
-        existing = _params_from_dict(manifest["params"])
-        if existing != self.params:
+        store = self.store
+        if store.state.params != self.params:
             raise StreamArchiveError(
                 f"cannot append to {self.directory}: existing params "
-                f"{existing} differ from writer params {self.params}"
+                f"{store.state.params} differ from writer params "
+                f"{self.params}"
             )
-        self._segments = manifest_segments(manifest)
-        self._stats = _stats_from_list(manifest["stats"])
-        existing_provenance = dict(manifest.get("provenance", {}))
+        existing_provenance = dict(store.state.provenance)
         if not self.provenance:
             self.provenance = existing_provenance
         elif existing_provenance and self.provenance != existing_provenance:
@@ -250,8 +208,11 @@ class AppendableArchiveWriter:
                 f"{existing_provenance} differs from the writer's "
                 f"{self.provenance}"
             )
-        if self._segments:
-            self._last_id = max(s.max_trajectory_id for s in self._segments)
+        # reconcile the directory with the manifest: a crash between a
+        # segment rename and its manifest commit leaves an orphan that
+        # must be adopted (its trips are sealed!) or swept
+        self.last_recovery = recover(store)
+        self._last_id = store.last_trajectory_id
 
     # ------------------------------------------------------------------
     # accounting
@@ -267,19 +228,28 @@ class AppendableArchiveWriter:
 
     @property
     def segment_count(self) -> int:
-        return len(self._segments)
+        return len(self.store.segments())
 
     @property
     def sealed_trajectory_count(self) -> int:
-        return sum(s.trajectory_count for s in self._segments)
+        return sum(s.trajectory_count for s in self.store.segments())
+
+    @property
+    def generation(self) -> int:
+        """Manifest generation last committed for this directory."""
+        return self.store.state.generation
 
     @property
     def stats(self) -> CompressionStats:
-        """Aggregate stats over every trip sealed so far (incl. pending)."""
-        return self._stats
+        """Aggregate stats over every sealed trip (plus the buffer)."""
+        total = CompressionStats()
+        total.add(self.store.state.stats)
+        for trajectory in self._pending:
+            total.add(trajectory.stats)
+        return total
 
     def segments(self) -> list[SegmentInfo]:
-        return list(self._segments)
+        return self.store.segments()
 
     # ------------------------------------------------------------------
     # ingestion
@@ -300,7 +270,6 @@ class AppendableArchiveWriter:
         )
         self._last_id = trajectory.trajectory_id
         self._pending.append(compressed)
-        self._stats.add(compressed.stats)
         if len(self._pending) >= self.segment_max_trajectories:
             self.seal_segment()
 
@@ -310,27 +279,52 @@ class AppendableArchiveWriter:
             raise StreamArchiveError("writer is closed")
         if not self._pending:
             return None
-        name = f"seg-{len(self._segments):05d}.utcq"
+        store = self.store
         archive = CompressedArchive(
             params=self.params, trajectories=list(self._pending)
         )
-        size = write_archive(
-            archive, self.segments_directory / name, provenance=self.provenance
-        )
-        info = SegmentInfo(
-            name=name,
-            trajectory_count=archive.trajectory_count,
-            instance_count=archive.instance_count,
-            min_trajectory_id=self._pending[0].trajectory_id,
-            max_trajectory_id=self._pending[-1].trajectory_id,
-            min_time=min(t.start_time for t in self._pending),
-            max_time=max(t.end_time for t in self._pending),
-            file_bytes=size,
-        )
-        self._segments.append(info)
+        with store.lock:
+            name = store.allocate_segment_name()
+            size = write_segment_file(
+                archive,
+                store.segment_path(name),
+                provenance=self.provenance,
+                fs=store.fs,
+            )
+            if self.write_sidecars:
+                self._write_segment_sidecar(archive, name)
+            info = SegmentInfo(
+                name=name,
+                trajectory_count=archive.trajectory_count,
+                instance_count=archive.instance_count,
+                min_trajectory_id=self._pending[0].trajectory_id,
+                max_trajectory_id=self._pending[-1].trajectory_id,
+                min_time=min(t.start_time for t in self._pending),
+                max_time=max(t.end_time for t in self._pending),
+                file_bytes=size,
+                level=0,
+            )
+            store.add_segment(info, added_stats=archive.stats)
         self._pending.clear()
-        self._write_manifest()
         return info
+
+    def _write_segment_sidecar(
+        self, archive: CompressedArchive, name: str
+    ) -> None:
+        from ..query.sidecar import save_index
+        from ..query.stiu import StIUIndex
+
+        index = StIUIndex(
+            self.network,
+            archive,
+            grid_cells_per_side=self.grid_cells_per_side,
+            time_partition_seconds=self.time_partition_seconds,
+        )
+        save_index(
+            index,
+            self.store.segment_path(name),
+            sidecar_path=self.store.sidecar_path(name),
+        )
 
     def close(self) -> None:
         """Seal the remaining buffer and stop accepting trips."""
@@ -345,27 +339,9 @@ class AppendableArchiveWriter:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
-    # ------------------------------------------------------------------
-    def _write_manifest(self) -> None:
-        manifest = {
-            "format": MANIFEST_FORMAT,
-            "version": MANIFEST_VERSION,
-            "params": _params_to_dict(self.params),
-            "provenance": self.provenance,
-            "stats": _stats_to_list(self._stats),
-            "trajectory_count": self.sealed_trajectory_count,
-            "instance_count": sum(s.instance_count for s in self._segments),
-            "segments": [s.as_dict() for s in self._segments],
-        }
-        tmp = self.directory / (MANIFEST_NAME + ".tmp")
-        with open(tmp, "w", encoding="utf-8") as stream:
-            json.dump(manifest, stream, indent=2, sort_keys=True)
-            stream.write("\n")
-        os.replace(tmp, self.directory / MANIFEST_NAME)
-
 
 # ----------------------------------------------------------------------
-# compaction
+# one-shot compaction to a canonical batch archive
 # ----------------------------------------------------------------------
 def compact(
     directory,
@@ -382,10 +358,12 @@ def compact(
     are concatenated in trajectory-id order, and the result is written
     through the ordinary batch serializer — the output is
     byte-compatible with :func:`repro.io.format.write_archive` and
-    carries the manifest's provenance (plus ``compacted_segments``).
-    Returns ``(file_bytes, trajectory_count)``.  The segment files are
-    left in place; delete the directory once the compacted archive is
-    verified.
+    carries the manifest's provenance (plus ``compacted_trajectories``).
+    Because background compaction preserves record bytes and id order,
+    the output is byte-identical whatever merge schedule the segments
+    went through.  Returns ``(file_bytes, trajectory_count)``.  The
+    segment files are left in place; delete the directory once the
+    compacted archive is verified.
 
     With ``network`` the compacted archive also gets a persistent StIU
     sidecar (``<output>.stiu``), so the first query against it skips
@@ -415,7 +393,10 @@ def compact(
     trajectories.sort(key=lambda t: t.trajectory_id)
     archive = CompressedArchive(params=params, trajectories=trajectories)
     provenance = dict(manifest.get("provenance", {}))
-    provenance["compacted_segments"] = str(len(segments))
+    # Deliberately schedule-invariant: the segment count depends on how
+    # many background merges ran, and would break byte-identity of the
+    # compacted output across compaction histories.
+    provenance["compacted_trajectories"] = str(len(trajectories))
     provenance.update(extra_provenance or {})
     size = write_archive(archive, output, provenance=provenance)
     if network is not None:
