@@ -35,6 +35,24 @@ from .io.reader import FileBackedArchive
 PROVENANCE_GENERATOR = "repro.load_dataset"
 
 
+class CliError(SystemExit):
+    """Operator-facing failure: one line on stderr, exit status 2.
+
+    Subclasses :class:`SystemExit` so it propagates like one, but
+    carries status 2 — distinguishing "the request cannot be served"
+    (bad path, malformed input, corrupt archive) from a crash (1)
+    and success (0), which is what scripts wrapping the CLI key on.
+    """
+
+    def __init__(self, message: str) -> None:
+        self.message = f"error: {message}"
+        print(self.message, file=sys.stderr)
+        super().__init__(2)
+
+    def __str__(self) -> str:
+        return self.message
+
+
 def _add_dataset_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--profile",
@@ -257,6 +275,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=4,
         help="process-pool size for the sharded scenario (default: 4)",
     )
+    serve_bench.add_argument(
+        "--chaos", action="store_true",
+        help="instead of the throughput scenarios, serve the request "
+        "stream through the supervised QueryService while injecting "
+        "worker kills, response delays, and one on-disk shard "
+        "corruption; records availability and p50/p99 latency",
+    )
+    serve_bench.add_argument(
+        "--duration", type=float, default=30.0,
+        help="chaos mode: seconds to keep the service under load "
+        "(default: 30)",
+    )
+    serve_bench.add_argument(
+        "--clients", type=int, default=3,
+        help="chaos mode: concurrent client threads (default: 3)",
+    )
+    serve_bench.add_argument(
+        "--deadline", type=float, default=5.0,
+        help="chaos mode: per-request deadline in seconds (default: 5)",
+    )
 
     bench = commands.add_parser(
         "bench",
@@ -430,8 +468,8 @@ def _network_from_provenance(archive: FileBackedArchive, args):
         else _int_or_none(provenance.get("network_scale"))
     )
     if profile_name is None or seed is None:
-        raise SystemExit(
-            "error: the archive carries no dataset provenance; pass "
+        raise CliError(
+            "the archive carries no dataset provenance; pass "
             "--profile and --dataset-seed (and --network-scale) explicitly"
         )
     if scale is None:
@@ -446,7 +484,7 @@ def _int_or_none(text: str | None) -> int | None:
 def _parse_pair(text: str, what: str) -> tuple[int, int]:
     parts = text.split(",")
     if len(parts) != 2:
-        raise SystemExit(f"error: {what} must be 'a,b', got {text!r}")
+        raise CliError(f"{what} must be 'a,b', got {text!r}")
     return int(parts[0]), int(parts[1])
 
 
@@ -454,9 +492,9 @@ def _open_archive(path: str) -> FileBackedArchive:
     try:
         return FileBackedArchive.open(path)
     except FileNotFoundError:
-        raise SystemExit(f"error: no such archive: {path}")
+        raise CliError(f"no such archive: {path}")
     except ArchiveFormatError as error:
-        raise SystemExit(f"error: {path}: {error}")
+        raise CliError(f"{path}: {error}")
 
 
 # ----------------------------------------------------------------------
@@ -471,7 +509,7 @@ def cmd_compress(args) -> int:
     # fail before compressing, not after
     parent = os.path.dirname(os.path.abspath(args.output)) or "."
     if not os.path.isdir(parent):
-        raise SystemExit(f"error: output directory does not exist: {parent}")
+        raise CliError(f"output directory does not exist: {parent}")
 
     prof = dataset_profile(args.profile)
     scale = (
@@ -553,7 +591,7 @@ def cmd_info(args) -> int:
     try:
         stream = open(args.archive, "rb")
     except FileNotFoundError:
-        raise SystemExit(f"error: no such archive: {args.archive}")
+        raise CliError(f"no such archive: {args.archive}")
     checked = False
     with stream:
         try:
@@ -565,7 +603,7 @@ def cmd_info(args) -> int:
                     archive.trajectory(trajectory_id)  # raises on mismatch
                 checked = True
         except ArchiveFormatError as error:
-            raise SystemExit(f"error: {args.archive}: {error}")
+            raise CliError(f"{args.archive}: {error}")
 
     stats = header.stats
     if args.json:
@@ -691,7 +729,7 @@ def cmd_query(args) -> int:
             return _run_query_batch(args)
         return _run_query(args)
     except KeyError as error:
-        raise SystemExit(f"error: {error.args[0]}")
+        raise CliError(f"{error.args[0]}")
 
 
 def _load_batch_queries(source: str):
@@ -704,10 +742,10 @@ def _load_batch_queries(source: str):
             with open(source, "r", encoding="utf-8") as stream:
                 text = stream.read()
         except FileNotFoundError:
-            raise SystemExit(f"error: no such query file: {source}")
+            raise CliError(f"no such query file: {source}")
     text = text.strip()
     if not text:
-        raise SystemExit("error: the query input is empty")
+        raise CliError("the query input is empty")
     try:
         if text.startswith("["):
             documents = json.loads(text)
@@ -716,11 +754,11 @@ def _load_batch_queries(source: str):
                 json.loads(line) for line in text.splitlines() if line.strip()
             ]
     except json.JSONDecodeError as error:
-        raise SystemExit(f"error: bad query JSON: {error}")
+        raise CliError(f"bad query JSON: {error}")
     try:
         return documents, [query_from_dict(doc) for doc in documents]
     except QueryEngineError as error:
-        raise SystemExit(f"error: {error}")
+        raise CliError(f"{error}")
 
 
 def _run_query_batch(args) -> int:
@@ -735,7 +773,7 @@ def _run_query_batch(args) -> int:
     documents, queries = _load_batch_queries(args.input)
     for path in args.archives:
         if not os.path.exists(path):
-            raise SystemExit(f"error: no such archive: {path}")
+            raise CliError(f"no such archive: {path}")
     # resolve the network once from the first shard (CLI overrides win)
     with _open_archive(args.archives[0]) as first:
         network = _network_from_provenance(first, args)
@@ -745,7 +783,7 @@ def _run_query_batch(args) -> int:
         ) as engine:
             results = engine.run(queries)
     except QueryEngineError as error:
-        raise SystemExit(f"error: {error}")
+        raise CliError(f"{error}")
     if args.json:
         for query, result in zip(queries, results):
             print(json.dumps(result_to_jsonable(query, result)))
@@ -823,8 +861,8 @@ def _run_query(args) -> int:
 
             parts = args.rect.split(",")
             if len(parts) != 4:
-                raise SystemExit(
-                    f"error: --rect must be 'minx,miny,maxx,maxy', "
+                raise CliError(
+                    f"--rect must be 'minx,miny,maxx,maxy', "
                     f"got {args.rect!r}"
                 )
             rect = Rect(*(float(p) for p in parts))
@@ -843,6 +881,8 @@ def cmd_serve_bench(args) -> int:
     from .workloads.query_bench import run_query_bench, write_bench_json
     from .workloads.reporting import render_table
 
+    if args.chaos:
+        return _serve_bench_chaos(args)
     if args.mode == "both":
         runs = [
             (f"{args.label}-legacy", "legacy", args.append),
@@ -852,12 +892,18 @@ def cmd_serve_bench(args) -> int:
         runs = [(args.label, args.mode, args.append)]
     rows: list[list] = []
     for label, mode, append in runs:
-        results = run_query_bench(
-            mode=mode, quick=args.quick, workers=args.workers
-        )
-        rows = write_bench_json(
-            results, args.output, label=label, append=append
-        )
+        try:
+            results = run_query_bench(
+                mode=mode, quick=args.quick, workers=args.workers
+            )
+        except ValueError as error:
+            raise CliError(str(error))
+        try:
+            rows = write_bench_json(
+                results, args.output, label=label, append=append
+            )
+        except OSError as error:
+            raise CliError(f"cannot write {args.output}: {error}")
     print(
         render_table(
             f"query-serving benchmarks ({'quick' if args.quick else 'full'} "
@@ -867,6 +913,51 @@ def cmd_serve_bench(args) -> int:
         )
     )
     print(f"wrote {args.output} ({len(rows)} rows)")
+    return 0
+
+
+def _serve_bench_chaos(args) -> int:
+    from .workloads.query_bench import run_chaos_bench, write_bench_json
+    from .workloads.reporting import render_table
+
+    try:
+        results, summary = run_chaos_bench(
+            duration=args.duration,
+            clients=args.clients,
+            quick=args.quick,
+            deadline=args.deadline,
+            workers=args.workers,
+        )
+    except ValueError as error:
+        raise CliError(str(error))
+    try:
+        rows = write_bench_json(
+            results, args.output, label=args.label, append=args.append
+        )
+    except OSError as error:
+        raise CliError(f"cannot write {args.output}: {error}")
+    print(
+        render_table(
+            f"chaos serving benchmark ({'quick' if args.quick else 'full'} "
+            f"workload, {summary['duration']}s, {args.clients} clients)",
+            ["label", "benchmark", "unit", "work", "seconds", "rate"],
+            rows,
+        )
+    )
+    print(
+        f"availability {summary['availability_percent']}% over "
+        f"{summary['requests']} requests "
+        f"(p50 {summary['p50_ms']}ms, p99 {summary['p99_ms']}ms); "
+        f"outcomes: {summary['outcomes']}; "
+        f"faults: {summary['faults_injected']}; "
+        f"mismatches: {summary['result_mismatches']}"
+    )
+    print(f"wrote {args.output} ({len(rows)} rows)")
+    if summary["result_mismatches"]:
+        raise CliError(
+            f"{summary['result_mismatches']} completed results did not "
+            f"match the healthy-engine reference"
+        )
     return 0
 
 
@@ -903,7 +994,7 @@ def cmd_stream(args) -> int:
         return handlers[args.action](args)
     except (StreamArchiveError, ArchiveFormatError, ValueError) as error:
         # ValueError: config validation (e.g. --segment-size 0)
-        raise SystemExit(f"error: {error}")
+        raise CliError(f"{error}")
 
 
 def _stream_replay(args) -> int:

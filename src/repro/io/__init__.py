@@ -11,6 +11,7 @@ from .format import (
     VERSION,
     ArchiveFormatError,
     ArchiveHeader,
+    CorruptArchiveError,
     DirectoryEntry,
     read_archive,
     read_header,
@@ -24,6 +25,7 @@ __all__ = [
     "ArchiveClosedError",
     "ArchiveFormatError",
     "ArchiveHeader",
+    "CorruptArchiveError",
     "DirectoryEntry",
     "read_archive",
     "read_header",

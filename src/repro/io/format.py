@@ -96,6 +96,18 @@ class ArchiveFormatError(Exception):
     """Raised when a file is not a valid version-1 ``.utcq`` archive."""
 
 
+class CorruptArchiveError(ArchiveFormatError):
+    """A structurally valid archive whose stored bytes are damaged.
+
+    Raised when a trajectory record contradicts its directory entry —
+    CRC-32 mismatch, short read, or a record carrying the wrong
+    trajectory id.  Distinct from :class:`ArchiveFormatError` proper
+    (wrong magic/version: the file was never one of ours) so a serving
+    tier can quarantine a damaged shard instead of treating it like a
+    malformed input.
+    """
+
+
 # ----------------------------------------------------------------------
 # varints
 # ----------------------------------------------------------------------
@@ -489,11 +501,11 @@ def read_archive(path) -> CompressedArchive:
             stream.seek(entry.offset)
             record = stream.read(entry.length)
             if len(record) != entry.length:
-                raise ArchiveFormatError(
+                raise CorruptArchiveError(
                     f"truncated record for trajectory {entry.trajectory_id}"
                 )
             if record_crc(record) != entry.crc32:
-                raise ArchiveFormatError(
+                raise CorruptArchiveError(
                     f"CRC mismatch for trajectory {entry.trajectory_id}"
                 )
             trajectories.append(decode_trajectory_record(record))

@@ -19,6 +19,7 @@ from ..core.archive import CompressedTrajectory, CompressionParams, CompressionS
 from .format import (
     ArchiveFormatError,
     ArchiveHeader,
+    CorruptArchiveError,
     decode_trajectory_record,
     read_header,
     record_crc,
@@ -205,16 +206,16 @@ class FileBackedArchive:
             raise KeyError(f"no trajectory {trajectory_id} in the archive")
         record = self._read_record(entry)
         if len(record) != entry.length:
-            raise ArchiveFormatError(
+            raise CorruptArchiveError(
                 f"truncated record for trajectory {trajectory_id}"
             )
         if self.verify_crc and record_crc(record) != entry.crc32:
-            raise ArchiveFormatError(
+            raise CorruptArchiveError(
                 f"CRC mismatch for trajectory {trajectory_id}"
             )
         trajectory = decode_trajectory_record(record)
         if trajectory.trajectory_id != trajectory_id:
-            raise ArchiveFormatError(
+            raise CorruptArchiveError(
                 f"directory/record id mismatch: {trajectory_id} != "
                 f"{trajectory.trajectory_id}"
             )

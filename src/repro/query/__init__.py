@@ -2,12 +2,16 @@
 
 from .brute import BruteForceOracle
 from .engine import (
+    BatchPlan,
     BatchQueryEngine,
+    EngineClosedError,
     QueryEngineError,
     RangeQuery,
     ShardedQueryEngine,
+    ShardWorkerPool,
     WhenQuery,
     WhereQuery,
+    WorkerPoolBroken,
     query_from_dict,
 )
 from .flagarrays import FlagArray, OriginalArray
@@ -41,10 +45,14 @@ from .stiu import (
 
 __all__ = [
     "BruteForceOracle",
+    "BatchPlan",
     "BatchQueryEngine",
+    "EngineClosedError",
     "QueryEngineError",
     "RangeQuery",
     "ShardedQueryEngine",
+    "ShardWorkerPool",
+    "WorkerPoolBroken",
     "WhenQuery",
     "WhereQuery",
     "query_from_dict",

@@ -30,7 +30,10 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-from dataclasses import dataclass
+import threading
+from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
 from typing import Sequence, Union
 
 from ..core.decoder import DecodeSpanCache
@@ -42,6 +45,25 @@ from .stiu import StIUIndex
 
 class QueryEngineError(Exception):
     """Raised for malformed batch specs or unusable shards."""
+
+
+class EngineClosedError(QueryEngineError):
+    """A closed engine was asked to run queries.
+
+    Parity with :class:`~repro.io.reader.ArchiveClosedError`: use after
+    close is a caller bug and gets a typed error, not whatever the
+    half-torn-down pool happens to raise.
+    """
+
+
+class WorkerPoolBroken(QueryEngineError):
+    """The shard worker pool lost a process mid-batch.
+
+    The engine itself stays usable: call :meth:`ShardedQueryEngine.
+    restart_pool` (or let :class:`repro.serve.WorkerSupervisor` do it)
+    and re-run the batch.  Raised instead of the raw
+    ``BrokenProcessPool`` so callers can distinguish "a worker died"
+    from "the batch was malformed"."""
 
 
 # ----------------------------------------------------------------------
@@ -301,6 +323,150 @@ def _run_shard_batch(task: tuple) -> list:
     return _shard_engine_for(path).run(queries)
 
 
+def _ping_worker(payload: object) -> tuple[int, object]:
+    """Health-check task: proves a worker can pull work and answer."""
+    return os.getpid(), payload
+
+
+class ShardWorkerPool:
+    """A restartable process pool of warm shard workers.
+
+    Wraps :class:`concurrent.futures.ProcessPoolExecutor` (whose broken
+    state is *observable* — a dead worker raises ``BrokenProcessPool``
+    instead of wedging the batch the way ``multiprocessing.Pool`` can)
+    and adds the lifecycle a supervisor needs:
+
+    * :meth:`submit` hands one shard sub-batch to the pool and returns
+      the future;
+    * :meth:`restart` tears the executor down and builds a fresh one —
+      new workers re-run the initializer and lazily reload their
+      shards' archives and ``.stiu`` sidecars on first touch (a warm
+      reload: the sidecar makes reopening cheap);
+    * :meth:`ping` round-trips a no-op task, the health check;
+    * :meth:`worker_pids` exposes the live worker processes so tests
+      and chaos harnesses can kill one mid-query.
+
+    Thread-safe: submits may race a restart; the losers get a future
+    that raises ``BrokenProcessPool`` and retry against the new
+    generation.
+    """
+
+    def __init__(
+        self,
+        config: dict,
+        *,
+        workers: int,
+        mp_context: str | None = None,
+    ) -> None:
+        if workers < 1:
+            raise QueryEngineError(f"workers must be >= 1, got {workers}")
+        self._config = config
+        self._workers = workers
+        self._context = multiprocessing.get_context(mp_context)
+        self._lock = threading.Lock()
+        self._closed = False
+        self.generation = 0
+        self._executor = self._spawn()
+
+    def _spawn(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=self._workers,
+            mp_context=self._context,
+            initializer=_init_query_worker,
+            initargs=(self._config,),
+        )
+
+    @property
+    def workers(self) -> int:
+        return self._workers
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def broken(self) -> bool:
+        """True when the current executor has lost a worker process."""
+        with self._lock:
+            return (
+                not self._closed and self._executor._broken is not False
+            )
+
+    def submit(self, path: str, specs: Sequence[Query]) -> Future:
+        return self.submit_call(_run_shard_batch, (str(path), list(specs)))
+
+    def submit_call(self, fn, payload) -> Future:
+        """Generic submission seam (used by pings and chaos wrappers)."""
+        with self._lock:
+            if self._closed:
+                raise EngineClosedError("worker pool is closed")
+            executor = self._executor
+        return executor.submit(fn, payload)
+
+    def ping(self, *, timeout: float, payload: object = None):
+        """Round-trip a no-op through one worker; raises on a sick pool."""
+        return self.submit_call(_ping_worker, payload).result(timeout)
+
+    def worker_pids(self) -> list[int]:
+        """Best effort: pids of the current worker processes."""
+        with self._lock:
+            if self._closed:
+                return []
+            processes = self._executor._processes
+        return [
+            process.pid
+            for process in list(processes.values())
+            if process.pid is not None
+        ]
+
+    def restart(self) -> int:
+        """Replace the executor; returns the new generation number.
+
+        The old executor is shut down without waiting: a genuinely
+        wedged worker must not block the respawn.  Pending futures on
+        the old generation fail fast (cancelled or broken) so their
+        callers can retry here.
+        """
+        with self._lock:
+            if self._closed:
+                raise EngineClosedError("worker pool is closed")
+            old = self._executor
+            self._executor = self._spawn()
+            self.generation += 1
+            generation = self.generation
+        old.shutdown(wait=False, cancel_futures=True)
+        return generation
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            executor = self._executor
+        executor.shutdown(wait=False, cancel_futures=True)
+
+
+@dataclass
+class BatchPlan:
+    """A batch resolved into per-shard work, before any execution.
+
+    ``slots`` maps each distinct spec to its submission positions;
+    ``tasks`` maps each shard path to the distinct specs it must
+    answer; ``answers`` pre-resolves specs that need no shard at all
+    (unknown trajectory ids); ``range_specs`` lists the specs whose
+    per-shard id lists must be unioned at merge time.
+    """
+
+    slots: dict = field(default_factory=dict)
+    tasks: dict = field(default_factory=dict)
+    answers: dict = field(default_factory=dict)
+    range_specs: list = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return sum(len(positions) for positions in self.slots.values())
+
+
 class ShardedQueryEngine:
     """Batch queries over many archive files with a process pool.
 
@@ -312,6 +478,14 @@ class ShardedQueryEngine:
     ``network`` may be shared by every shard (the usual case: shards of
     one dataset); when ``None`` each worker rebuilds it from the
     shard's provenance, exactly like ``repro query`` does.
+
+    Fault surface: a worker process dying mid-batch raises
+    :class:`WorkerPoolBroken` from :meth:`run`; the engine stays usable
+    — :meth:`restart_pool` respawns the workers (warm ``.stiu`` sidecar
+    reloads) and the batch can be retried.  :mod:`repro.serve` wraps
+    exactly these seams (:meth:`plan` / :meth:`merge` /
+    :meth:`run_local` / :meth:`run_cold` and the :attr:`pool`) into a
+    supervised always-on service.
     """
 
     def __init__(
@@ -324,6 +498,7 @@ class ShardedQueryEngine:
         time_partition_seconds: int = 1800,
         verify_crc: bool = True,
         mp_context: str | None = None,
+        pool: ShardWorkerPool | None = None,
     ) -> None:
         if not shard_paths:
             raise QueryEngineError("at least one shard path is required")
@@ -343,14 +518,13 @@ class ShardedQueryEngine:
         self.workers = max(1, workers)
         self._closed = False
         self._local_engines: dict[str, BatchQueryEngine] = {}
-        if self.workers == 1:
-            self._pool = None
+        if pool is not None:
+            self.pool: ShardWorkerPool | None = pool
+        elif self.workers == 1:
+            self.pool = None
         else:
-            context = multiprocessing.get_context(mp_context)
-            self._pool = context.Pool(
-                processes=self.workers,
-                initializer=_init_query_worker,
-                initargs=(self._config,),
+            self.pool = ShardWorkerPool(
+                self._config, workers=self.workers, mp_context=mp_context
             )
 
     @staticmethod
@@ -371,65 +545,91 @@ class ShardedQueryEngine:
                 route[entry.trajectory_id] = path
         return route
 
+    def shard_for(self, trajectory_id: int) -> str | None:
+        """Which shard holds ``trajectory_id`` (None: not in any)."""
+        return self._route.get(trajectory_id)
+
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
     def close(self) -> None:
+        """Release the pool and every locally opened shard.  Idempotent:
+        a second close is a no-op, never an error."""
         if self._closed:
             return
         self._closed = True
-        if self._pool is not None:
-            self._pool.close()
-            self._pool.join()
-        for engine in self._local_engines.values():
-            engine.processor.archive.close()
-        self._local_engines.clear()
+        if self.pool is not None:
+            self.pool.close()
+        engines, self._local_engines = self._local_engines, {}
+        for engine in engines.values():
+            archive = engine.processor.archive
+            if not getattr(archive, "closed", False):
+                archive.close()
+
+    def restart_pool(self) -> None:
+        """Respawn the worker processes after a :class:`WorkerPoolBroken`."""
+        if self._closed:
+            raise EngineClosedError("engine is closed")
+        if self.pool is not None:
+            self.pool.restart()
 
     def __enter__(self) -> "ShardedQueryEngine":
         return self
 
-    def __exit__(self, *exc_info) -> None:
-        self.close()
+    def __exit__(self, exc_type, exc, tb) -> None:
+        try:
+            self.close()
+        except Exception:
+            # never mask an in-flight exception with a teardown failure
+            if exc_type is None:
+                raise
 
     # ------------------------------------------------------------------
-    # execution
+    # planning + merging (shared with repro.serve)
     # ------------------------------------------------------------------
-    def run(self, queries: Sequence[Query]) -> list:
-        """Answer every query; results align with the submission order.
+    def plan(self, queries: Sequence[Query]) -> BatchPlan:
+        """Resolve a batch into per-shard tasks without executing it.
 
-        Duplicate queries are collapsed before anything crosses a
-        process boundary — each distinct spec is shipped to (and
-        answered by) each involved shard exactly once per batch.
+        Duplicate queries are collapsed here — each distinct spec is
+        shipped to (and answered by) each involved shard exactly once
+        per batch.
         """
-        if self._closed:
-            raise QueryEngineError("engine is closed")
-        slots: dict[Query, list[int]] = {}
+        plan = BatchPlan()
         for position, query in enumerate(queries):
             if not isinstance(query, (WhereQuery, WhenQuery, RangeQuery)):
                 raise QueryEngineError(
                     f"not a query spec: {query!r} (position {position})"
                 )
-            slots.setdefault(query, []).append(position)
-
-        answers: dict[Query, object] = {}
-        tasks: dict[str, list[Query]] = {}
-        range_specs: list[RangeQuery] = []
-        for spec in slots:
+            plan.slots.setdefault(query, []).append(position)
+        for spec in plan.slots:
             if isinstance(spec, RangeQuery):
-                range_specs.append(spec)
+                plan.range_specs.append(spec)
                 for path in self.shard_paths:
-                    tasks.setdefault(path, []).append(spec)
+                    plan.tasks.setdefault(path, []).append(spec)
             else:
                 path = self._route.get(spec.trajectory_id)
                 if path is None:
-                    answers[spec] = []  # unknown trajectory: empty result
+                    plan.answers[spec] = []  # unknown trajectory: empty
                 else:
-                    tasks.setdefault(path, []).append(spec)
+                    plan.tasks.setdefault(path, []).append(spec)
+        return plan
 
+    @staticmethod
+    def merge(plan: BatchPlan, task_results) -> list:
+        """Assemble submission-ordered results from per-shard answers.
+
+        ``task_results`` yields ``(specs, shard_answers)`` pairs, one
+        per executed task; range answers are unioned across shards.
+        """
+        answers = dict(plan.answers)
         partial_ranges: dict[Query, set[int]] = {
-            spec: set() for spec in range_specs
+            spec: set() for spec in plan.range_specs
         }
-        for specs, shard_answers in self._execute_tasks(tasks):
+        for specs, shard_answers in task_results:
             for spec, answer in zip(specs, shard_answers):
                 if isinstance(spec, RangeQuery):
                     partial_ranges[spec].update(answer)
@@ -438,38 +638,125 @@ class ShardedQueryEngine:
         for spec, union in partial_ranges.items():
             answers[spec] = sorted(union)
 
-        results: list = [None] * len(queries)
-        for spec, positions in slots.items():
+        results: list = [None] * plan.total
+        for spec, positions in plan.slots.items():
             answer = answers[spec]
             for position in positions:
                 results[position] = answer
         return results
 
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self, queries: Sequence[Query]) -> list:
+        """Answer every query; results align with the submission order."""
+        if self._closed:
+            raise EngineClosedError("engine is closed")
+        plan = self.plan(queries)
+        return self.merge(plan, self._execute_tasks(plan.tasks))
+
     def _execute_tasks(self, tasks: dict[str, list]):
         items = sorted(tasks.items())
-        if self._pool is None:
+        if self.pool is None:
             for path, specs in items:
-                yield specs, self._local_engine(path).run(specs)
+                yield specs, self.run_local(path, specs)
             return
-        async_results = [
-            (specs, self._pool.apply_async(_run_shard_batch, ((path, specs),)))
-            for path, specs in items
-        ]
-        for specs, async_result in async_results:
-            yield specs, async_result.get()
+        try:
+            futures = [
+                (specs, self.pool.submit(path, specs))
+                for path, specs in items
+            ]
+            for specs, future in futures:
+                yield specs, future.result()
+        except BrokenProcessPool as error:
+            raise WorkerPoolBroken(
+                f"a shard worker died mid-batch: {error}; call "
+                f"restart_pool() and retry"
+            ) from error
+
+    def run_local(self, path: str, specs: Sequence[Query]) -> list:
+        """Execute one shard task in-process on a persistent engine.
+
+        This is the sharded path's own workers==1 mode, and the serving
+        ladder's first fallback when the pool is unhealthy.
+        """
+        if self._closed:
+            raise EngineClosedError("engine is closed")
+        return self._local_engine(path).run(specs)
+
+    def run_cold(self, path: str, specs: Sequence[Query]) -> list:
+        """Execute one shard task with nothing long-lived at all.
+
+        Opens the archive fresh, answers each query through a
+        throwaway :class:`~repro.query.queries.UTCQQueryProcessor`, and
+        closes it — the serving ladder's last rung, immune to any state
+        a persistent engine may have accumulated.
+        """
+        if self._closed:
+            raise EngineClosedError("engine is closed")
+        network = self._resolve_network(path)
+        index = StIUIndex.over_file(
+            network,
+            path,
+            verify_crc=self._config["verify_crc"],
+            grid_cells_per_side=self._config["grid_cells_per_side"],
+            time_partition_seconds=self._config["time_partition_seconds"],
+        )
+        try:
+            answers = []
+            for spec in specs:
+                processor = UTCQQueryProcessor(
+                    network, index.archive, index
+                )
+                try:
+                    if isinstance(spec, WhereQuery):
+                        answers.append(
+                            processor.where(
+                                spec.trajectory_id, spec.t, spec.alpha
+                            )
+                        )
+                    elif isinstance(spec, WhenQuery):
+                        answers.append(
+                            processor.when(
+                                spec.trajectory_id,
+                                spec.edge,
+                                spec.relative_distance,
+                                spec.alpha,
+                            )
+                        )
+                    else:
+                        answers.append(
+                            processor.range(spec.rect, spec.t, spec.alpha)
+                        )
+                except KeyError:
+                    answers.append([])
+            return answers
+        finally:
+            index.archive.close()
+
+    def drop_local_engine(self, path: str) -> None:
+        """Forget a locally opened shard (e.g. after quarantine)."""
+        engine = self._local_engines.pop(str(path), None)
+        if engine is not None:
+            archive = engine.processor.archive
+            if not getattr(archive, "closed", False):
+                archive.close()
+
+    def _resolve_network(self, path: str):
+        network = self.network
+        if network is None:
+            from ..io.reader import FileBackedArchive
+
+            with FileBackedArchive.open(path) as probe:
+                network = build_network_from_provenance(probe.provenance)
+        return network
 
     def _local_engine(self, path: str) -> BatchQueryEngine:
         engine = self._local_engines.get(path)
         if engine is None:
-            network = self.network
-            if network is None:
-                from ..io.reader import FileBackedArchive
-
-                with FileBackedArchive.open(path) as probe:
-                    network = build_network_from_provenance(probe.provenance)
             engine = _open_shard_engine(
                 path,
-                network,
+                self._resolve_network(path),
                 grid_cells_per_side=self._config["grid_cells_per_side"],
                 time_partition_seconds=self._config["time_partition_seconds"],
                 verify_crc=self._config["verify_crc"],

@@ -1,0 +1,61 @@
+"""The always-on serving tier: supervision, shedding, chaos testing.
+
+``repro.serve`` turns the batch/sharded query engines of
+:mod:`repro.query` into a fault-tolerant service:
+:class:`QueryService` is the front door; :class:`WorkerSupervisor`,
+:class:`AdmissionController` and :class:`CircuitBreaker` are its
+moving parts; :mod:`repro.serve.chaos` is the harness that proves
+they work by breaking them on purpose.
+"""
+
+from .admission import AdmissionController, TokenBucket
+from .breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from .chaos import ChaosProxy, corrupt_shard, delay_fault, kill_fault, restore_shard
+from .errors import (
+    DeadlineExceeded,
+    Overloaded,
+    ServeError,
+    ServiceClosedError,
+    ShardQuarantined,
+    WorkerPoolUnavailable,
+)
+from .service import (
+    MODE_BATCH,
+    MODE_SHARDED,
+    MODE_SINGLE,
+    QueryService,
+    ServiceConfig,
+    ServiceResponse,
+    ServiceStats,
+)
+from .supervisor import RetryPolicy, SupervisorStats, WorkerSupervisor
+
+__all__ = [
+    "AdmissionController",
+    "TokenBucket",
+    "CircuitBreaker",
+    "CLOSED",
+    "OPEN",
+    "HALF_OPEN",
+    "ChaosProxy",
+    "corrupt_shard",
+    "restore_shard",
+    "kill_fault",
+    "delay_fault",
+    "DeadlineExceeded",
+    "Overloaded",
+    "ServeError",
+    "ServiceClosedError",
+    "ShardQuarantined",
+    "WorkerPoolUnavailable",
+    "QueryService",
+    "ServiceConfig",
+    "ServiceResponse",
+    "ServiceStats",
+    "MODE_SHARDED",
+    "MODE_BATCH",
+    "MODE_SINGLE",
+    "RetryPolicy",
+    "SupervisorStats",
+    "WorkerSupervisor",
+]

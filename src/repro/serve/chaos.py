@@ -1,0 +1,194 @@
+"""Fault injection for the serving tier — the chaos harness.
+
+:class:`ChaosProxy` implements the :class:`~repro.query.engine.ShardWorkerPool`
+duck-type by wrapping a real pool and smuggling faults *inside* the
+pickled task, so the failure happens in the worker process exactly
+where a real fault would:
+
+* ``kill`` — the worker calls ``os._exit(1)`` mid-task: the executor
+  loses a process and every in-flight future on it raises
+  ``BrokenProcessPool``, the same signature as an OOM kill;
+* ``delay`` — the worker sleeps past the caller's attempt budget
+  before answering, the signature of a wedged or GC-stalled worker.
+
+Faults are drawn from a **seeded** RNG (probabilistic chaos for the
+bench) and/or a **scripted queue** (``arm(...)`` for deterministic
+tests); scripted faults are consumed first.  Only :meth:`submit` — real
+shard work — is ever faulted; pings and internal calls pass through, so
+the health loop measures the pool, not the chaos.
+
+Shard *data* corruption is a separate axis:
+:func:`corrupt_shard` flips one byte inside the last record of an
+archive on disk (breaking its CRC but not the file structure) and
+returns the pristine bytes; :func:`restore_shard` puts them back.
+After restoring, the file's fingerprint matches its ``.stiu`` sidecar
+again, so re-admission is a warm reload.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+import time
+from collections import deque
+from pathlib import Path
+
+from ..io.format import read_header
+from ..query.engine import _run_shard_batch
+
+KILL = "kill"
+DELAY = "delay"
+
+
+def kill_fault() -> tuple:
+    return (KILL,)
+
+
+def delay_fault(seconds: float) -> tuple:
+    return (DELAY, float(seconds))
+
+
+def _run_shard_batch_with_fault(payload: tuple) -> list:
+    """Worker-side: suffer the fault, then (maybe) do the real work."""
+    fault, task = payload
+    if fault is not None:
+        if fault[0] == KILL:
+            os._exit(1)  # no cleanup — this is the point
+        elif fault[0] == DELAY:
+            time.sleep(fault[1])
+    return _run_shard_batch(task)
+
+
+class ChaosProxy:
+    """A fault-injecting stand-in for :class:`ShardWorkerPool`.
+
+    Pass one as the ``pool=`` of a :class:`ShardedQueryEngine` /
+    :class:`QueryService`; everything — supervision, respawn, breaker —
+    operates on the proxy exactly as it would on the real pool.
+    """
+
+    def __init__(
+        self,
+        pool,
+        *,
+        kill_probability: float = 0.0,
+        delay_probability: float = 0.0,
+        delay_seconds: float = 0.5,
+        seed: int = 0,
+    ) -> None:
+        for name, value in (
+            ("kill_probability", kill_probability),
+            ("delay_probability", delay_probability),
+        ):
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        self._pool = pool
+        self.kill_probability = kill_probability
+        self.delay_probability = delay_probability
+        self.delay_seconds = delay_seconds
+        self._rng = random.Random(seed)
+        self._scripted: deque = deque()
+        self._lock = threading.Lock()
+        self.injected = {KILL: 0, DELAY: 0}
+
+    # ------------------------------------------------------------------
+    # fault scheduling
+    # ------------------------------------------------------------------
+    def arm(self, *faults: tuple) -> None:
+        """Queue faults for the next submits, ahead of any random draw."""
+        with self._lock:
+            self._scripted.extend(faults)
+
+    def clear(self) -> None:
+        """Drop any armed-but-unconsumed faults."""
+        with self._lock:
+            self._scripted.clear()
+
+    def _next_fault(self) -> tuple | None:
+        with self._lock:
+            if self._scripted:
+                fault = self._scripted.popleft()
+            else:
+                roll = self._rng.random()
+                if roll < self.kill_probability:
+                    fault = kill_fault()
+                elif roll < self.kill_probability + self.delay_probability:
+                    fault = delay_fault(self.delay_seconds)
+                else:
+                    return None
+            if fault is not None:
+                self.injected[fault[0]] += 1
+            return fault
+
+    # ------------------------------------------------------------------
+    # ShardWorkerPool duck-type
+    # ------------------------------------------------------------------
+    def submit(self, path, specs):
+        fault = self._next_fault()
+        if fault is None:
+            return self._pool.submit(path, specs)
+        return self._pool.submit_call(
+            _run_shard_batch_with_fault,
+            (fault, (str(path), list(specs))),
+        )
+
+    def submit_call(self, fn, payload):
+        return self._pool.submit_call(fn, payload)
+
+    def ping(self, *, timeout: float, payload: object = None):
+        return self._pool.ping(timeout=timeout, payload=payload)
+
+    def worker_pids(self) -> list[int]:
+        return self._pool.worker_pids()
+
+    def restart(self) -> int:
+        return self._pool.restart()
+
+    def close(self) -> None:
+        self._pool.close()
+
+    @property
+    def generation(self) -> int:
+        return self._pool.generation
+
+    @property
+    def workers(self) -> int:
+        return self._pool.workers
+
+    @property
+    def closed(self) -> bool:
+        return self._pool.closed
+
+    @property
+    def broken(self) -> bool:
+        return self._pool.broken
+
+
+# ----------------------------------------------------------------------
+# on-disk corruption
+# ----------------------------------------------------------------------
+def corrupt_shard(path) -> bytes:
+    """Flip one byte in the last record of the archive at ``path``.
+
+    The header and directory stay intact — the archive still *opens* —
+    but the record no longer matches its directory CRC, which is the
+    realistic shape of silent media corruption.  Returns the pristine
+    file bytes for :func:`restore_shard`.
+    """
+    path = Path(path)
+    pristine = path.read_bytes()
+    with path.open("rb") as stream:
+        header = read_header(stream)
+    if not header.directory:
+        raise ValueError(f"archive has no records to corrupt: {path}")
+    entry = header.directory[-1]
+    mutated = bytearray(pristine)
+    mutated[entry.offset + entry.length - 1] ^= 0xFF
+    path.write_bytes(bytes(mutated))
+    return pristine
+
+
+def restore_shard(path, pristine: bytes) -> None:
+    """Undo :func:`corrupt_shard`."""
+    Path(path).write_bytes(pristine)

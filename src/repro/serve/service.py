@@ -1,0 +1,464 @@
+"""The always-on query service: supervision, shedding, degradation.
+
+:class:`QueryService` wraps a
+:class:`~repro.query.engine.ShardedQueryEngine` into something a
+long-lived front-end can actually lean on:
+
+* **admission control** at the door (bounded in-flight window +
+  per-client token buckets) sheds overload with a typed
+  :class:`~repro.serve.errors.Overloaded` instead of queueing
+  unboundedly;
+* every admitted request runs under a **deadline**; shard sub-queries
+  go through the :class:`~repro.serve.supervisor.WorkerSupervisor`
+  (respawn on worker death, retry with backoff, one cross-worker
+  hedge);
+* a **circuit breaker** watches pool outcomes, and an unhealthy pool
+  drops the request onto the **degradation ladder**: sharded pool →
+  in-process :class:`~repro.query.engine.BatchQueryEngine` → per-query
+  cold :class:`~repro.query.queries.UTCQQueryProcessor`.  Every rung
+  produces results pinned identical to the one-at-a-time processor
+  (and therefore the brute-force oracle, up to PDDP error) — the rungs
+  differ only in throughput;
+* a shard whose records fail CRC verification is **quarantined**:
+  requests that need it are refused with
+  :class:`~repro.serve.errors.ShardQuarantined` (a range query is
+  never answered from a partial union), and the file is re-probed
+  after ``quarantine_reprobe`` seconds so a repaired shard re-enters
+  service on its own.
+
+``submit``/``submit_many`` never raise for per-request failures; they
+return a :class:`ServiceResponse` whose ``error`` carries the typed
+exception, which is what a wire front-end would serialize and what the
+chaos bench's availability accounting consumes.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from ..io.format import CorruptArchiveError, read_header, record_crc
+from ..query.engine import (
+    EngineClosedError,
+    Query,
+    ShardedQueryEngine,
+    ShardWorkerPool,
+)
+from .admission import AdmissionController
+from .breaker import CircuitBreaker
+from .errors import (
+    DeadlineExceeded,
+    Overloaded,
+    ServiceClosedError,
+    ShardQuarantined,
+    WorkerPoolUnavailable,
+)
+from .supervisor import RetryPolicy, WorkerSupervisor
+
+# ladder rungs, least to most degraded
+MODE_SHARDED = "sharded"
+MODE_BATCH = "batch"
+MODE_SINGLE = "single"
+_MODE_ORDER = {MODE_SHARDED: 0, MODE_BATCH: 1, MODE_SINGLE: 2}
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Knobs of the serving tier; defaults suit interactive traffic."""
+
+    deadline: float = 2.0  # seconds per request, end to end
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    max_in_flight: int = 64
+    rate_per_second: float | None = None  # per-client; None = unlimited
+    burst: float | None = None
+    breaker_failures: int = 3
+    breaker_reset: float = 1.0
+    quarantine_reprobe: float = 0.5
+    health_interval: float | None = 1.0  # None: no background probing
+    ladder: tuple[str, ...] = (MODE_SHARDED, MODE_BATCH, MODE_SINGLE)
+
+    def __post_init__(self) -> None:
+        if self.deadline <= 0:
+            raise ValueError(f"deadline must be > 0, got {self.deadline}")
+        for rung in self.ladder:
+            if rung not in _MODE_ORDER:
+                raise ValueError(f"unknown ladder rung {rung!r}")
+        if not self.ladder:
+            raise ValueError("ladder must have at least one rung")
+
+
+@dataclass
+class ServiceResponse:
+    """Outcome of one request: an answer or a typed refusal."""
+
+    ok: bool
+    results: list | None  # aligned with the submitted queries
+    error: Exception | None
+    mode: str  # most-degraded rung used: sharded/batch/single; "" on error
+    latency: float  # seconds, admission to response
+    client: str
+
+    @property
+    def kind(self) -> str:
+        """Machine-readable outcome bucket (the wire error code)."""
+        if self.ok:
+            return "ok"
+        if isinstance(self.error, Overloaded):
+            return "overloaded"
+        if isinstance(self.error, DeadlineExceeded):
+            return "deadline"
+        if isinstance(self.error, ShardQuarantined):
+            return "quarantined"
+        return "failed"
+
+    @property
+    def result(self):
+        """The single query's answer (submit() convenience)."""
+        if self.results is None:
+            raise self.error
+        return self.results[0]
+
+
+@dataclass
+class ServiceStats:
+    requests: int = 0
+    completed: int = 0
+    overloaded: int = 0
+    deadline_exceeded: int = 0
+    quarantined: int = 0
+    failed: int = 0
+    served_sharded: int = 0
+    served_degraded_batch: int = 0
+    served_degraded_single: int = 0
+    quarantines: int = 0
+    requarantine_probes: int = 0
+    shards_readmitted: int = 0
+    lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        with self.lock:
+            setattr(self, name, getattr(self, name) + amount)
+
+    def snapshot(self) -> dict:
+        with self.lock:
+            return {
+                key: getattr(self, key)
+                for key in (
+                    "requests",
+                    "completed",
+                    "overloaded",
+                    "deadline_exceeded",
+                    "quarantined",
+                    "failed",
+                    "served_sharded",
+                    "served_degraded_batch",
+                    "served_degraded_single",
+                    "quarantines",
+                    "requarantine_probes",
+                    "shards_readmitted",
+                )
+            }
+
+
+class QueryService:
+    """Supervised, deadline-bounded, load-shedding query serving."""
+
+    def __init__(
+        self,
+        shard_paths,
+        *,
+        network=None,
+        workers: int | None = None,
+        config: ServiceConfig | None = None,
+        mp_context: str | None = None,
+        pool: ShardWorkerPool | None = None,
+        pool_wrapper=None,
+        clock=time.monotonic,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        self._clock = clock
+        self.engine = ShardedQueryEngine(
+            shard_paths,
+            network=network,
+            workers=workers,
+            mp_context=mp_context,
+            pool=pool,
+        )
+        if pool_wrapper is not None and self.engine.pool is not None:
+            # chaos seam: e.g. pool_wrapper=lambda p: ChaosProxy(p, ...)
+            self.engine.pool = pool_wrapper(self.engine.pool)
+        self.admission = AdmissionController(
+            max_in_flight=self.config.max_in_flight,
+            rate_per_second=self.config.rate_per_second,
+            burst=self.config.burst,
+            clock=clock,
+        )
+        self.breaker = CircuitBreaker(
+            failure_threshold=self.config.breaker_failures,
+            reset_timeout=self.config.breaker_reset,
+            clock=clock,
+        )
+        self.supervisor = (
+            WorkerSupervisor(
+                self.engine.pool, policy=self.config.retry, clock=clock
+            )
+            if self.engine.pool is not None
+            else None
+        )
+        if (
+            self.supervisor is not None
+            and self.config.health_interval is not None
+        ):
+            self.supervisor.start_health_loop(self.config.health_interval)
+        self.stats = ServiceStats()
+        self._closed = False
+        self._local_lock = threading.Lock()  # serializes warm fallbacks
+        self._quarantine_lock = threading.Lock()
+        self._quarantined: dict[str, float] = {}  # path -> quarantined at
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Idempotent; in-flight requests on other threads will surface
+        :class:`ServiceClosedError` from the torn-down engine."""
+        if self._closed:
+            return
+        self._closed = True
+        if self.supervisor is not None:
+            self.supervisor.stop()
+        self.engine.close()
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        try:
+            self.close()
+        except Exception:
+            if exc_type is None:
+                raise
+
+    # ------------------------------------------------------------------
+    # request surface
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        query: Query,
+        *,
+        client: str = "default",
+        deadline: float | None = None,
+    ) -> ServiceResponse:
+        """One query, one response (``response.result`` unwraps it)."""
+        return self.submit_many([query], client=client, deadline=deadline)
+
+    def submit_many(
+        self,
+        queries,
+        *,
+        client: str = "default",
+        deadline: float | None = None,
+    ) -> ServiceResponse:
+        """One request carrying a batch; one deadline covers all of it."""
+        if self._closed:
+            raise ServiceClosedError("QueryService is closed")
+        started = self._clock()
+        self.stats.bump("requests")
+        try:
+            slot = self.admission.admit(client)
+        except Overloaded as error:
+            self.stats.bump("overloaded")
+            return self._respond(started, client, error=error)
+        try:
+            with slot:
+                deadline_at = started + (
+                    deadline if deadline is not None else self.config.deadline
+                )
+                results, mode = self._execute(queries, deadline_at)
+        except Overloaded as error:  # pragma: no cover - defensive
+            self.stats.bump("overloaded")
+            return self._respond(started, client, error=error)
+        except DeadlineExceeded as error:
+            self.stats.bump("deadline_exceeded")
+            return self._respond(started, client, error=error)
+        except ShardQuarantined as error:
+            self.stats.bump("quarantined")
+            return self._respond(started, client, error=error)
+        except (WorkerPoolUnavailable, EngineClosedError) as error:
+            self.stats.bump("failed")
+            return self._respond(started, client, error=error)
+        self.stats.bump("completed")
+        if mode == MODE_SINGLE:
+            self.stats.bump("served_degraded_single")
+        elif mode == MODE_BATCH:
+            self.stats.bump("served_degraded_batch")
+        else:
+            self.stats.bump("served_sharded")
+        return self._respond(started, client, results=results, mode=mode)
+
+    def _respond(
+        self,
+        started: float,
+        client: str,
+        *,
+        results: list | None = None,
+        error: Exception | None = None,
+        mode: str = "",
+    ) -> ServiceResponse:
+        return ServiceResponse(
+            ok=error is None,
+            results=results,
+            error=error,
+            mode=mode,
+            latency=self._clock() - started,
+            client=client,
+        )
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def _execute(self, queries, deadline_at: float) -> tuple[list, str]:
+        plan = self.engine.plan(queries)
+        for path in plan.tasks:
+            self._gate_shard(path)
+        task_results = []
+        worst = MODE_SHARDED
+        for path, specs in sorted(plan.tasks.items()):
+            answers, mode = self._execute_task(path, specs, deadline_at)
+            if _MODE_ORDER[mode] > _MODE_ORDER[worst]:
+                worst = mode
+            task_results.append((specs, answers))
+        return self.engine.merge(plan, task_results), worst
+
+    def _execute_task(
+        self, path: str, specs, deadline_at: float
+    ) -> tuple[list, str]:
+        """Walk the ladder until a rung answers; quarantine on corruption."""
+        last_error: Exception | None = None
+        for rung in self.config.ladder:
+            if self._clock() >= deadline_at:
+                raise DeadlineExceeded(
+                    f"deadline expired before shard {path} was executed"
+                )
+            if rung == MODE_SHARDED:
+                if self.engine.pool is None or self.supervisor is None:
+                    continue
+                if not self.breaker.allow():
+                    continue
+                try:
+                    answers = self.supervisor.call(
+                        path, specs, deadline_at=deadline_at
+                    )
+                except CorruptArchiveError as error:
+                    self._quarantine(path, error)
+                    raise ShardQuarantined(path) from error
+                except DeadlineExceeded:
+                    self.breaker.record_failure()
+                    raise
+                except WorkerPoolUnavailable as error:
+                    self.breaker.record_failure()
+                    last_error = error
+                    continue
+                self.breaker.record_success()
+                return answers, MODE_SHARDED
+            if rung == MODE_BATCH:
+                try:
+                    with self._local_lock:
+                        answers = self.engine.run_local(path, specs)
+                except CorruptArchiveError as error:
+                    self._quarantine(path, error)
+                    raise ShardQuarantined(path) from error
+                except EngineClosedError:
+                    raise
+                except Exception as error:
+                    # a wedged warm engine must not take the rung below
+                    # with it; drop it and let "single" start clean
+                    last_error = error
+                    self.engine.drop_local_engine(path)
+                    continue
+                return answers, MODE_BATCH
+            if rung == MODE_SINGLE:
+                try:
+                    answers = self.engine.run_cold(path, specs)
+                except CorruptArchiveError as error:
+                    self._quarantine(path, error)
+                    raise ShardQuarantined(path) from error
+                return answers, MODE_SINGLE
+        raise last_error if last_error is not None else WorkerPoolUnavailable(
+            f"no ladder rung could execute shard {path}"
+        )
+
+    # ------------------------------------------------------------------
+    # quarantine
+    # ------------------------------------------------------------------
+    def quarantined_shards(self) -> list[str]:
+        with self._quarantine_lock:
+            return sorted(self._quarantined)
+
+    def _quarantine(self, path: str, error: Exception) -> None:
+        with self._quarantine_lock:
+            fresh = path not in self._quarantined
+            self._quarantined[path] = self._clock()
+        if fresh:
+            self.stats.bump("quarantines")
+            # the warm local engine holds the bad file open; drop it so
+            # re-admission starts from a clean reopen
+            self.engine.drop_local_engine(path)
+
+    def _gate_shard(self, path: str) -> None:
+        """Refuse quarantined shards; re-probe once the window passed."""
+        with self._quarantine_lock:
+            quarantined_at = self._quarantined.get(path)
+            if quarantined_at is None:
+                return
+            if (
+                self._clock() - quarantined_at
+                < self.config.quarantine_reprobe
+            ):
+                raise ShardQuarantined(path)
+            # claim the probe: concurrent requests keep being refused
+            # for another window instead of all probing at once
+            self._quarantined[path] = self._clock()
+        self.stats.bump("requarantine_probes")
+        if self._probe_shard(path):
+            with self._quarantine_lock:
+                self._quarantined.pop(path, None)
+            self.stats.bump("shards_readmitted")
+            self.engine.drop_local_engine(path)
+            return
+        raise ShardQuarantined(path)
+
+    @staticmethod
+    def _probe_shard(path: str) -> bool:
+        """Cheap integrity check: every record matches its directory CRC.
+
+        No decoding — just header parse plus one CRC pass, so a probe
+        on a hot serving thread stays bounded.
+        """
+        try:
+            with open(path, "rb") as stream:
+                header = read_header(stream)
+                for entry in header.directory:
+                    stream.seek(entry.offset)
+                    record = stream.read(entry.length)
+                    if len(record) != entry.length:
+                        return False
+                    if record_crc(record) != entry.crc32:
+                        return False
+        except Exception:
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # health surface
+    # ------------------------------------------------------------------
+    def check_health(self) -> bool:
+        """Probe the pool once (respawns a broken one); True = healthy."""
+        if self.supervisor is None:
+            return not self._closed
+        return self.supervisor.check_health()

@@ -1,0 +1,306 @@
+"""Worker supervision: respawn, deadlines, retries, and one hedge.
+
+:class:`WorkerSupervisor` wraps a
+:class:`~repro.query.engine.ShardWorkerPool`-compatible transport (the
+real pool, or the chaos proxy in tests) and turns its raw failure modes
+into a bounded per-call contract:
+
+* a **dead worker** (``BrokenProcessPool``) costs one respawn — the
+  pool is rebuilt with warm ``.stiu`` sidecar reloads and the shard
+  sub-query is resubmitted with exponential backoff;
+* a **wedged/slow worker** costs one attempt timeout, after which the
+  call is retried; while the first attempt is still silent, **one
+  cross-worker hedge** is launched so a single slow worker is raced by
+  a healthy one instead of serializing the request behind it;
+* the whole loop is **deadline-bounded**: no call outlives
+  ``deadline_at``, full stop.
+
+Failures the pool *reports deterministically* — corrupt shard data,
+malformed specs — are never retried: they would fail identically again,
+so they propagate to the caller (the service quarantines or rejects).
+
+Respawns are generation-gated: when several in-flight calls observe the
+same broken pool generation, only the first actually restarts it.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import FIRST_COMPLETED, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+
+from .errors import DeadlineExceeded, WorkerPoolUnavailable
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Timeouts and budgets for one supervised call."""
+
+    attempt_timeout: float = 0.25  # seconds the first attempt may take
+    timeout_multiplier: float = 2.0  # later attempts get more rope
+    max_attempts: int = 3
+    backoff_base: float = 0.05
+    backoff_multiplier: float = 2.0
+    backoff_cap: float = 0.5
+    hedge_delay: float = 0.1  # silence before the hedge launches
+
+    def attempt_budget(self, attempt: int) -> float:
+        return self.attempt_timeout * self.timeout_multiplier**attempt
+
+    def backoff(self, attempt: int) -> float:
+        return min(
+            self.backoff_cap,
+            self.backoff_base * self.backoff_multiplier**attempt,
+        )
+
+
+@dataclass
+class SupervisorStats:
+    calls: int = 0
+    respawns: int = 0
+    worker_deaths: int = 0
+    attempt_timeouts: int = 0
+    retries: int = 0
+    hedges_launched: int = 0
+    hedges_won: int = 0
+    pings_ok: int = 0
+    pings_failed: int = 0
+    lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        with self.lock:
+            setattr(self, name, getattr(self, name) + amount)
+
+    def snapshot(self) -> dict:
+        with self.lock:
+            return {
+                key: getattr(self, key)
+                for key in (
+                    "calls",
+                    "respawns",
+                    "worker_deaths",
+                    "attempt_timeouts",
+                    "retries",
+                    "hedges_launched",
+                    "hedges_won",
+                    "pings_ok",
+                    "pings_failed",
+                )
+            }
+
+
+class WorkerSupervisor:
+    """Health-checks and drives a shard worker pool under deadlines."""
+
+    def __init__(
+        self,
+        pool,
+        *,
+        policy: RetryPolicy | None = None,
+        ping_timeout: float = 5.0,
+        ping_failures_before_respawn: int = 2,
+        clock=time.monotonic,
+        sleep=time.sleep,
+    ) -> None:
+        self.pool = pool
+        self.policy = policy or RetryPolicy()
+        self.ping_timeout = ping_timeout
+        self.ping_failures_before_respawn = ping_failures_before_respawn
+        self._clock = clock
+        self._sleep = sleep
+        self._respawn_lock = threading.Lock()
+        self._consecutive_ping_failures = 0
+        self._health_thread: threading.Thread | None = None
+        self._health_stop = threading.Event()
+        self.stats = SupervisorStats()
+
+    # ------------------------------------------------------------------
+    # respawn
+    # ------------------------------------------------------------------
+    def respawn(self, *, seen_generation: int | None = None) -> None:
+        """Rebuild the pool; no-op if someone already did it for the
+        generation the caller saw fail."""
+        with self._respawn_lock:
+            if (
+                seen_generation is not None
+                and self.pool.generation != seen_generation
+            ):
+                return
+            self.pool.restart()
+            self.stats.bump("respawns")
+
+    # ------------------------------------------------------------------
+    # health checking
+    # ------------------------------------------------------------------
+    def check_health(self) -> bool:
+        """One health probe; respawns a provably broken pool.
+
+        A ping *timeout* alone is ambiguous (the pool may just be busy),
+        so only ``ping_failures_before_respawn`` consecutive failures —
+        or a ``BrokenProcessPool`` — trigger a respawn.
+        """
+        generation = self.pool.generation
+        try:
+            self.pool.ping(timeout=self.ping_timeout)
+        except BrokenProcessPool:
+            self.stats.bump("pings_failed")
+            self.stats.bump("worker_deaths")
+            self._consecutive_ping_failures = 0
+            self.respawn(seen_generation=generation)
+            return False
+        except Exception:
+            self.stats.bump("pings_failed")
+            self._consecutive_ping_failures += 1
+            if (
+                self._consecutive_ping_failures
+                >= self.ping_failures_before_respawn
+            ):
+                self._consecutive_ping_failures = 0
+                self.respawn(seen_generation=generation)
+            return False
+        self.stats.bump("pings_ok")
+        self._consecutive_ping_failures = 0
+        return True
+
+    def start_health_loop(self, interval: float) -> None:
+        """Probe the pool every ``interval`` seconds on a daemon thread."""
+        if self._health_thread is not None:
+            return
+        self._health_stop.clear()
+
+        def loop() -> None:
+            while not self._health_stop.wait(interval):
+                try:
+                    self.check_health()
+                except Exception:
+                    # a dying pool mid-close must not kill the thread
+                    if self._health_stop.is_set():
+                        return
+
+        self._health_thread = threading.Thread(
+            target=loop, name="repro-serve-health", daemon=True
+        )
+        self._health_thread.start()
+
+    def stop(self) -> None:
+        self._health_stop.set()
+        thread = self._health_thread
+        if thread is not None:
+            thread.join(timeout=5.0)
+            self._health_thread = None
+
+    # ------------------------------------------------------------------
+    # supervised calls
+    # ------------------------------------------------------------------
+    def call(self, path: str, specs, *, deadline_at: float) -> list:
+        """One shard sub-query under the full supervision contract.
+
+        Returns the shard's answers, or raises:
+
+        * :class:`DeadlineExceeded` — the deadline expired first;
+        * :class:`WorkerPoolUnavailable` — attempts exhausted with time
+          left (caller should fall back);
+        * any deterministic worker exception (corrupt shard, bad spec)
+          — verbatim, immediately, never retried.
+        """
+        self.stats.bump("calls")
+        policy = self.policy
+        attempt = 0
+        while True:
+            remaining = deadline_at - self._clock()
+            if remaining <= 0:
+                raise DeadlineExceeded(
+                    f"deadline expired before shard {path} answered"
+                )
+            if attempt >= policy.max_attempts:
+                raise WorkerPoolUnavailable(
+                    f"{policy.max_attempts} attempts on shard {path} "
+                    f"all died or timed out"
+                )
+            generation = self.pool.generation
+            try:
+                outcome = self._one_attempt(
+                    path,
+                    specs,
+                    budget=min(remaining, policy.attempt_budget(attempt)),
+                )
+            except BrokenProcessPool:
+                self.stats.bump("worker_deaths")
+                self.respawn(seen_generation=generation)
+                outcome = None  # retry below
+            if outcome is not None:
+                return outcome.answer
+            attempt += 1
+            self.stats.bump("retries")
+            pause = min(
+                policy.backoff(attempt - 1),
+                max(0.0, deadline_at - self._clock()),
+            )
+            if pause > 0:
+                self._sleep(pause)
+
+    def _one_attempt(self, path, specs, *, budget: float):
+        """Submit once (maybe hedged); returns an _Answer or None on
+        timeout.  Raises BrokenProcessPool or a deterministic worker
+        error."""
+        policy = self.policy
+        started = self._clock()
+        outstanding = {self.pool.submit(path, specs)}
+        hedge_future = None
+        broken: BaseException | None = None
+        while True:
+            elapsed = self._clock() - started
+            if elapsed >= budget:
+                self.stats.bump("attempt_timeouts")
+                for future in outstanding:
+                    future.cancel()
+                return None
+            may_hedge = hedge_future is None and self.pool.workers > 1
+            if may_hedge and elapsed < policy.hedge_delay:
+                # quiet so far: wait out the hedge delay first, then race
+                # a second submission against the silent one
+                timeout = min(budget, policy.hedge_delay) - elapsed
+            else:
+                timeout = budget - elapsed
+            done, _pending = wait(
+                outstanding, timeout=max(0.0, timeout),
+                return_when=FIRST_COMPLETED,
+            )
+            for future in done:
+                outstanding.discard(future)
+                try:
+                    answer = future.result()
+                except BrokenProcessPool as error:
+                    broken = error
+                    continue
+                except Exception:
+                    for other in outstanding:
+                        other.cancel()
+                    raise
+                for other in outstanding:
+                    other.cancel()
+                if future is hedge_future:
+                    self.stats.bump("hedges_won")
+                return _Answer(answer)
+            if not outstanding:
+                # every submission died with the pool
+                raise broken if broken is not None else BrokenProcessPool(
+                    "all submissions vanished"
+                )
+            if not done and may_hedge:
+                elapsed = self._clock() - started
+                if policy.hedge_delay <= elapsed < budget:
+                    hedge_future = self.pool.submit(path, specs)
+                    outstanding.add(hedge_future)
+                    self.stats.bump("hedges_launched")
+
+
+class _Answer:
+    """Wrapper distinguishing 'no answer yet' from 'answered None'."""
+
+    __slots__ = ("answer",)
+
+    def __init__(self, answer) -> None:
+        self.answer = answer

@@ -38,7 +38,9 @@ from __future__ import annotations
 
 import json
 import random
+import threading
 import time
+from dataclasses import dataclass
 
 from ..core.archive import CompressedArchive
 from ..core.compressor import UTCQCompressor
@@ -53,6 +55,18 @@ DEFAULT_OUTPUT = "BENCH_query_throughput.json"
 
 SHARD_COUNT = 4
 MODES = ("legacy", "fast")
+
+
+@dataclass(frozen=True)
+class GaugeResult(BenchResult):
+    """A bench row whose headline number is a direct gauge, not
+    work/seconds — availability percentages, latency percentiles."""
+
+    value: float = 0.0
+
+    @property
+    def rate(self) -> float:
+        return self.value
 
 
 def build_serving_workload(
@@ -120,7 +134,7 @@ class _ServingFixture:
             path = os.path.join(root, f"shard-{shard}.utcq")
             self._save_with_sidecar(part, path)
             self.shard_paths.append(path)
-        _, self.stream = build_serving_workload(
+        self.distinct, self.stream = build_serving_workload(
             self.network,
             self.trajectories,
             distinct_per_kind=60 if quick else 200,
@@ -307,6 +321,212 @@ def run_query_bench(
                 fixture, mode=mode, repeats=repeats, workers=workers
             ),
         ]
+
+
+def _percentile(sorted_values: list[float], fraction: float) -> float:
+    if not sorted_values:
+        return 0.0
+    rank = int(round(fraction * (len(sorted_values) - 1)))
+    return sorted_values[min(rank, len(sorted_values) - 1)]
+
+
+def run_chaos_bench(
+    *,
+    duration: float = 30.0,
+    clients: int = 3,
+    quick: bool = False,
+    batch_size: int = 4,
+    deadline: float = 5.0,
+    kill_probability: float = 0.005,
+    delay_probability: float = 0.02,
+    delay_seconds: float = 0.4,
+    workers: int = 2,
+    seed: int = 23,
+) -> tuple[list[BenchResult], dict]:
+    """Chaos mode of ``repro serve-bench``: availability under faults.
+
+    Serves the skewed request stream through a supervised
+    :class:`~repro.serve.QueryService` while a seeded
+    :class:`~repro.serve.ChaosProxy` kills workers and delays responses,
+    and — once, mid-run — a shard file is corrupted on disk, held
+    corrupt briefly, then restored (exercising quarantine and
+    re-admission).  Every completed answer is checked against reference
+    results computed up front on a healthy single-process engine, so
+    the headline numbers are:
+
+    * **availability** — percent of requests answered (correctly)
+      before their deadline; typed sheds and quarantine refusals count
+      *against* it, mismatches would too (and fail the run's contract);
+    * **p50/p99 latency** of the answered requests, which is where the
+      cost of respawns, hedges, and ladder fallbacks shows up.
+
+    Returns ``(rows, summary)`` — bench rows for the perf-trajectory
+    file plus a diagnostic summary dict.
+    """
+    import tempfile
+
+    from ..query.engine import ShardedQueryEngine
+    from ..serve import ChaosProxy, QueryService, ServiceConfig
+    from ..serve.chaos import corrupt_shard, kill_fault, restore_shard
+
+    if duration <= 0:
+        raise ValueError(f"duration must be > 0, got {duration}")
+    if clients < 1:
+        raise ValueError(f"clients must be >= 1, got {clients}")
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-bench-") as root:
+        fixture = _ServingFixture(root, quick=quick)
+        with ShardedQueryEngine(
+            fixture.shard_paths, network=fixture.network, workers=1
+        ) as reference:
+            expected = dict(
+                zip(fixture.distinct, reference.run(fixture.distinct))
+            )
+
+        proxy_holder: list[ChaosProxy] = []
+
+        def wrap(pool) -> ChaosProxy:
+            proxy = ChaosProxy(
+                pool,
+                kill_probability=kill_probability,
+                delay_probability=delay_probability,
+                delay_seconds=delay_seconds,
+                seed=seed,
+            )
+            proxy_holder.append(proxy)
+            return proxy
+
+        service = QueryService(
+            fixture.shard_paths,
+            network=fixture.network,
+            workers=workers,
+            pool_wrapper=wrap,
+            config=ServiceConfig(
+                deadline=deadline,
+                quarantine_reprobe=0.05,
+                breaker_reset=0.5,
+                health_interval=0.25,
+            ),
+        )
+        proxy = proxy_holder[0] if proxy_holder else None
+
+        lock = threading.Lock()
+        latencies: list[float] = []
+        outcomes: dict[str, int] = {}
+        mismatches = 0
+        checked = 0
+        started = time.monotonic()
+        stop_at = started + duration
+
+        def client_loop(which: int) -> None:
+            nonlocal mismatches, checked
+            rng = random.Random(seed * 1000 + which)
+            while time.monotonic() < stop_at:
+                batch = rng.sample(
+                    fixture.stream, min(batch_size, len(fixture.stream))
+                )
+                response = service.submit_many(
+                    batch, client=f"client-{which}", deadline=deadline
+                )
+                bad = 0
+                if response.ok:
+                    bad = sum(
+                        1
+                        for query, answer in zip(batch, response.results)
+                        if answer != expected[query]
+                    )
+                with lock:
+                    outcomes[response.kind] = (
+                        outcomes.get(response.kind, 0) + 1
+                    )
+                    if response.ok:
+                        latencies.append(response.latency)
+                        checked += len(batch)
+                        mismatches += bad
+
+        threads = [
+            threading.Thread(
+                target=client_loop, args=(which,), daemon=True,
+                name=f"chaos-client-{which}",
+            )
+            for which in range(clients)
+        ]
+        for thread in threads:
+            thread.start()
+
+        # the scripted incident: corrupt one shard mid-run, hold
+        # briefly, restore — long enough to force quarantine, short
+        # enough that the fenced window stays inside the availability
+        # budget at any --duration
+        corrupt_path = fixture.shard_paths[-1]
+        hold = max(0.1, min(0.25, duration / 300.0))
+        time.sleep(max(0.0, started + 0.4 * duration - time.monotonic()))
+        pristine = corrupt_shard(corrupt_path)
+        try:
+            if proxy is not None:
+                # flush warm worker caches so the corruption is seen
+                proxy.arm(kill_fault())
+            time.sleep(hold)
+        finally:
+            restore_shard(corrupt_path, pristine)
+
+        for thread in threads:
+            thread.join(timeout=duration + 4 * deadline)
+        elapsed = time.monotonic() - started
+        service_stats = service.stats.snapshot()
+        supervisor_stats = (
+            service.supervisor.stats.snapshot()
+            if service.supervisor is not None
+            else {}
+        )
+        injected = dict(proxy.injected) if proxy is not None else {}
+        still_quarantined = service.quarantined_shards()
+        service.close()
+
+    total = sum(outcomes.values())
+    ok = outcomes.get("ok", 0)
+    availability = 100.0 * ok / total if total else 0.0
+    latencies.sort()
+    p50 = _percentile(latencies, 0.50)
+    p99 = _percentile(latencies, 0.99)
+    faults = sum(injected.values()) + 1  # +1: the corruption incident
+    rows = [
+        BenchResult("chaos_requests", "req/s", total, elapsed),
+        GaugeResult(
+            "chaos_availability", "percent", ok, elapsed, value=availability
+        ),
+        GaugeResult(
+            "chaos_p50_latency", "ms", len(latencies), elapsed,
+            value=p50 * 1000.0,
+        ),
+        GaugeResult(
+            "chaos_p99_latency", "ms", len(latencies), elapsed,
+            value=p99 * 1000.0,
+        ),
+        GaugeResult(
+            "chaos_mismatches", "results", checked, elapsed,
+            value=float(mismatches),
+        ),
+        GaugeResult(
+            "chaos_faults_injected", "faults", faults, elapsed,
+            value=float(faults),
+        ),
+    ]
+    summary = {
+        "duration": round(elapsed, 3),
+        "clients": clients,
+        "requests": total,
+        "outcomes": dict(sorted(outcomes.items())),
+        "availability_percent": round(availability, 3),
+        "p50_ms": round(p50 * 1000.0, 3),
+        "p99_ms": round(p99 * 1000.0, 3),
+        "results_checked": checked,
+        "result_mismatches": mismatches,
+        "faults_injected": injected,
+        "still_quarantined": still_quarantined,
+        "service": service_stats,
+        "supervisor": supervisor_stats,
+    }
+    return rows, summary
 
 
 def load_existing_rows(path) -> list[list]:

@@ -338,3 +338,80 @@ def test_bench_quick_writes_results_json(tmp_path, capsys):
     labels = [row[0] for row in table["rows"]]
     assert "cli-test" in labels and "second" in labels
     assert labels.index("cli-test") < labels.index("second")
+
+
+# ----------------------------------------------------------------------
+# operator errors: one line on stderr, exit status 2
+# ----------------------------------------------------------------------
+class TestCliErrorContract:
+    """``query``/``stream``/``serve-bench`` failures are typed: exit
+    status 2 with a single ``error: ...`` line, never a traceback."""
+
+    def assert_clean_failure(self, excinfo, capsys):
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        lines = [line for line in err.splitlines() if line.strip()]
+        assert len(lines) == 1
+        assert lines[0].startswith("error: ")
+        return lines[0]
+
+    def test_query_missing_archive(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main([
+                "query", "where", "/no/such/archive.utcq",
+                "--trajectory", "1", "--time", "0",
+            ])
+        message = self.assert_clean_failure(excinfo, capsys)
+        assert "no such archive" in message
+
+    def test_query_batch_bad_json(self, archive_path, tmp_path, capsys):
+        bad = tmp_path / "queries.jsonl"
+        bad.write_text("this is not json\n")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["query", "batch", str(archive_path), "-i", str(bad)])
+        message = self.assert_clean_failure(excinfo, capsys)
+        assert "bad query JSON" in message
+
+    def test_query_corrupt_archive(self, archive_path, tmp_path, capsys):
+        data = bytearray(archive_path.read_bytes())
+        data[0] ^= 0xFF
+        bad = tmp_path / "corrupt.utcq"
+        bad.write_bytes(bytes(data))
+        with pytest.raises(SystemExit) as excinfo:
+            main([
+                "query", "where", str(bad),
+                "--trajectory", "1", "--time", "0",
+            ])
+        self.assert_clean_failure(excinfo, capsys)
+
+    def test_stream_missing_directory(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["stream", "stats", str(tmp_path / "nowhere")])
+        message = self.assert_clean_failure(excinfo, capsys)
+        assert excinfo.value.code == 2
+
+    def test_serve_bench_rejects_bad_duration(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main([
+                "serve-bench", "--chaos", "--quick",
+                "--duration", "0",
+                "-o", str(tmp_path / "out.json"),
+            ])
+        message = self.assert_clean_failure(excinfo, capsys)
+        assert "duration" in message
+
+    def test_serve_bench_unwritable_output(self, tmp_path, capsys, monkeypatch):
+        # the bench itself is expensive; patch it out and fail the write
+        from repro.workloads import query_bench
+
+        monkeypatch.setattr(
+            "repro.workloads.query_bench.run_query_bench",
+            lambda **kwargs: [],
+        )
+        with pytest.raises(SystemExit) as excinfo:
+            main([
+                "serve-bench", "--quick",
+                "-o", str(tmp_path / "no" / "such" / "dir" / "out.json"),
+            ])
+        message = self.assert_clean_failure(excinfo, capsys)
+        assert "cannot write" in message

@@ -134,6 +134,26 @@ class TestCorruption:
         with pytest.raises(ArchiveFormatError, match="CRC"):
             read_archive(bad)
 
+    def test_damaged_bytes_raise_the_corruption_subtype(
+        self, archive_path, tmp_path
+    ):
+        """Damaged stored bytes (vs a malformed file) carry their own
+        exception type, which the serving tier keys quarantine on."""
+        from repro.io import CorruptArchiveError
+        from repro.io.reader import FileBackedArchive
+
+        data = bytearray(archive_path.read_bytes())
+        data[-1] ^= 0xFF
+        bad = tmp_path / "bad_crc_typed.utcq"
+        bad.write_bytes(bytes(data))
+        with pytest.raises(CorruptArchiveError):
+            read_archive(bad)
+        # the lazy per-record reader agrees
+        with FileBackedArchive.open(bad) as archive:
+            last_id = archive.trajectory_ids()[-1]
+            with pytest.raises(CorruptArchiveError):
+                archive.trajectory(last_id)
+
     def test_truncation(self, archive_path, tmp_path):
         data = archive_path.read_bytes()
         bad = tmp_path / "truncated.utcq"

@@ -238,6 +238,87 @@ class TestShardedEngine:
             engine.run([])
 
 
+class TestShardedEngineLifecycle:
+    def test_worker_death_raises_typed_and_restart_recovers(self, world):
+        import os
+        import signal
+        import time
+
+        from repro.query import WorkerPoolBroken
+
+        network, trajectories, archive, shard_paths = world
+        queries = make_queries(network, trajectories, count=15, seed=21)
+        expected = BatchQueryEngine(
+            network, archive, StIUIndex(network, archive)
+        ).run(queries)
+        with ShardedQueryEngine(
+            shard_paths, network=network, workers=2
+        ) as engine:
+            assert engine.run(queries) == expected  # pool is warm
+            victims = engine.pool.worker_pids()
+            assert victims
+            os.kill(victims[0], signal.SIGKILL)
+            deadline = time.monotonic() + 30
+            observed = None
+            while time.monotonic() < deadline:
+                try:
+                    engine.run(queries)
+                except WorkerPoolBroken as error:
+                    observed = error
+                    break
+                time.sleep(0.05)
+            assert isinstance(observed, WorkerPoolBroken)
+            engine.restart_pool()
+            assert engine.run(queries) == expected
+
+    def test_close_is_idempotent(self, world):
+        network, _, _, shard_paths = world
+        engine = ShardedQueryEngine(shard_paths, network=network, workers=1)
+        engine.run(make_queries(*world[:2], count=3, seed=1))
+        engine.close()
+        engine.close()  # second close must be a no-op, not an error
+        assert engine.closed
+
+    def test_run_after_close_raises_typed_subclass(self, world):
+        from repro.query import EngineClosedError
+
+        network, _, _, shard_paths = world
+        engine = ShardedQueryEngine(shard_paths, network=network, workers=1)
+        engine.close()
+        with pytest.raises(EngineClosedError):
+            engine.run([])
+        with pytest.raises(EngineClosedError):
+            engine.run_local(shard_paths[0], [])
+        with pytest.raises(EngineClosedError):
+            engine.restart_pool()
+
+    def test_exit_does_not_mask_body_exception(self, world, monkeypatch):
+        network, _, _, shard_paths = world
+        engine = ShardedQueryEngine(shard_paths, network=network, workers=1)
+
+        def explode() -> None:
+            raise OSError("teardown went sideways")
+
+        monkeypatch.setattr(engine, "close", explode)
+        with pytest.raises(ValueError, match="the real failure"):
+            with engine:
+                raise ValueError("the real failure")
+
+    def test_exit_still_raises_teardown_error_on_clean_body(
+        self, world, monkeypatch
+    ):
+        network, _, _, shard_paths = world
+        engine = ShardedQueryEngine(shard_paths, network=network, workers=1)
+
+        def explode() -> None:
+            raise OSError("teardown went sideways")
+
+        monkeypatch.setattr(engine, "close", explode)
+        with pytest.raises(OSError, match="teardown"):
+            with engine:
+                pass
+
+
 class TestQuerySpecs:
     def test_round_trip_from_dicts(self):
         where = query_from_dict(
