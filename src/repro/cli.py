@@ -13,6 +13,10 @@ Subcommands::
                 TED base search, compression, StIU queries) and write
                 BENCH_core_hotpaths.json — the perf trajectory file
                 tracked at the repo root
+    obs         telemetry: dump the process-wide metrics registry
+                (Prometheus text or JSON), or trace one request through
+                the sharded serving path and print its span tree with
+                the plan / IPC / worker-decode / merge breakdown
 
 ``query`` and ``decompress`` need the road network the archive was
 compressed against.  ``compress`` records the generating profile, seed,
@@ -295,6 +299,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--deadline", type=float, default=5.0,
         help="chaos mode: per-request deadline in seconds (default: 5)",
     )
+    _add_telemetry_arguments(serve_bench)
 
     bench = commands.add_parser(
         "bench",
@@ -415,6 +420,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--duration", type=float, default=10.0,
         help="how long the daemon runs in seconds (default: 10)",
     )
+    _add_telemetry_arguments(compact_)
 
     gc_ = actions.add_parser(
         "gc",
@@ -444,7 +450,75 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit machine-readable JSON"
     )
 
+    obs = commands.add_parser(
+        "obs",
+        help="telemetry: dump the process metrics registry, or trace "
+        "one sharded request end to end",
+    )
+    obs_actions = obs.add_subparsers(dest="action", required=True)
+
+    dump_ = obs_actions.add_parser(
+        "dump",
+        help="export the process-wide metrics registry (what every "
+        "instrumented subsystem has recorded so far in this process)",
+    )
+    dump_.add_argument(
+        "--format", choices=("prometheus", "json"), default="prometheus",
+        help="output format (default: prometheus text exposition)",
+    )
+    dump_.add_argument(
+        "-o", "--out", default=None,
+        help="write to this path instead of stdout",
+    )
+
+    trace_ = obs_actions.add_parser(
+        "trace",
+        help="run one traced request through a real sharded "
+        "QueryService and print the span tree plus the plan/IPC/"
+        "worker/merge breakdown (the ROADMAP item 1 instrument)",
+    )
+    trace_.add_argument(
+        "--full", action="store_true",
+        help="full-size serving fixture (default: the quick one)",
+    )
+    trace_.add_argument(
+        "--workers", type=int, default=4,
+        help="process-pool size for the sharded engine (default: 4)",
+    )
+    trace_.add_argument(
+        "--queries", type=int, default=64,
+        help="batch size of the traced request (default: 64)",
+    )
+    trace_.add_argument(
+        "--repeats", type=int, default=3,
+        help="traced attempts; the fastest request is reported "
+        "(default: 3)",
+    )
+    trace_.add_argument(
+        "--json", action="store_true",
+        help="emit the span tree and breakdown as JSON instead of "
+        "the rendered tree",
+    )
+    trace_.add_argument(
+        "--min-wall-ms", type=float, default=0.0,
+        help="hide spans shorter than this in the rendered tree "
+        "(default: show all)",
+    )
+
     return parser
+
+
+def _add_telemetry_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="after the run, write the metrics this command produced "
+        "(registry delta) as Prometheus text to PATH",
+    )
+    parser.add_argument(
+        "--log-json", default=None, metavar="PATH",
+        help="emit structured JSON logs to PATH ('-' for stderr); "
+        "worker subprocesses inherit the sink via REPRO_LOG_JSON",
+    )
 
 
 # ----------------------------------------------------------------------
@@ -877,12 +951,54 @@ def _run_query(args) -> int:
     return 0
 
 
+def _telemetry_begin(args):
+    """Honor ``--log-json`` and take the ``--metrics-out`` baseline.
+
+    Returns the registry snapshot to delta against after the run (or
+    None when ``--metrics-out`` was not given).  ``--log-json`` is
+    exported as ``REPRO_LOG_JSON`` so worker subprocesses spawned by
+    the run inherit the same sink.
+    """
+    import os
+
+    from .obs import log as obs_log
+    from .obs import metrics as obs_metrics
+
+    if getattr(args, "log_json", None):
+        obs_log.configure(args.log_json)
+        os.environ["REPRO_LOG_JSON"] = args.log_json
+    if getattr(args, "metrics_out", None):
+        return obs_metrics.get_registry().snapshot()
+    return None
+
+
+def _telemetry_end(args, baseline) -> None:
+    """Write the run's metrics delta as Prometheus text."""
+    from .obs import metrics as obs_metrics
+
+    if not getattr(args, "metrics_out", None):
+        return
+    delta = obs_metrics.snapshot_delta(
+        obs_metrics.get_registry().snapshot(), baseline or {}
+    )
+    try:
+        with open(args.metrics_out, "w", encoding="utf-8") as stream:
+            stream.write(obs_metrics.render_prometheus(delta))
+    except OSError as error:
+        raise CliError(f"cannot write {args.metrics_out}: {error}")
+    print(
+        f"wrote {args.metrics_out} "
+        f"({len(delta['metrics'])} series, Prometheus text)"
+    )
+
+
 def cmd_serve_bench(args) -> int:
     from .workloads.query_bench import run_query_bench, write_bench_json
     from .workloads.reporting import render_table
 
     if args.chaos:
         return _serve_bench_chaos(args)
+    baseline = _telemetry_begin(args)
     if args.mode == "both":
         runs = [
             (f"{args.label}-legacy", "legacy", args.append),
@@ -913,6 +1029,7 @@ def cmd_serve_bench(args) -> int:
         )
     )
     print(f"wrote {args.output} ({len(rows)} rows)")
+    _telemetry_end(args, baseline)
     return 0
 
 
@@ -920,6 +1037,7 @@ def _serve_bench_chaos(args) -> int:
     from .workloads.query_bench import run_chaos_bench, write_bench_json
     from .workloads.reporting import render_table
 
+    baseline = _telemetry_begin(args)
     try:
         results, summary = run_chaos_bench(
             duration=args.duration,
@@ -953,11 +1071,83 @@ def _serve_bench_chaos(args) -> int:
         f"mismatches: {summary['result_mismatches']}"
     )
     print(f"wrote {args.output} ({len(rows)} rows)")
+    _telemetry_end(args, baseline)
     if summary["result_mismatches"]:
         raise CliError(
             f"{summary['result_mismatches']} completed results did not "
             f"match the healthy-engine reference"
         )
+    return 0
+
+
+def cmd_obs(args) -> int:
+    handlers = {"dump": _obs_dump, "trace": _obs_trace}
+    return handlers[args.action](args)
+
+
+def _obs_dump(args) -> int:
+    from .obs import metrics as obs_metrics
+
+    registry = obs_metrics.get_registry()
+    text = (
+        registry.to_json()
+        if args.format == "json"
+        else registry.to_prometheus()
+    )
+    if args.out is None:
+        print(text, end="" if text.endswith("\n") else "\n")
+    else:
+        try:
+            with open(args.out, "w", encoding="utf-8") as stream:
+                stream.write(text)
+        except OSError as error:
+            raise CliError(f"cannot write {args.out}: {error}")
+        print(f"wrote {args.out} ({args.format})")
+    return 0
+
+
+def _obs_trace(args) -> int:
+    from .obs.trace import Span, render_tree
+    from .workloads.query_bench import run_trace_probe
+
+    try:
+        trace, breakdown = run_trace_probe(
+            quick=not args.full,
+            workers=args.workers,
+            queries=args.queries,
+            repeats=args.repeats,
+        )
+    except ValueError as error:
+        raise CliError(str(error))
+    if args.json:
+        print(json.dumps({"trace": trace, "breakdown": breakdown}, indent=2))
+        return 0
+    print(
+        render_tree(
+            Span.from_dict(trace), min_wall=args.min_wall_ms / 1000.0
+        )
+    )
+    total = breakdown["total_seconds"]
+    print()
+    print(
+        f"request wall {total * 1000:.2f}ms over "
+        f"{breakdown['worker_calls']} worker call(s):"
+    )
+    for key, label in (
+        ("plan_seconds", "plan"),
+        ("worker_seconds", "worker decode"),
+        ("ipc_seconds", "IPC overhead"),
+        ("merge_seconds", "merge"),
+    ):
+        share = breakdown[key] / total if total > 0 else 0.0
+        print(
+            f"  {label:<14} {breakdown[key] * 1000:8.2f}ms "
+            f"({share * 100:5.1f}% of request wall)"
+        )
+    print(
+        f"  ipc_share = {breakdown['ipc_share']:.3f} "
+        f"(the sharded-path tax ROADMAP item 1 tracks)"
+    )
     return 0
 
 
@@ -1069,6 +1259,7 @@ def _stream_compact(args) -> int:
 
     if args.output is None:
         return _stream_compact_in_place(args)
+    baseline = _telemetry_begin(args)
     manifest = load_manifest(args.directory)
     network = _network_from_manifest_provenance(manifest)
     size, count = compact(args.directory, args.output, network=network)
@@ -1092,6 +1283,7 @@ def _stream_compact(args) -> int:
             "note: no dataset provenance in the manifest; skipped the "
             "index sidecar (queries will rebuild the index on open)"
         )
+    _telemetry_end(args, baseline)
     return 0
 
 
@@ -1100,6 +1292,7 @@ def _stream_compact_in_place(args) -> int:
 
     from .stream import CompactionDaemon, load_manifest, make_policy
 
+    baseline = _telemetry_begin(args)
     manifest = load_manifest(args.directory)
     network = _network_from_manifest_provenance(manifest)
     policy_name = args.policy or "size-tiered"
@@ -1138,6 +1331,7 @@ def _stream_compact_in_place(args) -> int:
             "note: no dataset provenance in the manifest; merged segments "
             "got no index sidecars (live queries will rebuild for them)"
         )
+    _telemetry_end(args, baseline)
     return 0
 
 
@@ -1228,6 +1422,7 @@ def main(argv: list[str] | None = None) -> int:
         "stream": cmd_stream,
         "bench": cmd_bench,
         "serve-bench": cmd_serve_bench,
+        "obs": cmd_obs,
     }
     try:
         return handlers[args.command](args)

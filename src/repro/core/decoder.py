@@ -22,6 +22,7 @@ from typing import Callable
 
 from ..bits import expgolomb
 from ..bits.bitio import BitReader, uint_width
+from ..obs import metrics as obs_metrics
 from ..network.graph import RoadNetwork
 from ..trajectories.model import TrajectoryInstance, UncertainTrajectory
 from . import siar
@@ -195,7 +196,7 @@ class _LruSection:
     benchmark's legacy mode).
     """
 
-    __slots__ = ("capacity", "_entries", "hits", "misses")
+    __slots__ = ("capacity", "_entries", "hits", "misses", "evictions")
 
     def __init__(self, capacity: int | None) -> None:
         if capacity is not None and capacity < 0:
@@ -204,6 +205,7 @@ class _LruSection:
         self._entries: OrderedDict = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -225,6 +227,7 @@ class _LruSection:
         if self.capacity is not None:
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
+                self.evictions += 1
 
     def clear(self) -> None:
         self._entries.clear()
@@ -250,17 +253,25 @@ class DecodeSpanCache:
     other with equal values.
     """
 
+    _SECTION_NAMES = ("times", "references", "instances", "chainages")
+
     def __init__(
         self,
         *,
         trajectory_capacity: int | None = 1024,
         instance_capacity: int | None = 8192,
+        register: bool = True,
     ) -> None:
         self.times = _LruSection(trajectory_capacity)
         self.references = _LruSection(instance_capacity)
         self.instances = _LruSection(instance_capacity)
         self.chainages = _LruSection(instance_capacity)
         self._lock = threading.Lock()
+        if register:
+            # weak-ref collector: the registry asks this cache for its
+            # counters at scrape time only, so the ~100k-lookups/s hot
+            # path never touches a registry lock
+            obs_metrics.get_registry().register_collector(self)
 
     @classmethod
     def legacy(cls) -> "DecodeSpanCache":
@@ -306,22 +317,50 @@ class DecodeSpanCache:
             ):
                 section.clear()
 
+    def _sections(self):
+        return tuple(
+            (name, getattr(self, name)) for name in self._SECTION_NAMES
+        )
+
     def stats(self) -> dict[str, dict[str, int]]:
-        """Hit/miss/resident counters per section (instrumentation)."""
+        """A consistent hit/miss/eviction/resident snapshot per section.
+
+        All four sections are read under the one cache lock, so the
+        numbers are from a single instant even while other threads keep
+        querying — no torn hits-without-their-misses reads.
+        """
         with self._lock:
             return {
                 name: {
                     "hits": section.hits,
                     "misses": section.misses,
+                    "evictions": section.evictions,
                     "resident": len(section),
                 }
-                for name, section in (
-                    ("times", self.times),
-                    ("references", self.references),
-                    ("instances", self.instances),
-                    ("chainages", self.chainages),
-                )
+                for name, section in self._sections()
             }
+
+    def collect_metrics(self):
+        """Registry-collector view of :meth:`stats` (see
+        :meth:`repro.obs.metrics.MetricsRegistry.register_collector`)."""
+        for name, counts in self.stats().items():
+            labels = {"section": name}
+            yield (
+                "counter", "repro_decode_cache_hits_total", labels,
+                {"value": float(counts["hits"])},
+            )
+            yield (
+                "counter", "repro_decode_cache_misses_total", labels,
+                {"value": float(counts["misses"])},
+            )
+            yield (
+                "counter", "repro_decode_cache_evictions_total", labels,
+                {"value": float(counts["evictions"])},
+            )
+            yield (
+                "gauge", "repro_decode_cache_resident", labels,
+                {"value": float(counts["resident"])},
+            )
 
 
 def decode_instance_by_index(

@@ -16,6 +16,8 @@ import threading
 from collections import OrderedDict
 
 from ..core.archive import CompressedTrajectory, CompressionParams, CompressionStats
+from ..obs import metrics as obs_metrics
+from ..obs.log import get_logger
 from .format import (
     ArchiveFormatError,
     ArchiveHeader,
@@ -26,6 +28,8 @@ from .format import (
 )
 
 DEFAULT_CACHE_SIZE = 128
+
+_log = get_logger("repro.io.reader")
 
 
 class ArchiveClosedError(ValueError):
@@ -206,24 +210,33 @@ class FileBackedArchive:
             raise KeyError(f"no trajectory {trajectory_id} in the archive")
         record = self._read_record(entry)
         if len(record) != entry.length:
-            raise CorruptArchiveError(
-                f"truncated record for trajectory {trajectory_id}"
+            raise self._corrupt(
+                "truncated", f"truncated record for trajectory {trajectory_id}"
             )
         if self.verify_crc and record_crc(record) != entry.crc32:
-            raise CorruptArchiveError(
-                f"CRC mismatch for trajectory {trajectory_id}"
+            raise self._corrupt(
+                "crc_mismatch", f"CRC mismatch for trajectory {trajectory_id}"
             )
         trajectory = decode_trajectory_record(record)
         if trajectory.trajectory_id != trajectory_id:
-            raise CorruptArchiveError(
+            raise self._corrupt(
+                "id_mismatch",
                 f"directory/record id mismatch: {trajectory_id} != "
-                f"{trajectory.trajectory_id}"
+                f"{trajectory.trajectory_id}",
             )
         with self._lock:
             self._cache[trajectory_id] = trajectory
             while len(self._cache) > self.cache_size:
                 self._cache.popitem(last=False)
         return trajectory
+
+    def _corrupt(self, reason: str, message: str) -> CorruptArchiveError:
+        """Count + log a damaged record, return the error to raise."""
+        obs_metrics.counter(
+            "repro_io_corrupt_records_total", labels={"reason": reason}
+        ).inc()
+        _log.warning("io.corrupt_record", reason=reason, detail=message)
+        return CorruptArchiveError(message)
 
     def _read_record(self, entry) -> bytes:
         if self._fd is not None:

@@ -1,0 +1,91 @@
+"""`repro.obs` — dependency-free telemetry: metrics, traces, logs.
+
+Three coordinated primitives, threaded through every layer of the tree:
+
+* **Metrics** (:mod:`repro.obs.metrics`): a process-wide
+  :class:`MetricsRegistry` of thread-safe counters, gauges, and
+  log-bucketed histograms, exported as JSON or Prometheus text.
+  ``snapshot_delta`` subtracts two snapshots so a bench can report only
+  its own run.
+
+* **Traces** (:mod:`repro.obs.trace`): per-request span trees with wall
+  and CPU time.  ``trace_span`` is free when no trace is open;
+  ``worker_trace`` + ``attach_child`` carry spans across the
+  ``ShardWorkerPool`` process boundary and quantify IPC overhead.
+
+* **Logs** (:mod:`repro.obs.log`): one-line JSON events with request-id
+  correlation, disabled by default, enabled via ``configure()`` /
+  ``--log-json`` / ``REPRO_LOG_JSON``.
+
+See ``docs/observability.md`` for naming conventions, trace anatomy,
+and scrape examples.
+"""
+
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter,
+    gauge,
+    get_registry,
+    histogram,
+    parse_prometheus,
+    render_prometheus,
+    snapshot_delta,
+)
+from .trace import (
+    Span,
+    attach_child,
+    current_span,
+    ipc_breakdown,
+    is_tracing,
+    render_tree,
+    start_trace,
+    trace_span,
+    worker_trace,
+)
+from .log import (
+    StructuredLogger,
+    bind_request_id,
+    configure as configure_logging,
+    configured as logging_configured,
+    current_request_id,
+    get_logger,
+    next_request_id,
+    unbind_request_id,
+)
+
+__all__ = [
+    # metrics
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "counter",
+    "gauge",
+    "get_registry",
+    "histogram",
+    "parse_prometheus",
+    "render_prometheus",
+    "snapshot_delta",
+    # traces
+    "Span",
+    "attach_child",
+    "current_span",
+    "ipc_breakdown",
+    "is_tracing",
+    "render_tree",
+    "start_trace",
+    "trace_span",
+    "worker_trace",
+    # logs
+    "StructuredLogger",
+    "bind_request_id",
+    "configure_logging",
+    "logging_configured",
+    "current_request_id",
+    "get_logger",
+    "next_request_id",
+    "unbind_request_id",
+]

@@ -1,0 +1,207 @@
+"""Structured JSON logging with request correlation.
+
+Before this module there was no ``logging`` call anywhere in
+``src/repro`` — lifecycle events (worker respawns, breaker trips,
+shard quarantines, compaction merges, GC drops) happened silently or
+as ad-hoc counters.  This is the one logging surface the tree uses:
+
+* :func:`get_logger` returns a named :class:`StructuredLogger` whose
+  ``debug/info/warning/error`` methods take an **event name** plus
+  keyword fields and emit exactly one JSON object per line::
+
+      {"ts": 1754550000.123, "level": "warning", "logger":
+       "repro.serve.service", "event": "shard.quarantined",
+       "request_id": "req-000017", "path": "...", "error": "..."}
+
+* logging is **off by default** — a disabled logger call is one
+  attribute check, so instrumented hot paths cost nothing in normal
+  library use.  :func:`configure` turns it on (a path, a stream, or
+  ``"-"`` for stderr); the ``REPRO_LOG_JSON`` environment variable does
+  the same for processes you cannot pass flags to (CLI ``--log-json``
+  sets it so worker subprocesses inherit the sink).
+
+* the **request id** rides a :mod:`contextvars` context variable: the
+  serving tier binds one per request (:func:`bind_request_id`), and
+  every event logged below it — breaker trips, supervisor respawns —
+  carries it automatically, which is what makes a chaos run's log
+  greppable per request.
+
+Events are snake.dotted (``subsystem.noun.verb``); field values must be
+JSON-serializable (anything else is ``repr()``-ed rather than raising —
+a log line must never take down the request it describes).
+"""
+
+from __future__ import annotations
+
+import contextvars
+import io
+import itertools
+import json
+import os
+import sys
+import threading
+import time
+
+_LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+_request_id: contextvars.ContextVar = contextvars.ContextVar(
+    "repro_obs_request_id", default=None
+)
+
+_request_counter = itertools.count(1)
+
+
+def next_request_id() -> str:
+    """A process-unique request id (``req-000001`` style)."""
+    return f"req-{next(_request_counter):06d}"
+
+
+def bind_request_id(request_id: str | None = None):
+    """Set the request id for the current context; returns a token for
+    :func:`unbind_request_id`.  ``None`` generates a fresh id."""
+    if request_id is None:
+        request_id = next_request_id()
+    return _request_id.set(request_id)
+
+
+def unbind_request_id(token) -> None:
+    _request_id.reset(token)
+
+
+def current_request_id() -> str | None:
+    return _request_id.get()
+
+
+class _LogState:
+    """The process-wide sink; swapped atomically by configure()."""
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.level = _LEVELS["info"]
+        self.stream: io.TextIOBase | None = None
+        self.owns_stream = False
+        self.lock = threading.Lock()
+
+
+_state = _LogState()
+
+
+def configure(
+    target: str | io.TextIOBase | None = "-", *, level: str = "info"
+) -> None:
+    """Enable JSON logging to ``target``.
+
+    ``target`` is a file path (appended, line-buffered), an open text
+    stream, ``"-"`` for stderr, or ``None`` to disable again.  Safe to
+    call repeatedly; a previously opened file sink is closed.
+    """
+    if level not in _LEVELS:
+        raise ValueError(f"unknown log level {level!r} (use {sorted(_LEVELS)})")
+    with _state.lock:
+        if _state.owns_stream and _state.stream is not None:
+            _state.stream.close()
+        _state.owns_stream = False
+        if target is None:
+            _state.enabled = False
+            _state.stream = None
+            return
+        if target == "-":
+            _state.stream = sys.stderr
+        elif isinstance(target, str):
+            _state.stream = open(target, "a", encoding="utf-8", buffering=1)
+            _state.owns_stream = True
+        else:
+            _state.stream = target
+        _state.level = _LEVELS[level]
+        _state.enabled = True
+
+
+def configured() -> bool:
+    return _state.enabled
+
+
+def configure_from_env() -> bool:
+    """Honor ``REPRO_LOG_JSON`` (a path, or ``-``); returns whether
+    logging ended up enabled.  Called once at import so spawned worker
+    processes inherit the operator's sink."""
+    target = os.environ.get("REPRO_LOG_JSON")
+    if not target:
+        return _state.enabled
+    configure(target, level=os.environ.get("REPRO_LOG_LEVEL", "info"))
+    return True
+
+
+def _json_safe(value):
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _json_safe(item) for key, item in value.items()}
+    return repr(value)
+
+
+class StructuredLogger:
+    """Named emitter of one-line JSON events."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def log(self, _level: str, _event: str, **fields) -> None:
+        state = _state
+        if not state.enabled or _LEVELS[_level] < state.level:
+            return
+        record = {
+            "ts": round(time.time(), 6),
+            "level": _level,
+            "logger": self.name,
+            "event": _event,
+        }
+        request_id = _request_id.get()
+        if request_id is not None:
+            record["request_id"] = request_id
+        for key, value in fields.items():
+            # reserved record keys win; a field named e.g. "level" must
+            # not clobber the severity
+            record.setdefault(key, _json_safe(value))
+        line = json.dumps(record, separators=(",", ":"))
+        with state.lock:
+            stream = state.stream
+            if stream is None:
+                return
+            try:
+                stream.write(line + "\n")
+            except ValueError:
+                # the sink was closed underneath us (interpreter
+                # shutdown, test teardown); drop the line, never raise
+                return
+
+    def debug(self, _event: str, **fields) -> None:
+        self.log("debug", _event, **fields)
+
+    def info(self, _event: str, **fields) -> None:
+        self.log("info", _event, **fields)
+
+    def warning(self, _event: str, **fields) -> None:
+        self.log("warning", _event, **fields)
+
+    def error(self, _event: str, **fields) -> None:
+        self.log("error", _event, **fields)
+
+
+_loggers: dict[str, StructuredLogger] = {}
+_loggers_lock = threading.Lock()
+
+
+def get_logger(name: str) -> StructuredLogger:
+    """The logger for ``name`` (module path by convention); cached."""
+    logger = _loggers.get(name)
+    if logger is None:
+        with _loggers_lock:
+            logger = _loggers.setdefault(name, StructuredLogger(name))
+    return logger
+
+
+configure_from_env()

@@ -31,6 +31,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import threading
+import time
 from concurrent.futures import Future, ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
@@ -38,9 +39,14 @@ from typing import Sequence, Union
 
 from ..core.decoder import DecodeSpanCache
 from ..network.grid import Rect
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
+from ..obs.log import get_logger
 from ..trajectories.model import EdgeKey
 from .queries import UTCQQueryProcessor, WhenResult, WhereResult
 from .stiu import StIUIndex
+
+_log = get_logger("repro.query.engine")
 
 
 class QueryEngineError(Exception):
@@ -213,6 +219,9 @@ class BatchQueryEngine:
             answer = self._execute(query)
             for position in slots[query]:
                 results[position] = answer
+        obs_metrics.counter(
+            "repro_engine_queries_total", labels={"engine": "batch"}
+        ).inc(len(queries))
         return results
 
     @staticmethod
@@ -323,9 +332,52 @@ def _run_shard_batch(task: tuple) -> list:
     return _shard_engine_for(path).run(queries)
 
 
+def _run_shard_batch_traced(task: tuple) -> dict:
+    """Traced variant: same answers, plus this worker's span tree.
+
+    The worker opens its own trace root (spans cannot cross a process
+    boundary live) and piggybacks the finished tree on the result; the
+    parent grafts it under the request's tree and derives the IPC
+    overhead from its own observed round-trip time.
+    """
+    path, queries = task
+    with obs_trace.worker_trace(
+        "worker", shard=os.path.basename(path)
+    ) as span:
+        with obs_trace.trace_span("worker.open"):
+            engine = _shard_engine_for(path)
+        with obs_trace.trace_span("worker.run", queries=len(queries)):
+            answers = engine.run(queries)
+    return {"answers": answers, "span": span.to_dict()}
+
+
 def _ping_worker(payload: object) -> tuple[int, object]:
     """Health-check task: proves a worker can pull work and answer."""
     return os.getpid(), payload
+
+
+def _graft_shard_span(parent, path, specs, payload: dict, roundtrip: float):
+    """Attach a traced task's worker span under ``parent``; returns the
+    bare answers.
+
+    Shard sub-batches run concurrently, so the ``shard:`` span's wall
+    time is the parent-observed submit-to-result round trip (not a
+    ``with`` block: by the time the first ``result()`` returns, other
+    shards have already been running).  ``ipc_seconds`` is that round
+    trip minus the worker's own wall time — pickle out, queue wait,
+    pickle back.
+    """
+    shard_span = obs_trace.Span(
+        f"shard:{os.path.basename(path)}",
+        {"path": str(path), "queries": len(specs)},
+    )
+    shard_span.wall = roundtrip
+    worker = obs_trace.Span.from_dict(payload["span"])
+    worker.set("roundtrip_seconds", roundtrip)
+    worker.set("ipc_seconds", max(0.0, roundtrip - worker.wall))
+    shard_span.children.append(worker)
+    parent.children.append(shard_span)
+    return payload["answers"]
 
 
 class ShardWorkerPool:
@@ -392,8 +444,17 @@ class ShardWorkerPool:
                 not self._closed and self._executor._broken is not False
             )
 
-    def submit(self, path: str, specs: Sequence[Query]) -> Future:
-        return self.submit_call(_run_shard_batch, (str(path), list(specs)))
+    def submit(
+        self, path: str, specs: Sequence[Query], *, traced: bool = False
+    ) -> Future:
+        """Hand one shard sub-batch to the pool.
+
+        With ``traced=True`` the worker runs the traced task variant
+        and the future resolves to ``{"answers": [...], "span": {...}}``
+        instead of the bare answer list.
+        """
+        fn = _run_shard_batch_traced if traced else _run_shard_batch
+        return self.submit_call(fn, (str(path), list(specs)))
 
     def submit_call(self, fn, payload) -> Future:
         """Generic submission seam (used by pings and chaos wrappers)."""
@@ -435,6 +496,13 @@ class ShardWorkerPool:
             self.generation += 1
             generation = self.generation
         old.shutdown(wait=False, cancel_futures=True)
+        obs_metrics.counter(
+            "repro_pool_restarts_total",
+            help="Worker-pool respawns (new generation of processes)",
+        ).inc()
+        _log.warning(
+            "pool.restart", generation=generation, workers=self._workers
+        )
         return generation
 
     def close(self) -> None:
@@ -649,25 +717,49 @@ class ShardedQueryEngine:
     # execution
     # ------------------------------------------------------------------
     def run(self, queries: Sequence[Query]) -> list:
-        """Answer every query; results align with the submission order."""
+        """Answer every query; results align with the submission order.
+
+        When the caller has a trace open (:func:`repro.obs.trace.
+        start_trace`), the run contributes ``plan``/``shard:*``/``merge``
+        spans — including worker-side span trees grafted back across the
+        process boundary with their IPC overhead quantified.
+        """
         if self._closed:
             raise EngineClosedError("engine is closed")
-        plan = self.plan(queries)
-        return self.merge(plan, self._execute_tasks(plan.tasks))
+        with obs_trace.trace_span("plan", queries=len(queries)):
+            plan = self.plan(queries)
+        task_results = list(self._execute_tasks(plan.tasks))
+        obs_metrics.counter(
+            "repro_engine_queries_total", labels={"engine": "sharded"}
+        ).inc(len(queries))
+        with obs_trace.trace_span("merge", tasks=len(task_results)):
+            return self.merge(plan, task_results)
 
     def _execute_tasks(self, tasks: dict[str, list]):
         items = sorted(tasks.items())
         if self.pool is None:
             for path, specs in items:
-                yield specs, self.run_local(path, specs)
+                with obs_trace.trace_span(
+                    "shard.local", path=os.path.basename(path)
+                ):
+                    yield specs, self.run_local(path, specs)
             return
+        parent = obs_trace.current_span()
+        traced = parent is not None
         try:
             futures = [
-                (specs, self.pool.submit(path, specs))
+                (path, specs, time.perf_counter(),
+                 self.pool.submit(path, specs, traced=traced))
                 for path, specs in items
             ]
-            for specs, future in futures:
-                yield specs, future.result()
+            for path, specs, submitted, future in futures:
+                payload = future.result()
+                roundtrip = time.perf_counter() - submitted
+                if traced:
+                    payload = _graft_shard_span(
+                        parent, path, specs, payload, roundtrip
+                    )
+                yield specs, payload
         except BrokenProcessPool as error:
             raise WorkerPoolBroken(
                 f"a shard worker died mid-batch: {error}; call "

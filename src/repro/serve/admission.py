@@ -20,6 +20,7 @@ import threading
 import time
 from dataclasses import dataclass, field
 
+from ..obs import metrics as obs_metrics
 from .errors import Overloaded
 
 
@@ -65,6 +66,13 @@ class TokenBucket:
 
 @dataclass
 class AdmissionStats:
+    """Per-controller admission tallies.
+
+    The controller mirrors every count into the process registry
+    (``repro_admission_*`` counters, ``repro_admission_in_flight``
+    gauge); this object keeps the per-instance view.
+    """
+
     admitted: int = 0
     shed_in_flight: int = 0
     shed_rate_limited: int = 0
@@ -108,6 +116,21 @@ class AdmissionController:
         self._in_flight = 0
         self._buckets: dict[str, TokenBucket] = {}
         self.stats = AdmissionStats()
+        self._metric_admitted = obs_metrics.counter(
+            "repro_admission_admitted_total"
+        )
+        self._metric_shed = {
+            "in_flight": obs_metrics.counter(
+                "repro_admission_shed_total", labels={"reason": "in_flight"}
+            ),
+            "rate_limited": obs_metrics.counter(
+                "repro_admission_shed_total",
+                labels={"reason": "rate_limited"},
+            ),
+        }
+        self._metric_in_flight = obs_metrics.gauge(
+            "repro_admission_in_flight"
+        )
 
     @property
     def in_flight(self) -> int:
@@ -137,6 +160,7 @@ class AdmissionController:
             bucket = self._bucket(client)
             if bucket is not None and not bucket.try_take():
                 self.stats.shed_rate_limited += 1
+                self._metric_shed["rate_limited"].inc()
                 raise Overloaded(
                     f"client {client!r} is over its rate limit "
                     f"({self.rate_per_second:g}/s, burst {self.burst:g})",
@@ -144,17 +168,21 @@ class AdmissionController:
                 )
             if self._in_flight >= self.max_in_flight:
                 self.stats.shed_in_flight += 1
+                self._metric_shed["in_flight"].inc()
                 raise Overloaded(
                     f"service is at its in-flight limit "
                     f"({self.max_in_flight} requests)"
                 )
             self._in_flight += 1
             self.stats.admitted += 1
+            self._metric_admitted.inc()
+            self._metric_in_flight.set(self._in_flight)
         return _AdmissionSlot(self)
 
     def _release(self) -> None:
         with self._lock:
             self._in_flight -= 1
+            self._metric_in_flight.set(self._in_flight)
 
 
 class _AdmissionSlot:

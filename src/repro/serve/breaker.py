@@ -19,9 +19,22 @@ from __future__ import annotations
 import threading
 import time
 
+from ..obs import metrics as obs_metrics
+from ..obs.log import get_logger
+
 CLOSED = "closed"
 OPEN = "open"
 HALF_OPEN = "half-open"
+
+_log = get_logger("repro.serve.breaker")
+
+
+def _note_transition(to_state: str) -> None:
+    obs_metrics.counter(
+        "repro_breaker_transitions_total",
+        labels={"to": to_state},
+        help="Circuit-breaker state transitions",
+    ).inc()
 
 
 class CircuitBreaker:
@@ -62,6 +75,8 @@ class CircuitBreaker:
         ):
             self._state = HALF_OPEN
             self._probe_out = False
+            _note_transition(HALF_OPEN)
+            _log.info("breaker.half_open")
         return self._state
 
     def allow(self) -> bool:
@@ -81,9 +96,13 @@ class CircuitBreaker:
 
     def record_success(self) -> None:
         with self._lock:
+            reclosed = self._state != CLOSED
             self._failures = 0
             self._probe_out = False
             self._state = CLOSED
+        if reclosed:
+            _note_transition(CLOSED)
+            _log.info("breaker.closed")
 
     def record_failure(self) -> None:
         with self._lock:
@@ -101,3 +120,9 @@ class CircuitBreaker:
         self._probe_out = False
         self._opened_at = self._clock()
         self.opens += 1
+        _note_transition(OPEN)
+        _log.warning(
+            "breaker.opened",
+            opens=self.opens,
+            reset_timeout=self.reset_timeout,
+        )

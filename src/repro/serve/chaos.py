@@ -35,7 +35,7 @@ from collections import deque
 from pathlib import Path
 
 from ..io.format import read_header
-from ..query.engine import _run_shard_batch
+from ..query.engine import _run_shard_batch, _run_shard_batch_traced
 
 KILL = "kill"
 DELAY = "delay"
@@ -51,12 +51,14 @@ def delay_fault(seconds: float) -> tuple:
 
 def _run_shard_batch_with_fault(payload: tuple) -> list:
     """Worker-side: suffer the fault, then (maybe) do the real work."""
-    fault, task = payload
+    fault, task, traced = payload
     if fault is not None:
         if fault[0] == KILL:
             os._exit(1)  # no cleanup — this is the point
         elif fault[0] == DELAY:
             time.sleep(fault[1])
+    if traced:
+        return _run_shard_batch_traced(task)
     return _run_shard_batch(task)
 
 
@@ -124,13 +126,13 @@ class ChaosProxy:
     # ------------------------------------------------------------------
     # ShardWorkerPool duck-type
     # ------------------------------------------------------------------
-    def submit(self, path, specs):
+    def submit(self, path, specs, *, traced: bool = False):
         fault = self._next_fault()
         if fault is None:
-            return self._pool.submit(path, specs)
+            return self._pool.submit(path, specs, traced=traced)
         return self._pool.submit_call(
             _run_shard_batch_with_fault,
-            (fault, (str(path), list(specs))),
+            (fault, (str(path), list(specs)), traced),
         )
 
     def submit_call(self, fn, payload):

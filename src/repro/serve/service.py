@@ -39,6 +39,9 @@ import time
 from dataclasses import dataclass, field
 
 from ..io.format import CorruptArchiveError, read_header, record_crc
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
+from ..obs.log import bind_request_id, get_logger, unbind_request_id
 from ..query.engine import (
     EngineClosedError,
     Query,
@@ -55,6 +58,8 @@ from .errors import (
     WorkerPoolUnavailable,
 )
 from .supervisor import RetryPolicy, WorkerSupervisor
+
+_log = get_logger("repro.serve.service")
 
 # ladder rungs, least to most degraded
 MODE_SHARDED = "sharded"
@@ -98,6 +103,7 @@ class ServiceResponse:
     mode: str  # most-degraded rung used: sharded/batch/single; "" on error
     latency: float  # seconds, admission to response
     client: str
+    trace: dict | None = None  # span tree when submitted with trace=True
 
     @property
     def kind(self) -> str:
@@ -120,45 +126,64 @@ class ServiceResponse:
         return self.results[0]
 
 
-@dataclass
 class ServiceStats:
-    requests: int = 0
-    completed: int = 0
-    overloaded: int = 0
-    deadline_exceeded: int = 0
-    quarantined: int = 0
-    failed: int = 0
-    served_sharded: int = 0
-    served_degraded_batch: int = 0
-    served_degraded_single: int = 0
-    quarantines: int = 0
-    requarantine_probes: int = 0
-    shards_readmitted: int = 0
-    lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+    """Per-service request counters, mirrored into the process registry.
+
+    A thin shim over :mod:`repro.obs.metrics`: every ``bump`` lands in
+    the shared registry counter named below (that is what a Prometheus
+    scrape / ``--metrics-out`` exports), while a per-instance tally
+    keeps :meth:`snapshot` scoped to *this* service — the exact keys
+    and semantics the pre-registry dataclass had.
+    """
+
+    # bump() name -> (registry counter, labels)
+    METRICS = {
+        "requests": ("repro_service_requests_total", None),
+        "completed": ("repro_service_completed_total", None),
+        "overloaded": (
+            "repro_service_rejected_total", {"reason": "overloaded"}
+        ),
+        "deadline_exceeded": (
+            "repro_service_rejected_total", {"reason": "deadline"}
+        ),
+        "quarantined": (
+            "repro_service_rejected_total", {"reason": "quarantined"}
+        ),
+        "failed": ("repro_service_rejected_total", {"reason": "failed"}),
+        "served_sharded": (
+            "repro_service_served_total", {"mode": "sharded"}
+        ),
+        "served_degraded_batch": (
+            "repro_service_served_total", {"mode": "batch"}
+        ),
+        "served_degraded_single": (
+            "repro_service_served_total", {"mode": "single"}
+        ),
+        "quarantines": ("repro_service_quarantines_total", None),
+        "requarantine_probes": (
+            "repro_service_requarantine_probes_total", None
+        ),
+        "shards_readmitted": (
+            "repro_service_shards_readmitted_total", None
+        ),
+    }
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counts = dict.fromkeys(self.METRICS, 0)
+        self._metrics = {
+            name: obs_metrics.counter(metric, labels=labels)
+            for name, (metric, labels) in self.METRICS.items()
+        }
 
     def bump(self, name: str, amount: int = 1) -> None:
-        with self.lock:
-            setattr(self, name, getattr(self, name) + amount)
+        with self._lock:
+            self._counts[name] += amount
+        self._metrics[name].inc(amount)
 
     def snapshot(self) -> dict:
-        with self.lock:
-            return {
-                key: getattr(self, key)
-                for key in (
-                    "requests",
-                    "completed",
-                    "overloaded",
-                    "deadline_exceeded",
-                    "quarantined",
-                    "failed",
-                    "served_sharded",
-                    "served_degraded_batch",
-                    "served_degraded_single",
-                    "quarantines",
-                    "requarantine_probes",
-                    "shards_readmitted",
-                )
-            }
+        with self._lock:
+            return dict(self._counts)
 
 
 class QueryService:
@@ -212,6 +237,10 @@ class QueryService:
         ):
             self.supervisor.start_health_loop(self.config.health_interval)
         self.stats = ServiceStats()
+        self._latency = obs_metrics.histogram(
+            "repro_request_latency_seconds",
+            help="End-to-end request latency, admission to response",
+        )
         self._closed = False
         self._local_lock = threading.Lock()  # serializes warm fallbacks
         self._quarantine_lock = threading.Lock()
@@ -253,9 +282,12 @@ class QueryService:
         *,
         client: str = "default",
         deadline: float | None = None,
+        trace: bool = False,
     ) -> ServiceResponse:
         """One query, one response (``response.result`` unwraps it)."""
-        return self.submit_many([query], client=client, deadline=deadline)
+        return self.submit_many(
+            [query], client=client, deadline=deadline, trace=trace
+        )
 
     def submit_many(
         self,
@@ -263,34 +295,69 @@ class QueryService:
         *,
         client: str = "default",
         deadline: float | None = None,
+        trace: bool = False,
     ) -> ServiceResponse:
-        """One request carrying a batch; one deadline covers all of it."""
+        """One request carrying a batch; one deadline covers all of it.
+
+        With ``trace=True`` the request runs under a span tree — plan,
+        per-shard pool calls with grafted worker spans and IPC
+        accounting, merge — returned on ``response.trace``.
+        """
         if self._closed:
             raise ServiceClosedError("QueryService is closed")
         started = self._clock()
+        wall_started = time.perf_counter()
         self.stats.bump("requests")
+        token = bind_request_id()
+        try:
+            return self._admit_and_execute(
+                queries, started, client, deadline, trace
+            )
+        finally:
+            unbind_request_id(token)
+            self._latency.observe(time.perf_counter() - wall_started)
+
+    def _admit_and_execute(
+        self, queries, started, client, deadline, trace
+    ) -> ServiceResponse:
         try:
             slot = self.admission.admit(client)
         except Overloaded as error:
             self.stats.bump("overloaded")
+            _log.info(
+                "request.shed", client=client, retry_after=error.retry_after
+            )
             return self._respond(started, client, error=error)
+        trace_doc = None
         try:
             with slot:
                 deadline_at = started + (
                     deadline if deadline is not None else self.config.deadline
                 )
-                results, mode = self._execute(queries, deadline_at)
+                if trace:
+                    with obs_trace.start_trace(
+                        "request", client=client, queries=len(queries)
+                    ) as root:
+                        results, mode = self._execute(queries, deadline_at)
+                        root.set("mode", mode)
+                    trace_doc = root.to_dict()
+                else:
+                    results, mode = self._execute(queries, deadline_at)
         except Overloaded as error:  # pragma: no cover - defensive
             self.stats.bump("overloaded")
             return self._respond(started, client, error=error)
         except DeadlineExceeded as error:
             self.stats.bump("deadline_exceeded")
+            _log.info("request.deadline_exceeded", client=client)
             return self._respond(started, client, error=error)
         except ShardQuarantined as error:
             self.stats.bump("quarantined")
             return self._respond(started, client, error=error)
         except (WorkerPoolUnavailable, EngineClosedError) as error:
             self.stats.bump("failed")
+            _log.warning(
+                "request.failed", client=client, error=str(error)
+            )
             return self._respond(started, client, error=error)
         self.stats.bump("completed")
         if mode == MODE_SINGLE:
@@ -299,7 +366,9 @@ class QueryService:
             self.stats.bump("served_degraded_batch")
         else:
             self.stats.bump("served_sharded")
-        return self._respond(started, client, results=results, mode=mode)
+        return self._respond(
+            started, client, results=results, mode=mode, trace=trace_doc
+        )
 
     def _respond(
         self,
@@ -309,6 +378,7 @@ class QueryService:
         results: list | None = None,
         error: Exception | None = None,
         mode: str = "",
+        trace: dict | None = None,
     ) -> ServiceResponse:
         return ServiceResponse(
             ok=error is None,
@@ -317,23 +387,30 @@ class QueryService:
             mode=mode,
             latency=self._clock() - started,
             client=client,
+            trace=trace,
         )
 
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
     def _execute(self, queries, deadline_at: float) -> tuple[list, str]:
-        plan = self.engine.plan(queries)
-        for path in plan.tasks:
-            self._gate_shard(path)
+        with obs_trace.trace_span("plan", queries=len(queries)):
+            plan = self.engine.plan(queries)
+            for path in plan.tasks:
+                self._gate_shard(path)
         task_results = []
         worst = MODE_SHARDED
         for path, specs in sorted(plan.tasks.items()):
-            answers, mode = self._execute_task(path, specs, deadline_at)
+            with obs_trace.trace_span(
+                "shard:" + path.rsplit("/", 1)[-1], path=path
+            ) as span:
+                answers, mode = self._execute_task(path, specs, deadline_at)
+                span.set("mode", mode)
             if _MODE_ORDER[mode] > _MODE_ORDER[worst]:
                 worst = mode
             task_results.append((specs, answers))
-        return self.engine.merge(plan, task_results), worst
+        with obs_trace.trace_span("merge", tasks=len(task_results)):
+            return self.engine.merge(plan, task_results), worst
 
     def _execute_task(
         self, path: str, specs, deadline_at: float
@@ -406,6 +483,7 @@ class QueryService:
             self._quarantined[path] = self._clock()
         if fresh:
             self.stats.bump("quarantines")
+            _log.error("shard.quarantined", path=path, error=str(error))
             # the warm local engine holds the bad file open; drop it so
             # re-admission starts from a clean reopen
             self.engine.drop_local_engine(path)
@@ -425,10 +503,12 @@ class QueryService:
             # for another window instead of all probing at once
             self._quarantined[path] = self._clock()
         self.stats.bump("requarantine_probes")
+        _log.info("shard.reprobe", path=path)
         if self._probe_shard(path):
             with self._quarantine_lock:
                 self._quarantined.pop(path, None)
             self.stats.bump("shards_readmitted")
+            _log.info("shard.readmitted", path=path)
             self.engine.drop_local_engine(path)
             return
         raise ShardQuarantined(path)
@@ -455,8 +535,38 @@ class QueryService:
         return True
 
     # ------------------------------------------------------------------
-    # health surface
+    # health + telemetry surface
     # ------------------------------------------------------------------
+    def telemetry(self) -> dict:
+        """Everything an operator dashboard needs, in one dict.
+
+        Per-instance views (this service's stats, its supervisor and
+        admission tallies, breaker state, quarantine list) plus the
+        full process-wide metrics snapshot (``metrics`` key — the same
+        data ``repro obs dump`` and ``--metrics-out`` export).
+        """
+        data = {
+            "service": self.stats.snapshot(),
+            "admission": {
+                "admitted": self.admission.stats.admitted,
+                "shed_in_flight": self.admission.stats.shed_in_flight,
+                "shed_rate_limited": self.admission.stats.shed_rate_limited,
+                "clients_seen": len(self.admission.stats.clients_seen),
+                "in_flight": self.admission.in_flight,
+            },
+            "breaker": {
+                "state": self.breaker.state,
+                "opens": self.breaker.opens,
+            },
+            "quarantined_shards": self.quarantined_shards(),
+            "request_latency_p50": self._latency.quantile(0.5),
+            "request_latency_p99": self._latency.quantile(0.99),
+            "metrics": obs_metrics.get_registry().snapshot(),
+        }
+        if self.supervisor is not None:
+            data["supervisor"] = self.supervisor.stats.snapshot()
+        return data
+
     def check_health(self) -> bool:
         """Probe the pool once (respawns a broken one); True = healthy."""
         if self.supervisor is None:

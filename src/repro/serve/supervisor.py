@@ -29,9 +29,14 @@ import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, wait
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
+from ..obs.log import get_logger
 from .errors import DeadlineExceeded, WorkerPoolUnavailable
+
+_log = get_logger("repro.serve.supervisor")
 
 
 @dataclass(frozen=True)
@@ -56,39 +61,44 @@ class RetryPolicy:
         )
 
 
-@dataclass
 class SupervisorStats:
-    calls: int = 0
-    respawns: int = 0
-    worker_deaths: int = 0
-    attempt_timeouts: int = 0
-    retries: int = 0
-    hedges_launched: int = 0
-    hedges_won: int = 0
-    pings_ok: int = 0
-    pings_failed: int = 0
-    lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+    """Per-supervisor counters, mirrored into the process registry.
+
+    A thin shim over :mod:`repro.obs.metrics`: every ``bump`` lands in
+    the shared ``repro_supervisor_<event>_total`` counter (what a scrape
+    or ``--metrics-out`` exports), while a per-instance tally keeps
+    :meth:`snapshot` scoped to *this* supervisor — several supervisors
+    in one process (tests, benches) never see each other's counts.
+    """
+
+    FIELDS = (
+        "calls",
+        "respawns",
+        "worker_deaths",
+        "attempt_timeouts",
+        "retries",
+        "hedges_launched",
+        "hedges_won",
+        "pings_ok",
+        "pings_failed",
+    )
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counts = dict.fromkeys(self.FIELDS, 0)
+        self._metrics = {
+            name: obs_metrics.counter(f"repro_supervisor_{name}_total")
+            for name in self.FIELDS
+        }
 
     def bump(self, name: str, amount: int = 1) -> None:
-        with self.lock:
-            setattr(self, name, getattr(self, name) + amount)
+        with self._lock:
+            self._counts[name] += amount
+        self._metrics[name].inc(amount)
 
     def snapshot(self) -> dict:
-        with self.lock:
-            return {
-                key: getattr(self, key)
-                for key in (
-                    "calls",
-                    "respawns",
-                    "worker_deaths",
-                    "attempt_timeouts",
-                    "retries",
-                    "hedges_launched",
-                    "hedges_won",
-                    "pings_ok",
-                    "pings_failed",
-                )
-            }
+        with self._lock:
+            return dict(self._counts)
 
 
 class WorkerSupervisor:
@@ -130,6 +140,11 @@ class WorkerSupervisor:
                 return
             self.pool.restart()
             self.stats.bump("respawns")
+            _log.warning(
+                "supervisor.respawn",
+                generation=self.pool.generation,
+                seen_generation=seen_generation,
+            )
 
     # ------------------------------------------------------------------
     # health checking
@@ -206,6 +221,12 @@ class WorkerSupervisor:
           — verbatim, immediately, never retried.
         """
         self.stats.bump("calls")
+        with obs_trace.trace_span("pool.call", shard=path) as span:
+            answer, attempts = self._call_loop(path, specs, deadline_at)
+            span.set("attempts", attempts)
+            return answer
+
+    def _call_loop(self, path: str, specs, deadline_at: float):
         policy = self.policy
         attempt = 0
         while True:
@@ -228,10 +249,13 @@ class WorkerSupervisor:
                 )
             except BrokenProcessPool:
                 self.stats.bump("worker_deaths")
+                _log.warning(
+                    "supervisor.worker_death", shard=path, attempt=attempt
+                )
                 self.respawn(seen_generation=generation)
                 outcome = None  # retry below
             if outcome is not None:
-                return outcome.answer
+                return outcome.answer, attempt + 1
             attempt += 1
             self.stats.bump("retries")
             pause = min(
@@ -246,8 +270,21 @@ class WorkerSupervisor:
         timeout.  Raises BrokenProcessPool or a deterministic worker
         error."""
         policy = self.policy
+        traced = obs_trace.is_tracing()
+
+        def submit():
+            # the traced kwarg is only passed when tracing, so untraced
+            # duck-typed pools (test fakes) keep their 2-arg submit
+            if traced:
+                future = self.pool.submit(path, specs, traced=True)
+            else:
+                future = self.pool.submit(path, specs)
+            submitted_at[future] = time.perf_counter()
+            return future
+
+        submitted_at: dict = {}
         started = self._clock()
-        outstanding = {self.pool.submit(path, specs)}
+        outstanding = {submit()}
         hedge_future = None
         broken: BaseException | None = None
         while True:
@@ -283,6 +320,18 @@ class WorkerSupervisor:
                     other.cancel()
                 if future is hedge_future:
                     self.stats.bump("hedges_won")
+                if (
+                    traced
+                    and isinstance(answer, dict)
+                    and "span" in answer
+                ):
+                    obs_trace.attach_child(
+                        answer["span"],
+                        roundtrip_seconds=(
+                            time.perf_counter() - submitted_at[future]
+                        ),
+                    )
+                    answer = answer["answers"]
                 return _Answer(answer)
             if not outstanding:
                 # every submission died with the pool
@@ -292,9 +341,10 @@ class WorkerSupervisor:
             if not done and may_hedge:
                 elapsed = self._clock() - started
                 if policy.hedge_delay <= elapsed < budget:
-                    hedge_future = self.pool.submit(path, specs)
+                    hedge_future = submit()
                     outstanding.add(hedge_future)
                     self.stats.bump("hedges_launched")
+                    _log.info("supervisor.hedge_launched", shard=path)
 
 
 class _Answer:

@@ -40,7 +40,11 @@ from pathlib import Path
 
 from ..core.archive import CompressedArchive, CompressedTrajectory
 from ..io.format import read_archive, read_header
+from ..obs import metrics as obs_metrics
+from ..obs.log import get_logger
 from .manifest import ManifestStore, SegmentInfo, StreamArchiveError
+
+_log = get_logger("repro.stream.compaction")
 
 
 # ----------------------------------------------------------------------
@@ -276,6 +280,19 @@ def merge_segments(
     for info in task.segments:
         _unlink_quietly(store, store.segment_path(info.name))
         _unlink_quietly(store, store.sidecar_path(info.name))
+    obs_metrics.counter("repro_compaction_merges_total").inc()
+    obs_metrics.counter("repro_compaction_segments_merged_total").inc(
+        len(task.segments)
+    )
+    obs_metrics.counter("repro_compaction_bytes_written_total").inc(size)
+    _log.info(
+        "compaction.merge",
+        sources=task.names,
+        merged=merged.name,
+        target_level=task.target_level,
+        trajectories=merged.trajectory_count,
+        bytes=size,
+    )
     return merged
 
 
@@ -338,6 +355,12 @@ def gc_segments(
     for info in doomed:
         _unlink_quietly(store, store.segment_path(info.name))
         _unlink_quietly(store, store.sidecar_path(info.name))
+    obs_metrics.counter("repro_gc_segments_dropped_total").inc(len(doomed))
+    _log.info(
+        "compaction.gc",
+        dropped=[s.name for s in doomed],
+        cutoff=cutoff,
+    )
     return doomed
 
 
@@ -439,6 +462,11 @@ class CompactionDaemon:
             target=self._loop, name="utcq-compaction", daemon=True
         )
         self._thread.start()
+        _log.info(
+            "compaction.daemon_started",
+            policy=self.policy.describe(),
+            interval=self.interval,
+        )
         return self
 
     def notify(self) -> None:
@@ -454,7 +482,13 @@ class CompactionDaemon:
             self._thread = None
         if self._error is not None:
             error, self._error = self._error, None
+            _log.error("compaction.daemon_failed", error=str(error))
             raise error
+        _log.info(
+            "compaction.daemon_stopped",
+            merges=self.stats.merges,
+            cycles=self.stats.cycles,
+        )
         return self.stats
 
     def _loop(self) -> None:

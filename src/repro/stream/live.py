@@ -41,6 +41,7 @@ from ..core.archive import (
 )
 from ..core.decoder import DecodeSpanCache
 from ..io.reader import DEFAULT_CACHE_SIZE, ArchiveClosedError, FileBackedArchive
+from ..obs import metrics as obs_metrics
 from .manifest import (
     SEGMENT_DIR,
     SIDECAR_SUFFIX,
@@ -101,6 +102,16 @@ class LiveArchive:
         self.sidecar_hits = 0
         self.sidecar_misses = 0
         self.sidecar_stale = 0
+        # per-instance ints above stay the tested per-archive view; the
+        # process registry gets the same events for scrape export
+        self._sidecar_metrics = {
+            outcome: obs_metrics.counter(
+                "repro_stream_sidecar_loads_total",
+                labels={"outcome": outcome},
+                help="Segment index loads by outcome (hit/miss/stale)",
+            )
+            for outcome in ("hit", "miss", "stale")
+        }
         # Decoded spans survive refresh(): sealed segments are immutable,
         # so trajectories decoded before a refresh stay valid after it.
         # Query processors built over this archive should pass this cache
@@ -297,8 +308,10 @@ class LiveArchive:
                         )
                         if from_sidecar:
                             self.sidecar_hits += 1
+                            self._sidecar_metrics["hit"].inc()
                         else:
                             self.sidecar_misses += 1
+                            self._sidecar_metrics["miss"].inc()
                     except OSError:
                         # a concurrent merge unlinked this segment after
                         # the snapshot was taken; its reader is still
@@ -310,6 +323,7 @@ class LiveArchive:
                             time_partition_seconds=time_partition_seconds,
                         )
                         self.sidecar_stale += 1
+                        self._sidecar_metrics["stale"].inc()
                     self._segment_indexes[name] = part
                 parts.append(part)
             return StIUIndex.merged(

@@ -58,6 +58,8 @@ from ..core.compressor import (
 )
 from ..io.format import read_archive, write_archive
 from ..network.graph import RoadNetwork
+from ..obs import metrics as obs_metrics
+from ..obs.log import get_logger
 from ..trajectories.model import UncertainTrajectory
 from .manifest import (
     MANIFEST_FORMAT,
@@ -77,6 +79,8 @@ from .manifest import (
     stats_from_list as _stats_from_list,
     stats_to_list as _stats_to_list,
 )
+
+_log = get_logger("repro.stream.writer")
 
 __all__ = [
     "AppendableArchiveWriter",
@@ -306,6 +310,14 @@ class AppendableArchiveWriter:
             )
             store.add_segment(info, added_stats=archive.stats)
         self._pending.clear()
+        obs_metrics.counter("repro_stream_segments_sealed_total").inc()
+        obs_metrics.counter("repro_stream_bytes_sealed_total").inc(size)
+        _log.info(
+            "stream.segment_sealed",
+            segment=name,
+            trajectories=info.trajectory_count,
+            bytes=size,
+        )
         return info
 
     def _write_segment_sidecar(

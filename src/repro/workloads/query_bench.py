@@ -68,6 +68,18 @@ class GaugeResult(BenchResult):
     def rate(self) -> float:
         return self.value
 
+    def row(self, label: str) -> list:
+        # gauges carry configuration too (seeds, fault probabilities);
+        # BenchResult's 1-decimal rate rounding would erase them
+        return [
+            label,
+            self.name,
+            self.unit,
+            self.work,
+            round(self.seconds, 4),
+            round(self.value, 6),
+        ]
+
 
 def build_serving_workload(
     network,
@@ -510,8 +522,33 @@ def run_chaos_bench(
             "chaos_faults_injected", "faults", faults, elapsed,
             value=float(faults),
         ),
+        # the fault script itself, in-band: a chaos row set that does
+        # not record its seed and injection knobs cannot be reproduced
+        GaugeResult(
+            "chaos_seed", "seed", 1, elapsed, value=float(seed)
+        ),
+        GaugeResult(
+            "chaos_kill_probability", "probability", 1, elapsed,
+            value=kill_probability,
+        ),
+        GaugeResult(
+            "chaos_delay_probability", "probability", 1, elapsed,
+            value=delay_probability,
+        ),
+        GaugeResult(
+            "chaos_delay_seconds", "seconds", 1, elapsed,
+            value=delay_seconds,
+        ),
     ]
     summary = {
+        "seed": seed,
+        "fault_script": {
+            "kill_probability": kill_probability,
+            "delay_probability": delay_probability,
+            "delay_seconds": delay_seconds,
+            "corruption_incidents": 1,
+            "corruption_hold_seconds": round(hold, 3),
+        },
         "duration": round(elapsed, 3),
         "clients": clients,
         "requests": total,
@@ -527,6 +564,65 @@ def run_chaos_bench(
         "supervisor": supervisor_stats,
     }
     return rows, summary
+
+
+def run_trace_probe(
+    *,
+    quick: bool = True,
+    workers: int = SHARD_COUNT,
+    queries: int = 64,
+    repeats: int = 3,
+) -> tuple[dict, dict]:
+    """One traced request through the real sharded serving path.
+
+    Builds the serving fixture, warms the :class:`QueryService` process
+    pool, then submits a ``queries``-sized batch with ``trace=True``
+    ``repeats`` times and keeps the fastest request — steady-state, so
+    the span tree attributes the request's wall time to plan / IPC /
+    worker decode / merge without pool-spawn noise.  This is the
+    instrument behind ``repro obs trace`` and the ROADMAP item 1
+    evidence in ``docs/observability.md``.
+
+    Returns ``(trace, breakdown)`` — the root span as a dict and the
+    :func:`~repro.obs.trace.ipc_breakdown` aggregate over it.
+    """
+    import tempfile
+
+    from ..obs.trace import Span, ipc_breakdown
+    from ..serve import QueryService
+
+    if queries < 1:
+        raise ValueError(f"queries must be >= 1, got {queries}")
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    with tempfile.TemporaryDirectory(prefix="repro-trace-probe-") as root:
+        fixture = _ServingFixture(root, quick=quick)
+        batch = fixture.stream[: min(queries, len(fixture.stream))]
+        service = QueryService(
+            fixture.shard_paths, network=fixture.network, workers=workers
+        )
+        try:
+            warm = service.submit_many(batch, client="trace-probe")
+            if not warm.ok:
+                raise ValueError(
+                    f"trace probe warm-up failed: {warm.error}"
+                )
+            best: dict | None = None
+            best_wall = float("inf")
+            for _ in range(repeats):
+                response = service.submit_many(
+                    batch, client="trace-probe", trace=True
+                )
+                if not response.ok or response.trace is None:
+                    continue
+                wall = float(response.trace.get("wall", 0.0))
+                if wall < best_wall:
+                    best, best_wall = response.trace, wall
+            if best is None:
+                raise ValueError("trace probe: no traced request completed")
+        finally:
+            service.close()
+    return best, ipc_breakdown(Span.from_dict(best))
 
 
 def load_existing_rows(path) -> list[list]:

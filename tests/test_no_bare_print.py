@@ -1,0 +1,37 @@
+"""Lint guard: no bare ``print(`` in library code.
+
+The CLI (``cli.py``) is the one user-facing surface that prints; every
+other module must report through :mod:`repro.obs` — counters for
+tallies, structured log events for lifecycle moments.  A stray debug
+print in a worker process corrupts no output today but becomes an
+operator-facing mystery line the day someone pipes the CLI.  The same
+check runs in CI as a grep (the ``lint-guard`` step); this test keeps
+it enforced locally too.
+
+The pattern deliberately uses ``(^|[^A-Za-z0-9_])print\\(`` rather than
+``\\bprint\\(`` so identifiers *ending* in ``print`` (for example
+``archive_fingerprint(...)``) do not trip it.
+"""
+
+import pathlib
+import re
+
+PATTERN = re.compile(r"(^|[^A-Za-z0-9_])print\(")
+ALLOWED = {"cli.py"}
+
+
+def test_no_bare_print_outside_the_cli():
+    package = pathlib.Path(__file__).parent.parent / "src" / "repro"
+    offenders = []
+    for path in sorted(package.rglob("*.py")):
+        if path.name in ALLOWED:
+            continue
+        for number, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            if PATTERN.search(line):
+                offenders.append(f"{path.relative_to(package)}:{number}")
+    assert not offenders, (
+        "bare print( in library code (use repro.obs logging/metrics, "
+        "or route output through cli.py): " + ", ".join(offenders)
+    )

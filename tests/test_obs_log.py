@@ -1,0 +1,124 @@
+"""Structured JSON logging: sinks, levels, request ids, collisions."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import log as obs_log
+
+
+@pytest.fixture()
+def sink():
+    """A captured in-memory sink; logging is disabled again on exit."""
+    stream = io.StringIO()
+    obs_log.configure(stream)
+    try:
+        yield stream
+    finally:
+        obs_log.configure(None)
+
+
+def lines(stream: io.StringIO) -> list[dict]:
+    return [
+        json.loads(line)
+        for line in stream.getvalue().splitlines()
+        if line
+    ]
+
+
+def test_disabled_by_default_costs_nothing():
+    # the fixture is deliberately absent: nothing is configured
+    obs_log.configure(None)
+    logger = obs_log.get_logger("repro.test")
+    logger.info("event.never_lands", anything="goes")
+    assert not obs_log.configured()
+
+
+def test_one_json_object_per_line(sink):
+    logger = obs_log.get_logger("repro.test")
+    logger.info("shard.quarantined", path="/x.utcq", error="boom")
+    logger.warning("breaker.opened", opens=2)
+    first, second = lines(sink)
+    assert first["event"] == "shard.quarantined"
+    assert first["logger"] == "repro.test"
+    assert first["level"] == "info"
+    assert first["path"] == "/x.utcq"
+    assert second["level"] == "warning"
+    assert second["opens"] == 2
+    assert isinstance(first["ts"], float)
+
+
+def test_level_threshold_filters(sink):
+    obs_log.configure(sink, level="warning")
+    logger = obs_log.get_logger("repro.test")
+    logger.info("event.dropped")
+    logger.error("event.kept")
+    (record,) = lines(sink)
+    assert record["event"] == "event.kept"
+
+
+def test_reserved_keys_survive_field_collisions(sink):
+    # a field named "level" (compaction's old name for its LSM level)
+    # must not clobber the record's severity
+    logger = obs_log.get_logger("repro.test")
+    logger.info("compaction.merge", level=3, event="bogus", logger_="x")
+    (record,) = lines(sink)
+    assert record["level"] == "info"
+    assert record["event"] == "compaction.merge"
+
+
+def test_request_id_rides_the_context(sink):
+    logger = obs_log.get_logger("repro.test")
+    logger.info("outside.any_request")
+    token = obs_log.bind_request_id("req-424242")
+    try:
+        logger.info("inside.the_request")
+    finally:
+        obs_log.unbind_request_id(token)
+    logger.info("outside.again")
+    outside, inside, after = lines(sink)
+    assert "request_id" not in outside
+    assert inside["request_id"] == "req-424242"
+    assert "request_id" not in after
+
+
+def test_generated_request_ids_are_unique():
+    first, second = obs_log.next_request_id(), obs_log.next_request_id()
+    assert first != second
+    assert first.startswith("req-")
+
+
+def test_unserializable_fields_fall_back_to_repr(sink):
+    logger = obs_log.get_logger("repro.test")
+    logger.info("event.with_object", error=ValueError("boom"), path=[1, {2}])
+    (record,) = lines(sink)
+    assert "boom" in record["error"]
+    assert record["path"][0] == 1  # lists recurse; the set was repr()-ed
+
+
+def test_file_sink_appends(tmp_path):
+    target = tmp_path / "events.jsonl"
+    obs_log.configure(str(target))
+    try:
+        obs_log.get_logger("repro.test").info("event.one")
+        obs_log.get_logger("repro.test").info("event.two")
+    finally:
+        obs_log.configure(None)
+    events = [
+        json.loads(line)["event"]
+        for line in target.read_text().splitlines()
+    ]
+    assert events == ["event.one", "event.two"]
+
+
+def test_configure_from_env(tmp_path, monkeypatch):
+    target = tmp_path / "env.jsonl"
+    monkeypatch.setenv("REPRO_LOG_JSON", str(target))
+    monkeypatch.setenv("REPRO_LOG_LEVEL", "debug")
+    try:
+        assert obs_log.configure_from_env()
+        obs_log.get_logger("repro.test").debug("event.from_env")
+    finally:
+        obs_log.configure(None)
+    assert json.loads(target.read_text())["event"] == "event.from_env"
