@@ -88,10 +88,15 @@ def merge_results_json(path, log):
     Several benchmark modules share one results file (e.g. the ingest
     throughput and the segment-lifecycle soak both land in
     ``BENCH_stream_throughput.json``); a plain ``write_json`` from each
-    would clobber the other's tables.  Tables with the same title are
-    replaced, everything else is preserved.
+    would clobber the other's tables.  Same-title perf-trajectory
+    tables (those keyed by leading ``label``/``benchmark`` columns)
+    merge row-wise — a re-run with an existing label replaces its rows
+    instead of duplicating them; other same-title tables are replaced
+    whole, and everything else is preserved.
     """
     import json
+
+    from repro.workloads.reporting import merge_tables
 
     path = pathlib.Path(path)
     existing = []
@@ -100,14 +105,12 @@ def merge_results_json(path, log):
             existing = json.loads(path.read_text())["tables"]
         except (json.JSONDecodeError, KeyError, OSError):
             existing = []
-    fresh_titles = {table.title for table in log.tables}
     document = {
         "format": "repro-bench",
         "version": 1,
-        "tables": [
-            table for table in existing if table.get("title") not in fresh_titles
-        ]
-        + [table.as_dict() for table in log.tables],
+        "tables": merge_tables(
+            existing, [table.as_dict() for table in log.tables]
+        ),
     }
     path.parent.mkdir(exist_ok=True)
     path.write_text(json.dumps(document, indent=2) + "\n")

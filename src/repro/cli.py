@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 from . import __version__
@@ -280,6 +281,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="process-pool size for the sharded scenario (default: 4)",
     )
     serve_bench.add_argument(
+        "--transport", choices=("pickle", "shm"), default=None,
+        help="worker result transport for the sharded scenario: shm = "
+        "shared-memory slabs with descriptor return (default), pickle "
+        "= the classic pickled-result pipe; default comes from "
+        "REPRO_TRANSPORT, else shm",
+    )
+    serve_bench.add_argument(
+        "--hotcache-size", type=int, default=None, metavar="N",
+        help="entries in the Zipf-aware hot-answer cache in front of "
+        "the decode layer (0 disables; default: REPRO_HOTCACHE, else 0)",
+    )
+    serve_bench.add_argument(
+        "--window", type=int, default=None, metavar="N",
+        help="shard sub-batches kept in flight per request (default: "
+        "REPRO_DISPATCH_WINDOW, else 8)",
+    )
+    serve_bench.add_argument(
+        "--decode-cache-trajectories", type=int, default=None, metavar="N",
+        help="DecodeSpanCache per-trajectory section capacity "
+        "(default: REPRO_DECODE_CACHE_TRAJECTORIES, else 1024)",
+    )
+    serve_bench.add_argument(
+        "--decode-cache-instances", type=int, default=None, metavar="N",
+        help="DecodeSpanCache per-instance section capacity "
+        "(default: REPRO_DECODE_CACHE_INSTANCES, else 8192)",
+    )
+    serve_bench.add_argument(
+        "--frontier-cache", type=int, default=None, metavar="N",
+        help="matcher FrontierCache capacity "
+        "(default: REPRO_FRONTIER_CACHE, else 512)",
+    )
+    serve_bench.add_argument(
         "--chaos", action="store_true",
         help="instead of the throughput scenarios, serve the request "
         "stream through the supervised QueryService while injecting "
@@ -493,6 +526,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--repeats", type=int, default=3,
         help="traced attempts; the fastest request is reported "
         "(default: 3)",
+    )
+    trace_.add_argument(
+        "--transport", choices=("pickle", "shm"), default=None,
+        help="worker result transport to trace (default: "
+        "REPRO_TRANSPORT, else shm)",
+    )
+    trace_.add_argument(
+        "--window", type=int, default=None, metavar="N",
+        help="shard sub-batches in flight per request (default: "
+        "REPRO_DISPATCH_WINDOW, else 8)",
     )
     trace_.add_argument(
         "--json", action="store_true",
@@ -992,10 +1035,25 @@ def _telemetry_end(args, baseline) -> None:
     )
 
 
+def _apply_cache_size_flags(args) -> None:
+    """Export the cache-size flags as their REPRO_* variables, so the
+    capacities reach every construction site — including spawned pool
+    workers, which inherit the environment."""
+    for flag, variable in (
+        ("decode_cache_trajectories", "REPRO_DECODE_CACHE_TRAJECTORIES"),
+        ("decode_cache_instances", "REPRO_DECODE_CACHE_INSTANCES"),
+        ("frontier_cache", "REPRO_FRONTIER_CACHE"),
+    ):
+        value = getattr(args, flag, None)
+        if value is not None:
+            os.environ[variable] = str(value)
+
+
 def cmd_serve_bench(args) -> int:
     from .workloads.query_bench import run_query_bench, write_bench_json
     from .workloads.reporting import render_table
 
+    _apply_cache_size_flags(args)
     if args.chaos:
         return _serve_bench_chaos(args)
     baseline = _telemetry_begin(args)
@@ -1007,13 +1065,24 @@ def cmd_serve_bench(args) -> int:
     else:
         runs = [(args.label, args.mode, args.append)]
     rows: list[list] = []
+    mismatch_total = 0
     for label, mode, append in runs:
         try:
             results = run_query_bench(
-                mode=mode, quick=args.quick, workers=args.workers
+                mode=mode,
+                quick=args.quick,
+                workers=args.workers,
+                transport=args.transport,
+                hotcache_entries=args.hotcache_size,
+                dispatch_window=args.window,
             )
         except ValueError as error:
             raise CliError(str(error))
+        mismatch_total += sum(
+            int(result.rate)
+            for result in results
+            if result.name == "sharded_oracle_mismatches"
+        )
         try:
             rows = write_bench_json(
                 results, args.output, label=label, append=append
@@ -1030,6 +1099,11 @@ def cmd_serve_bench(args) -> int:
     )
     print(f"wrote {args.output} ({len(rows)} rows)")
     _telemetry_end(args, baseline)
+    if mismatch_total:
+        raise CliError(
+            f"{mismatch_total} sharded answers did not match the "
+            f"single-archive reference"
+        )
     return 0
 
 
@@ -1045,6 +1119,8 @@ def _serve_bench_chaos(args) -> int:
             quick=args.quick,
             deadline=args.deadline,
             workers=args.workers,
+            transport=args.transport,
+            hotcache_entries=args.hotcache_size,
         )
     except ValueError as error:
         raise CliError(str(error))
@@ -1116,6 +1192,8 @@ def _obs_trace(args) -> int:
             workers=args.workers,
             queries=args.queries,
             repeats=args.repeats,
+            transport=args.transport,
+            dispatch_window=args.window,
         )
     except ValueError as error:
         raise CliError(str(error))

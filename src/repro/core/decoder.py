@@ -16,6 +16,7 @@ processors over the same archive + network (e.g. through a
 
 from __future__ import annotations
 
+import os
 import threading
 from collections import OrderedDict
 from typing import Callable
@@ -188,6 +189,44 @@ def decode_archive(
     ]
 
 
+#: "use the environment / built-in default" — distinct from None, which
+#: means an explicitly unbounded section
+_UNSET = object()
+
+_DEFAULT_TRAJECTORY_CAPACITY = 1024
+_DEFAULT_INSTANCE_CAPACITY = 8192
+
+
+def _env_capacity(name: str, default: int) -> int:
+    raw = os.environ.get(name)
+    if not raw:
+        return default
+    try:
+        return max(0, int(raw))
+    except ValueError:
+        return default
+
+
+def resolve_trajectory_capacity(explicit=_UNSET) -> int | None:
+    """Per-trajectory section capacity: explicit argument (``None`` =
+    unbounded) > ``REPRO_DECODE_CACHE_TRAJECTORIES`` > 1024."""
+    if explicit is not _UNSET:
+        return explicit
+    return _env_capacity(
+        "REPRO_DECODE_CACHE_TRAJECTORIES", _DEFAULT_TRAJECTORY_CAPACITY
+    )
+
+
+def resolve_instance_capacity(explicit=_UNSET) -> int | None:
+    """Per-instance section capacity: explicit argument (``None`` =
+    unbounded) > ``REPRO_DECODE_CACHE_INSTANCES`` > 8192."""
+    if explicit is not _UNSET:
+        return explicit
+    return _env_capacity(
+        "REPRO_DECODE_CACHE_INSTANCES", _DEFAULT_INSTANCE_CAPACITY
+    )
+
+
 class _LruSection:
     """One bounded LRU map inside a :class:`DecodeSpanCache`.
 
@@ -258,14 +297,20 @@ class DecodeSpanCache:
     def __init__(
         self,
         *,
-        trajectory_capacity: int | None = 1024,
-        instance_capacity: int | None = 8192,
+        trajectory_capacity: int | None = _UNSET,
+        instance_capacity: int | None = _UNSET,
         register: bool = True,
     ) -> None:
-        self.times = _LruSection(trajectory_capacity)
-        self.references = _LruSection(instance_capacity)
-        self.instances = _LruSection(instance_capacity)
-        self.chainages = _LruSection(instance_capacity)
+        # capacities resolve explicit > REPRO_DECODE_CACHE_* env > the
+        # built-in defaults, so cache-size sweeps need no code changes
+        self.trajectory_capacity = resolve_trajectory_capacity(
+            trajectory_capacity
+        )
+        self.instance_capacity = resolve_instance_capacity(instance_capacity)
+        self.times = _LruSection(self.trajectory_capacity)
+        self.references = _LruSection(self.instance_capacity)
+        self.instances = _LruSection(self.instance_capacity)
+        self.chainages = _LruSection(self.instance_capacity)
         self._lock = threading.Lock()
         if register:
             # weak-ref collector: the registry asks this cache for its

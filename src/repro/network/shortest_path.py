@@ -10,6 +10,7 @@ vehicle can travel between points, so searches are cut off at a radius.
 from __future__ import annotations
 
 import heapq
+import os
 from typing import Callable
 
 from .graph import RoadNetwork
@@ -168,6 +169,24 @@ class SharedFrontier:
         return path, self._distances[target]
 
 
+_DEFAULT_FRONTIER_CACHE = 512
+
+
+def resolve_frontier_cache_size(explicit: int | None = None) -> int:
+    """Frontier-cache capacity: explicit argument >
+    ``REPRO_FRONTIER_CACHE`` > 512 (a frontier is required state — the
+    floor is 1, not 0)."""
+    if explicit is not None:
+        return int(explicit)
+    raw = os.environ.get("REPRO_FRONTIER_CACHE")
+    if not raw:
+        return _DEFAULT_FRONTIER_CACHE
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return _DEFAULT_FRONTIER_CACHE
+
+
 class FrontierCache:
     """LRU cache of :class:`SharedFrontier` searches keyed by
     ``(source, cutoff)``.
@@ -182,7 +201,10 @@ class FrontierCache:
 
     __slots__ = ("network", "maxsize", "hits", "misses", "_entries")
 
-    def __init__(self, network: RoadNetwork, maxsize: int = 512) -> None:
+    def __init__(
+        self, network: RoadNetwork, maxsize: int | None = None
+    ) -> None:
+        maxsize = resolve_frontier_cache_size(maxsize)
         if maxsize < 1:
             raise ValueError(f"maxsize must be >= 1, got {maxsize}")
         self.network = network

@@ -32,6 +32,7 @@ import multiprocessing
 import os
 import threading
 import time
+from collections import deque
 from concurrent.futures import Future, ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
@@ -43,8 +44,27 @@ from ..obs import metrics as obs_metrics
 from ..obs import trace as obs_trace
 from ..obs.log import get_logger
 from ..trajectories.model import EdgeKey
+from . import transport as query_transport
+from .hotcache import MISS, HotTrajectoryCache, resolve_hotcache_entries
 from .queries import UTCQQueryProcessor, WhenResult, WhereResult
 from .stiu import StIUIndex
+from .transport import TransportError
+
+_DEFAULT_DISPATCH_WINDOW = 8
+
+
+def resolve_dispatch_window(explicit: int | None = None) -> int:
+    """Dispatch window: explicit argument > ``REPRO_DISPATCH_WINDOW`` >
+    8.  Bounds how many shard sub-batches are in flight at once."""
+    if explicit is not None:
+        value = int(explicit)
+    else:
+        raw = os.environ.get("REPRO_DISPATCH_WINDOW")
+        try:
+            value = int(raw) if raw else _DEFAULT_DISPATCH_WINDOW
+        except ValueError:
+            value = _DEFAULT_DISPATCH_WINDOW
+    return max(1, value)
 
 _log = get_logger("repro.query.engine")
 
@@ -295,15 +315,68 @@ def _open_shard_engine(
 
 
 # worker-global state, installed by the pool initializer: shard engines
-# (archive + sidecar index + decode cache) persist across batches
+# (archive + sidecar index + decode cache) persist across batches, and
+# under shm transport so does the worker's answer slab
 _worker_config: dict | None = None
 _worker_engines: dict[str, BatchQueryEngine] = {}
+_worker_slab = None  # SlabWriter | None | False (False: disabled for good)
 
 
 def _init_query_worker(config: dict) -> None:
-    global _worker_config
+    global _worker_config, _worker_slab
     _worker_config = config
     _worker_engines.clear()
+    _worker_slab = None
+
+
+def _worker_slab_writer():
+    """This worker's slab writer, created lazily; None when the shm
+    transport is off or the slab could not be created (inline fallback)."""
+    global _worker_slab
+    if _worker_slab is False:
+        return None
+    if _worker_slab is not None:
+        return _worker_slab
+    config = (_worker_config or {}).get("transport") or {}
+    if config.get("kind") != query_transport.TRANSPORT_SHM:
+        _worker_slab = False
+        return None
+    try:
+        _worker_slab = query_transport.SlabWriter(
+            config["arena"],
+            generation=(_worker_config or {}).get("pool_generation", 0),
+            size=config.get("slab_bytes"),
+            keep=config.get("keep", 64),
+        )
+    except Exception as error:
+        # no /dev/shm, size limit, permissions: answers ride the pipe
+        _worker_slab = False
+        _log.warning("transport.slab_unavailable", error=str(error))
+        return None
+    return _worker_slab
+
+
+def _transport_payload(answers: list):
+    """Worker-side: ship answers by descriptor when possible.
+
+    Plain (untagged) answers on the pickle transport; under shm a
+    tagged descriptor, or a tagged inline payload when the answers are
+    not codec-expressible or the slab has no safe room.
+    """
+    writer = _worker_slab_writer()
+    if writer is None:
+        config = (_worker_config or {}).get("transport") or {}
+        if config.get("kind") != query_transport.TRANSPORT_SHM:
+            return answers
+        return query_transport.tag_inline(answers)
+    try:
+        blob = query_transport.encode_answers(answers)
+    except query_transport.UnencodableAnswers:
+        return query_transport.tag_inline(answers)
+    descriptor = writer.write(blob)
+    if descriptor is None:
+        return query_transport.tag_inline(answers)
+    return query_transport.tag_descriptor(descriptor)
 
 
 def _shard_engine_for(path: str) -> BatchQueryEngine:
@@ -327,9 +400,9 @@ def _shard_engine_for(path: str) -> BatchQueryEngine:
     return engine
 
 
-def _run_shard_batch(task: tuple) -> list:
+def _run_shard_batch(task: tuple):
     path, queries = task
-    return _shard_engine_for(path).run(queries)
+    return _transport_payload(_shard_engine_for(path).run(queries))
 
 
 def _run_shard_batch_traced(task: tuple) -> dict:
@@ -348,7 +421,9 @@ def _run_shard_batch_traced(task: tuple) -> dict:
             engine = _shard_engine_for(path)
         with obs_trace.trace_span("worker.run", queries=len(queries)):
             answers = engine.run(queries)
-    return {"answers": answers, "span": span.to_dict()}
+        with obs_trace.trace_span("worker.encode"):
+            payload = _transport_payload(answers)
+    return {"answers": payload, "span": span.to_dict()}
 
 
 def _ping_worker(payload: object) -> tuple[int, object]:
@@ -418,15 +493,49 @@ class ShardWorkerPool:
         self._lock = threading.Lock()
         self._closed = False
         self.generation = 0
+        transport_config = config.get("transport") or {}
+        self._reader = (
+            query_transport.SlabReaderPool(
+                transport_config["arena"], generation=0
+            )
+            if transport_config.get("kind")
+            == query_transport.TRANSPORT_SHM
+            else None
+        )
         self._executor = self._spawn()
 
     def _spawn(self) -> ProcessPoolExecutor:
+        if self._reader is not None:
+            # start the parent's resource tracker before any worker
+            # forks: children inherit it, so slab registrations land in
+            # one shared tracker the parent's unlink can clear.  A
+            # worker that starts its own tracker would warn about
+            # "leaked" segments the parent already reclaimed.
+            from multiprocessing import resource_tracker
+
+            try:
+                resource_tracker.ensure_running()
+            except Exception:  # pragma: no cover - tracker unavailable
+                pass
+        # workers see the generation they were spawned into: their slab
+        # names (and entry headers) carry it, so descriptors from a
+        # dead generation can never validate after a respawn
         return ProcessPoolExecutor(
             max_workers=self._workers,
             mp_context=self._context,
             initializer=_init_query_worker,
-            initargs=(self._config,),
+            initargs=({**self._config, "pool_generation": self.generation},),
         )
+
+    @property
+    def transport_arena(self) -> str | None:
+        """The shm arena id (None on the pickle transport)."""
+        return self._reader.arena if self._reader is not None else None
+
+    def decode(self, payload):
+        """Resolve one task payload to answers (see
+        :func:`repro.query.transport.decode_payload`)."""
+        return query_transport.decode_payload(payload, self._reader)
 
     @property
     def workers(self) -> int:
@@ -480,22 +589,51 @@ class ShardWorkerPool:
             if process.pid is not None
         ]
 
+    @staticmethod
+    def _reap(executor) -> None:
+        """SIGKILL an abandoned executor's worker processes.
+
+        ``shutdown(wait=False)`` only *asks* workers to exit: the
+        executor's manager thread withholds the exit sentinels while
+        any submitted item is unfinished, so a single wedged worker
+        (e.g. one that forked while another thread held a lock) parks
+        the manager in ``poll()`` forever — and interpreter exit then
+        hangs joining that manager thread.  Killing the workers is
+        deterministic: their death wakes the manager, which fails the
+        leftover futures with ``BrokenProcessPool``, reaps the corpses,
+        and exits.  Workers are stateless by design, so nothing of
+        value dies with them.  Must run *before* ``shutdown()``, which
+        drops the executor's ``_processes`` reference even with
+        ``wait=False``.
+        """
+        processes = getattr(executor, "_processes", None)
+        for process in list((processes or {}).values()):
+            try:
+                process.kill()
+            except Exception:  # already dead or never fully spawned
+                pass
+
     def restart(self) -> int:
         """Replace the executor; returns the new generation number.
 
         The old executor is shut down without waiting: a genuinely
         wedged worker must not block the respawn.  Pending futures on
-        the old generation fail fast (cancelled or broken) so their
-        callers can retry here.
+        the old generation fail fast (broken) so their callers can
+        retry here.
         """
         with self._lock:
             if self._closed:
                 raise EngineClosedError("worker pool is closed")
             old = self._executor
-            self._executor = self._spawn()
             self.generation += 1
             generation = self.generation
+            self._executor = self._spawn()
+        self._reap(old)
         old.shutdown(wait=False, cancel_futures=True)
+        if self._reader is not None:
+            # stale descriptors now fail fast; dead generations' slabs
+            # are unlinked (including those of crashed workers)
+            self._reader.invalidate(generation)
         obs_metrics.counter(
             "repro_pool_restarts_total",
             help="Worker-pool respawns (new generation of processes)",
@@ -511,7 +649,10 @@ class ShardWorkerPool:
                 return
             self._closed = True
             executor = self._executor
+        self._reap(executor)
         executor.shutdown(wait=False, cancel_futures=True)
+        if self._reader is not None:
+            self._reader.close()
 
 
 @dataclass
@@ -529,6 +670,7 @@ class BatchPlan:
     tasks: dict = field(default_factory=dict)
     answers: dict = field(default_factory=dict)
     range_specs: list = field(default_factory=list)
+    cached: set = field(default_factory=set)  # specs served by hotcache
 
     @property
     def total(self) -> int:
@@ -567,6 +709,9 @@ class ShardedQueryEngine:
         verify_crc: bool = True,
         mp_context: str | None = None,
         pool: ShardWorkerPool | None = None,
+        transport: str | None = None,
+        hotcache_entries: int | None = None,
+        dispatch_window: int | None = None,
     ) -> None:
         if not shard_paths:
             raise QueryEngineError("at least one shard path is required")
@@ -574,18 +719,38 @@ class ShardedQueryEngine:
         if len(set(self.shard_paths)) != len(self.shard_paths):
             raise QueryEngineError("duplicate shard paths")
         self.network = network
+        self.transport = query_transport.resolve_transport(transport)
+        self.dispatch_window = resolve_dispatch_window(dispatch_window)
         self._config = {
             "network": network,
             "grid_cells_per_side": grid_cells_per_side,
             "time_partition_seconds": time_partition_seconds,
             "verify_crc": verify_crc,
         }
+        if self.transport == query_transport.TRANSPORT_SHM:
+            self._config["transport"] = {
+                "kind": query_transport.TRANSPORT_SHM,
+                "arena": query_transport.new_arena_id(),
+                "slab_bytes": query_transport.resolve_slab_bytes(),
+                # an entry may only be overwritten once it is at least
+                # keep writes old — far beyond the dispatch window, so
+                # a live descriptor always points at intact bytes
+                "keep": max(64, 4 * self.dispatch_window),
+            }
         self._route = self._build_routing(self.shard_paths)
         if workers is None:
             workers = min(len(self.shard_paths), os.cpu_count() or 1)
         self.workers = max(1, workers)
         self._closed = False
         self._local_engines: dict[str, BatchQueryEngine] = {}
+        entries = resolve_hotcache_entries(hotcache_entries)
+        self.hotcache = (
+            HotTrajectoryCache(entries) if entries > 0 else None
+        )
+        self._transport_fallbacks = obs_metrics.counter(
+            "repro_transport_fallbacks_total",
+            help="Shard tasks re-executed locally after a transport error",
+        )
         if pool is not None:
             self.pool: ShardWorkerPool | None = pool
         elif self.workers == 1:
@@ -659,12 +824,18 @@ class ShardedQueryEngine:
     # ------------------------------------------------------------------
     # planning + merging (shared with repro.serve)
     # ------------------------------------------------------------------
-    def plan(self, queries: Sequence[Query]) -> BatchPlan:
+    def plan(self, queries: Sequence[Query], *, gate=None) -> BatchPlan:
         """Resolve a batch into per-shard tasks without executing it.
 
         Duplicate queries are collapsed here — each distinct spec is
         shipped to (and answered by) each involved shard exactly once
-        per batch.
+        per batch.  ``gate`` (when given) is called with every shard
+        path a spec would need, *before* any hot-cache short circuit —
+        so a quarantined shard refuses its queries even when their
+        answers are cached (the serving tier's contract: no answers
+        from behind a quarantine).  Hot-cache hits land directly in
+        ``plan.answers`` and never become shard tasks — for a sharded
+        request that is the whole IPC cost of the spec, gone.
         """
         plan = BatchPlan()
         for position, query in enumerate(queries):
@@ -675,36 +846,54 @@ class ShardedQueryEngine:
             plan.slots.setdefault(query, []).append(position)
         for spec in plan.slots:
             if isinstance(spec, RangeQuery):
-                plan.range_specs.append(spec)
-                for path in self.shard_paths:
-                    plan.tasks.setdefault(path, []).append(spec)
+                involved = self.shard_paths
             else:
                 path = self._route.get(spec.trajectory_id)
                 if path is None:
                     plan.answers[spec] = []  # unknown trajectory: empty
-                else:
-                    plan.tasks.setdefault(path, []).append(spec)
+                    continue
+                involved = (path,)
+            if gate is not None:
+                for path in involved:
+                    gate(path)
+            if self.hotcache is not None:
+                hit = self.hotcache.get(spec)
+                if hit is not MISS:
+                    plan.answers[spec] = hit
+                    plan.cached.add(spec)
+                    continue
+            if isinstance(spec, RangeQuery):
+                plan.range_specs.append(spec)
+            for path in involved:
+                plan.tasks.setdefault(path, []).append(spec)
         return plan
 
-    @staticmethod
-    def merge(plan: BatchPlan, task_results) -> list:
+    def merge(self, plan: BatchPlan, task_results) -> list:
         """Assemble submission-ordered results from per-shard answers.
 
         ``task_results`` yields ``(specs, shard_answers)`` pairs, one
         per executed task; range answers are unioned across shards.
+        Freshly computed answers are offered to the hot cache here —
+        after the union, so a cached range answer is always the full
+        cross-shard merge.
         """
         answers = dict(plan.answers)
         partial_ranges: dict[Query, set[int]] = {
             spec: set() for spec in plan.range_specs
         }
+        executed: set = set()
         for specs, shard_answers in task_results:
             for spec, answer in zip(specs, shard_answers):
+                executed.add(spec)
                 if isinstance(spec, RangeQuery):
                     partial_ranges[spec].update(answer)
                 else:
                     answers[spec] = answer
         for spec, union in partial_ranges.items():
             answers[spec] = sorted(union)
+        if self.hotcache is not None:
+            for spec in executed:
+                self.hotcache.offer(spec, answers[spec])
 
         results: list = [None] * plan.total
         for spec, positions in plan.slots.items():
@@ -712,6 +901,14 @@ class ShardedQueryEngine:
             for position in positions:
                 results[position] = answer
         return results
+
+    def clear_hotcache(self) -> None:
+        """Drop every hot-cached answer (no-op when the tier is off).
+
+        The serving tier calls this whenever its view of shard
+        immutability resets — quarantine and re-admission."""
+        if self.hotcache is not None:
+            self.hotcache.clear()
 
     # ------------------------------------------------------------------
     # execution
@@ -746,19 +943,50 @@ class ShardedQueryEngine:
             return
         parent = obs_trace.current_span()
         traced = parent is not None
+        decode = getattr(self.pool, "decode", None)
+        # Pipelined dispatch: keep up to ``dispatch_window`` shard
+        # sub-batches in flight before collecting the oldest, so shard
+        # roundtrips overlap instead of serialising (the pr5-era
+        # near-sequential profile in docs/observability.md).  Collection
+        # stays in submission order — merge() is order-insensitive, but
+        # deterministic traces are easier to read.
+        window = max(1, self.dispatch_window)
+        pending: deque = deque()
+        cursor = 0
         try:
-            futures = [
-                (path, specs, time.perf_counter(),
-                 self.pool.submit(path, specs, traced=traced))
-                for path, specs in items
-            ]
-            for path, specs, submitted, future in futures:
+            while pending or cursor < len(items):
+                while cursor < len(items) and len(pending) < window:
+                    path, specs = items[cursor]
+                    cursor += 1
+                    pending.append((
+                        path, specs, time.perf_counter(),
+                        self.pool.submit(path, specs, traced=traced),
+                    ))
+                path, specs, submitted, future = pending.popleft()
                 payload = future.result()
                 roundtrip = time.perf_counter() - submitted
                 if traced:
                     payload = _graft_shard_span(
                         parent, path, specs, payload, roundtrip
                     )
+                if decode is not None:
+                    try:
+                        payload = decode(payload)
+                    except TransportError as error:
+                        # Slab unreadable (stale generation, torn entry,
+                        # vanished segment): the worker's answer is lost
+                        # but the batch is not — recompute in-process.
+                        self._transport_fallbacks.inc()
+                        _log.warning(
+                            "shm transport failed for %s (%s); "
+                            "recomputing shard in-process",
+                            os.path.basename(path), error,
+                        )
+                        with obs_trace.trace_span(
+                            "shard.transport_fallback",
+                            path=os.path.basename(path),
+                        ):
+                            payload = self.run_local(path, specs)
                 yield specs, payload
         except BrokenProcessPool as error:
             raise WorkerPoolBroken(

@@ -10,7 +10,14 @@ they work by breaking them on purpose.
 
 from .admission import AdmissionController, TokenBucket
 from .breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
-from .chaos import ChaosProxy, corrupt_shard, delay_fault, kill_fault, restore_shard
+from .chaos import (
+    ChaosProxy,
+    corrupt_shard,
+    delay_fault,
+    kill_fault,
+    midwrite_kill_fault,
+    restore_shard,
+)
 from .errors import (
     DeadlineExceeded,
     Overloaded,
@@ -42,6 +49,7 @@ __all__ = [
     "restore_shard",
     "kill_fault",
     "delay_fault",
+    "midwrite_kill_fault",
     "DeadlineExceeded",
     "Overloaded",
     "ServeError",

@@ -35,10 +35,17 @@ from collections import deque
 from pathlib import Path
 
 from ..io.format import read_header
-from ..query.engine import _run_shard_batch, _run_shard_batch_traced
+from ..query import transport as query_transport
+from ..query.engine import (
+    _run_shard_batch,
+    _run_shard_batch_traced,
+    _shard_engine_for,
+    _worker_slab_writer,
+)
 
 KILL = "kill"
 DELAY = "delay"
+MIDWRITE_KILL = "midwrite_kill"
 
 
 def kill_fault() -> tuple:
@@ -49,12 +56,42 @@ def delay_fault(seconds: float) -> tuple:
     return (DELAY, float(seconds))
 
 
+def midwrite_kill_fault() -> tuple:
+    """Die with a half-written slab entry — the torn-write scenario."""
+    return (MIDWRITE_KILL,)
+
+
+def _die_mid_slab_write(task: tuple) -> None:
+    """Worker-side: compute the real answers, write a *torn* slab entry
+    (complete header, truncated payload), then die.
+
+    This is the nastiest shm failure shape: the bytes look like an
+    entry but the payload does not match the header's CRC.  The parent
+    must never see it — the worker dies before returning a descriptor,
+    so the supervisor observes ``BrokenProcessPool``, respawns, and the
+    dead generation's slab is swept.  Degrades to a plain kill when the
+    shm transport is off.
+    """
+    writer = _worker_slab_writer()
+    if writer is not None:
+        try:
+            path, queries = task
+            answers = _shard_engine_for(path).run(queries)
+            blob = query_transport.encode_answers(answers)
+            writer.write_torn(blob)
+        except Exception:
+            pass  # dying is the one job left
+    os._exit(1)
+
+
 def _run_shard_batch_with_fault(payload: tuple) -> list:
     """Worker-side: suffer the fault, then (maybe) do the real work."""
     fault, task, traced = payload
     if fault is not None:
         if fault[0] == KILL:
             os._exit(1)  # no cleanup — this is the point
+        elif fault[0] == MIDWRITE_KILL:
+            _die_mid_slab_write(task)
         elif fault[0] == DELAY:
             time.sleep(fault[1])
     if traced:
@@ -92,7 +129,7 @@ class ChaosProxy:
         self._rng = random.Random(seed)
         self._scripted: deque = deque()
         self._lock = threading.Lock()
-        self.injected = {KILL: 0, DELAY: 0}
+        self.injected = {KILL: 0, DELAY: 0, MIDWRITE_KILL: 0}
 
     # ------------------------------------------------------------------
     # fault scheduling
@@ -140,6 +177,16 @@ class ChaosProxy:
 
     def ping(self, *, timeout: float, payload: object = None):
         return self._pool.ping(timeout=timeout, payload=payload)
+
+    def decode(self, payload):
+        decode = getattr(self._pool, "decode", None)
+        if decode is None:  # bare test doubles: answers arrive plain
+            return query_transport.decode_payload(payload, None)
+        return decode(payload)
+
+    @property
+    def transport_arena(self) -> str | None:
+        return getattr(self._pool, "transport_arena", None)
 
     def worker_pids(self) -> list[int]:
         return self._pool.worker_pids()

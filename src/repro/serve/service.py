@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import threading
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 from ..io.format import CorruptArchiveError, read_header, record_crc
@@ -48,8 +49,9 @@ from ..query.engine import (
     ShardedQueryEngine,
     ShardWorkerPool,
 )
+from ..query.transport import TransportError
 from .admission import AdmissionController
-from .breaker import CircuitBreaker
+from .breaker import CLOSED, CircuitBreaker
 from .errors import (
     DeadlineExceeded,
     Overloaded,
@@ -82,6 +84,11 @@ class ServiceConfig:
     quarantine_reprobe: float = 0.5
     health_interval: float | None = 1.0  # None: no background probing
     ladder: tuple[str, ...] = (MODE_SHARDED, MODE_BATCH, MODE_SINGLE)
+    # None: engine resolves REPRO_TRANSPORT / REPRO_HOTCACHE /
+    # REPRO_DISPATCH_WINDOW (shm / off / 8)
+    transport: str | None = None
+    hotcache_entries: int | None = None
+    dispatch_window: int | None = None
 
     def __post_init__(self) -> None:
         if self.deadline <= 0:
@@ -209,10 +216,21 @@ class QueryService:
             workers=workers,
             mp_context=mp_context,
             pool=pool,
+            transport=self.config.transport,
+            hotcache_entries=self.config.hotcache_entries,
+            dispatch_window=self.config.dispatch_window,
         )
         if pool_wrapper is not None and self.engine.pool is not None:
             # chaos seam: e.g. pool_wrapper=lambda p: ChaosProxy(p, ...)
             self.engine.pool = pool_wrapper(self.engine.pool)
+        # Pipelined shard dispatch: one long-lived thread per window
+        # slot, so a request's shard sub-batches run concurrently
+        # (threads block in supervisor.call; the work itself happens in
+        # pool workers or, degraded, under _local_lock).
+        self._dispatch = ThreadPoolExecutor(
+            max_workers=self.engine.dispatch_window,
+            thread_name_prefix="repro-dispatch",
+        )
         self.admission = AdmissionController(
             max_in_flight=self.config.max_in_flight,
             rate_per_second=self.config.rate_per_second,
@@ -261,6 +279,10 @@ class QueryService:
         self._closed = True
         if self.supervisor is not None:
             self.supervisor.stop()
+        # wait=False: an in-flight dispatch thread may be blocked on a
+        # pool future that only resolves once the engine below is torn
+        # down — waiting here would deadlock close() against it
+        self._dispatch.shutdown(wait=False, cancel_futures=True)
         self.engine.close()
 
     def __enter__(self) -> "QueryService":
@@ -395,12 +417,25 @@ class QueryService:
     # ------------------------------------------------------------------
     def _execute(self, queries, deadline_at: float) -> tuple[list, str]:
         with obs_trace.trace_span("plan", queries=len(queries)):
-            plan = self.engine.plan(queries)
-            for path in plan.tasks:
-                self._gate_shard(path)
+            # the gate runs inside plan(), before the hot-cache short
+            # circuit — a quarantined shard refuses its queries even
+            # when their answers are cached
+            plan = self.engine.plan(queries, gate=self._gate_shard)
+        items = sorted(plan.tasks.items())
+        if len(items) > 1 and self.breaker.state == CLOSED:
+            task_results, worst = self._execute_pipelined(items, deadline_at)
+        else:
+            # a suspect pool gets probed one shard at a time: the first
+            # success closes the breaker for the rest of the request
+            # instead of every shard racing to the degraded rungs
+            task_results, worst = self._execute_serial(items, deadline_at)
+        with obs_trace.trace_span("merge", tasks=len(task_results)):
+            return self.engine.merge(plan, task_results), worst
+
+    def _execute_serial(self, items, deadline_at: float):
         task_results = []
         worst = MODE_SHARDED
-        for path, specs in sorted(plan.tasks.items()):
+        for path, specs in items:
             with obs_trace.trace_span(
                 "shard:" + path.rsplit("/", 1)[-1], path=path
             ) as span:
@@ -409,8 +444,60 @@ class QueryService:
             if _MODE_ORDER[mode] > _MODE_ORDER[worst]:
                 worst = mode
             task_results.append((specs, answers))
-        with obs_trace.trace_span("merge", tasks=len(task_results)):
-            return self.engine.merge(plan, task_results), worst
+        return task_results, worst
+
+    def _execute_pipelined(self, items, deadline_at: float):
+        """Run every shard sub-batch concurrently on the dispatch pool.
+
+        Each dispatch thread opens its *own* root span (contextvars do
+        not cross threads) stamped with ``t0_offset_seconds`` — how long
+        after the first submission it started — and the request thread
+        grafts the finished spans back onto the request tree in task
+        order.  Near-zero offsets across shards are the proof of
+        overlap ``repro obs trace`` shows.
+        """
+        root = obs_trace.current_span()
+        t0 = time.perf_counter()
+
+        def run_one(path, specs):
+            if root is None:
+                answers, mode = self._execute_task(path, specs, deadline_at)
+                return answers, mode, None
+            with obs_trace.start_trace(
+                "shard:" + path.rsplit("/", 1)[-1], path=path
+            ) as span:
+                span.set(
+                    "t0_offset_seconds",
+                    round(time.perf_counter() - t0, 6),
+                )
+                answers, mode = self._execute_task(path, specs, deadline_at)
+                span.set("mode", mode)
+            return answers, mode, span
+
+        futures = [
+            self._dispatch.submit(run_one, path, specs)
+            for path, specs in items
+        ]
+        task_results = []
+        worst = MODE_SHARDED
+        error: Exception | None = None
+        for (path, specs), future in zip(items, futures):
+            try:
+                answers, mode, span = future.result()
+            except Exception as exc:  # noqa: BLE001 - re-raised below
+                # keep collecting so sibling spans still land on the
+                # tree and no future is abandoned mid-flight
+                if error is None:
+                    error = exc
+                continue
+            if root is not None and span is not None:
+                root.children.append(span)
+            if _MODE_ORDER[mode] > _MODE_ORDER[worst]:
+                worst = mode
+            task_results.append((specs, answers))
+        if error is not None:
+            raise error
+        return task_results, worst
 
     def _execute_task(
         self, path: str, specs, deadline_at: float
@@ -442,6 +529,29 @@ class QueryService:
                     last_error = error
                     continue
                 self.breaker.record_success()
+                decode = getattr(self.engine.pool, "decode", None)
+                if decode is not None:
+                    try:
+                        answers = decode(answers)
+                    except TransportError as error:
+                        # the worker answered (pool is healthy — the
+                        # breaker already recorded the success) but its
+                        # slab could not be read back; recompute on the
+                        # next rung instead of failing the request
+                        obs_metrics.counter(
+                            "repro_transport_fallbacks_total",
+                            help=(
+                                "Shard tasks re-executed locally after "
+                                "a transport error"
+                            ),
+                        ).inc()
+                        _log.warning(
+                            "shard.transport_fallback",
+                            path=path,
+                            error=str(error),
+                        )
+                        last_error = error
+                        continue
                 return answers, MODE_SHARDED
             if rung == MODE_BATCH:
                 try:
@@ -487,6 +597,9 @@ class QueryService:
             # the warm local engine holds the bad file open; drop it so
             # re-admission starts from a clean reopen
             self.engine.drop_local_engine(path)
+            # cached answers may derive from the now-suspect file; the
+            # hot tier's immutability assumption just reset
+            self.engine.clear_hotcache()
 
     def _gate_shard(self, path: str) -> None:
         """Refuse quarantined shards; re-probe once the window passed."""
@@ -510,6 +623,9 @@ class QueryService:
             self.stats.bump("shards_readmitted")
             _log.info("shard.readmitted", path=path)
             self.engine.drop_local_engine(path)
+            # the repaired file may answer differently than whatever
+            # the cache saw before the quarantine
+            self.engine.clear_hotcache()
             return
         raise ShardQuarantined(path)
 

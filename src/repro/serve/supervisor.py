@@ -291,8 +291,17 @@ class WorkerSupervisor:
             elapsed = self._clock() - started
             if elapsed >= budget:
                 self.stats.bump("attempt_timeouts")
-                for future in outstanding:
-                    future.cancel()
+                # the stragglers are abandoned, NOT cancelled.  On this
+                # interpreter (3.11) Future.cancel() against a process
+                # pool is a trap: if a worker dies while a cancelled
+                # future still sits in the executor's pending map, the
+                # manager thread's terminate_broken() calls
+                # set_exception() on it, InvalidStateError propagates,
+                # and the manager dies *without* terminating its
+                # workers — leaking live processes and hanging
+                # interpreter exit on the executor's atexit join (fixed
+                # upstream in 3.12).  A late result resolving into a
+                # dropped reference costs nothing.
                 return None
             may_hedge = hedge_future is None and self.pool.workers > 1
             if may_hedge and elapsed < policy.hedge_delay:
@@ -313,11 +322,9 @@ class WorkerSupervisor:
                     broken = error
                     continue
                 except Exception:
-                    for other in outstanding:
-                        other.cancel()
+                    # hedge losers are abandoned, not cancelled — see
+                    # the attempt-timeout comment above
                     raise
-                for other in outstanding:
-                    other.cancel()
                 if future is hedge_future:
                     self.stats.bump("hedges_won")
                 if (

@@ -26,7 +26,7 @@ from ..bits.bitio import BitReader, BitWriter
 from ..core.compressor import UTCQCompressor
 from ..ted.matrix import MatrixGroup
 from ..trajectories.datasets import load_dataset, profile
-from .reporting import ExperimentLog
+from .reporting import ExperimentLog, merge_rows
 
 BENCH_TABLE_TITLE = "core_hotpaths"
 BENCH_HEADERS = ("label", "benchmark", "unit", "work", "seconds", "rate")
@@ -304,10 +304,14 @@ def write_bench_json(
 
     With ``append``, rows from an existing repro-bench document are kept
     and the new labelled rows added after them — how one file accumulates
-    a before/after history across PRs.  Returns all rows written.
+    a before/after history across PRs.  Re-measured ``(label,
+    benchmark)`` keys replace their old rows instead of duplicating
+    them.  Returns all rows written.
     """
-    rows = load_existing_rows(path) if append else []
-    rows.extend(result.row(label) for result in results)
+    fresh = [result.row(label) for result in results]
+    rows = (
+        merge_rows(load_existing_rows(path), fresh) if append else fresh
+    )
     log = ExperimentLog()
     log.record(BENCH_TABLE_TITLE, BENCH_HEADERS, rows)
     log.write_json(path)

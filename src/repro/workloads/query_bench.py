@@ -47,7 +47,7 @@ from ..core.compressor import UTCQCompressor
 from ..core.decoder import DecodeSpanCache
 from ..trajectories.datasets import load_dataset, profile
 from .hotpath_bench import BenchResult
-from .reporting import ExperimentLog
+from .reporting import ExperimentLog, merge_rows
 
 BENCH_TABLE_TITLE = "query_throughput"
 BENCH_HEADERS = ("label", "benchmark", "unit", "work", "seconds", "rate")
@@ -266,13 +266,28 @@ def bench_batch_queries(
 
 
 def bench_sharded_queries(
-    fixture: _ServingFixture, *, mode: str, repeats: int, workers: int
-) -> BenchResult:
-    """The request stream against the sharded copy, in queries/sec."""
+    fixture: _ServingFixture,
+    *,
+    mode: str,
+    repeats: int,
+    workers: int,
+    transport: str | None = None,
+    hotcache_entries: int | None = None,
+    dispatch_window: int | None = None,
+    reference: list | None = None,
+) -> tuple[BenchResult, int | None]:
+    """The request stream against the sharded copy, in queries/sec.
+
+    Returns ``(result, mismatches)``; ``mismatches`` counts sharded
+    answers that differ from ``reference`` (the single-archive batch
+    engine's answers for the same stream) and is ``None`` when no
+    reference was supplied.
+    """
     from ..query.engine import ShardedQueryEngine
     from ..query.queries import UTCQQueryProcessor
     from ..query.stiu import StIUIndex
 
+    mismatches: int | None = None
     if mode == "legacy":
         processors = {}
         route = {}
@@ -299,13 +314,104 @@ def bench_sharded_queries(
                 index.archive.close()
     else:
         with ShardedQueryEngine(
-            fixture.shard_paths, network=fixture.network, workers=workers
+            fixture.shard_paths,
+            network=fixture.network,
+            workers=workers,
+            transport=transport,
+            hotcache_entries=hotcache_entries,
+            dispatch_window=dispatch_window,
         ) as engine:
-            engine.run(fixture.stream)  # warm the pool + worker caches
+            # warm the pool + worker caches; the warm pass doubles as
+            # the oracle pin for this transport/cache configuration
+            answers = engine.run(fixture.stream)
+            if reference is not None:
+                mismatches = sum(
+                    1
+                    for answer, expected in zip(answers, reference)
+                    if answer != expected
+                )
             best = _best_of(repeats, lambda: engine.run(fixture.stream))
-    return BenchResult(
-        "sharded_queries", "queries/s", len(fixture.stream), best
+    return (
+        BenchResult(
+            "sharded_queries", "queries/s", len(fixture.stream), best
+        ),
+        mismatches,
     )
+
+
+def _reference_answers(fixture: _ServingFixture) -> list:
+    """The request stream answered by the single-archive batch engine —
+    the oracle the sharded transports are pinned against."""
+    from ..query.engine import BatchQueryEngine
+    from ..query.stiu import StIUIndex
+
+    index = StIUIndex.over_file(fixture.network, fixture.archive_path)
+    try:
+        engine = BatchQueryEngine(fixture.network, index.archive, index)
+        return engine.run(fixture.stream)
+    finally:
+        index.archive.close()
+
+
+def _config_rows(
+    transport: str | None,
+    hotcache_entries: int | None,
+    dispatch_window: int | None,
+) -> list[BenchResult]:
+    """The effective serving configuration, in-band as gauge rows.
+
+    A cache-size or transport sweep that does not record what it
+    actually ran with cannot be reproduced; ``-1`` encodes an unbounded
+    cache section.
+    """
+    from ..core.decoder import (
+        resolve_instance_capacity,
+        resolve_trajectory_capacity,
+    )
+    from ..network.shortest_path import resolve_frontier_cache_size
+    from ..query.engine import resolve_dispatch_window
+    from ..query.hotcache import resolve_hotcache_entries
+    from ..query.transport import TRANSPORT_SHM, resolve_transport
+
+    def bounded(value) -> float:
+        return -1.0 if value is None else float(value)
+
+    gauges = (
+        (
+            "config_transport_shm",
+            "flag",
+            1.0 if resolve_transport(transport) == TRANSPORT_SHM else 0.0,
+        ),
+        (
+            "config_hotcache_entries",
+            "entries",
+            float(resolve_hotcache_entries(hotcache_entries)),
+        ),
+        (
+            "config_dispatch_window",
+            "tasks",
+            float(resolve_dispatch_window(dispatch_window)),
+        ),
+        (
+            "config_decode_cache_trajectories",
+            "entries",
+            bounded(resolve_trajectory_capacity()),
+        ),
+        (
+            "config_decode_cache_instances",
+            "entries",
+            bounded(resolve_instance_capacity()),
+        ),
+        (
+            "config_frontier_cache",
+            "entries",
+            float(resolve_frontier_cache_size()),
+        ),
+    )
+    return [
+        GaugeResult(name, unit, 1, 0.0, value=value)
+        for name, unit, value in gauges
+    ]
 
 
 def run_query_bench(
@@ -314,8 +420,18 @@ def run_query_bench(
     quick: bool = False,
     repeats: int | None = None,
     workers: int = SHARD_COUNT,
+    transport: str | None = None,
+    hotcache_entries: int | None = None,
+    dispatch_window: int | None = None,
 ) -> list[BenchResult]:
-    """Run the three serving scenarios in one mode; fixed result order."""
+    """Run the three serving scenarios in one mode.
+
+    The first three results are always ``warm_open`` /
+    ``batch_queries`` / ``sharded_queries``; fast mode appends a
+    ``sharded_oracle_mismatches`` gauge (sharded answers checked
+    against the single-archive batch engine) and the effective serving
+    configuration as ``config_*`` gauge rows.
+    """
     import tempfile
 
     if mode not in MODES:
@@ -326,13 +442,36 @@ def run_query_bench(
         raise ValueError(f"repeats must be >= 1, got {repeats}")
     with tempfile.TemporaryDirectory(prefix="repro-serve-bench-") as root:
         fixture = _ServingFixture(root, quick=quick)
-        return [
+        reference = _reference_answers(fixture) if mode == "fast" else None
+        results = [
             bench_warm_open(fixture, mode=mode, repeats=max(repeats, 3)),
             bench_batch_queries(fixture, mode=mode, repeats=repeats),
-            bench_sharded_queries(
-                fixture, mode=mode, repeats=repeats, workers=workers
-            ),
         ]
+        sharded, mismatches = bench_sharded_queries(
+            fixture,
+            mode=mode,
+            repeats=repeats,
+            workers=workers,
+            transport=transport,
+            hotcache_entries=hotcache_entries,
+            dispatch_window=dispatch_window,
+            reference=reference,
+        )
+        results.append(sharded)
+        if mismatches is not None:
+            results.append(
+                GaugeResult(
+                    "sharded_oracle_mismatches",
+                    "results",
+                    len(fixture.stream),
+                    0.0,
+                    value=float(mismatches),
+                )
+            )
+            results.extend(
+                _config_rows(transport, hotcache_entries, dispatch_window)
+            )
+        return results
 
 
 def _percentile(sorted_values: list[float], fraction: float) -> float:
@@ -354,6 +493,8 @@ def run_chaos_bench(
     delay_seconds: float = 0.4,
     workers: int = 2,
     seed: int = 23,
+    transport: str | None = None,
+    hotcache_entries: int | None = None,
 ) -> tuple[list[BenchResult], dict]:
     """Chaos mode of ``repro serve-bench``: availability under faults.
 
@@ -377,6 +518,7 @@ def run_chaos_bench(
     """
     import tempfile
 
+    from ..query import transport as query_transport
     from ..query.engine import ShardedQueryEngine
     from ..serve import ChaosProxy, QueryService, ServiceConfig
     from ..serve.chaos import corrupt_shard, kill_fault, restore_shard
@@ -417,9 +559,19 @@ def run_chaos_bench(
                 quarantine_reprobe=0.05,
                 breaker_reset=0.5,
                 health_interval=0.25,
+                transport=transport,
+                hotcache_entries=hotcache_entries,
             ),
         )
         proxy = proxy_holder[0] if proxy_holder else None
+        transport_shm = (
+            service.engine.transport == query_transport.TRANSPORT_SHM
+        )
+        hotcache_effective = (
+            service.engine.hotcache.capacity
+            if service.engine.hotcache is not None
+            else 0
+        )
 
         lock = threading.Lock()
         latencies: list[float] = []
@@ -539,9 +691,19 @@ def run_chaos_bench(
             "chaos_delay_seconds", "seconds", 1, elapsed,
             value=delay_seconds,
         ),
+        GaugeResult(
+            "chaos_transport_shm", "flag", 1, elapsed,
+            value=1.0 if transport_shm else 0.0,
+        ),
+        GaugeResult(
+            "chaos_hotcache_entries", "entries", 1, elapsed,
+            value=float(hotcache_effective),
+        ),
     ]
     summary = {
         "seed": seed,
+        "transport": "shm" if transport_shm else "pickle",
+        "hotcache_entries": hotcache_effective,
         "fault_script": {
             "kill_probability": kill_probability,
             "delay_probability": delay_probability,
@@ -572,6 +734,9 @@ def run_trace_probe(
     workers: int = SHARD_COUNT,
     queries: int = 64,
     repeats: int = 3,
+    transport: str | None = None,
+    dispatch_window: int | None = None,
+    hotcache_entries: int | None = None,
 ) -> tuple[dict, dict]:
     """One traced request through the real sharded serving path.
 
@@ -589,7 +754,7 @@ def run_trace_probe(
     import tempfile
 
     from ..obs.trace import Span, ipc_breakdown
-    from ..serve import QueryService
+    from ..serve import QueryService, ServiceConfig
 
     if queries < 1:
         raise ValueError(f"queries must be >= 1, got {queries}")
@@ -599,7 +764,14 @@ def run_trace_probe(
         fixture = _ServingFixture(root, quick=quick)
         batch = fixture.stream[: min(queries, len(fixture.stream))]
         service = QueryService(
-            fixture.shard_paths, network=fixture.network, workers=workers
+            fixture.shard_paths,
+            network=fixture.network,
+            workers=workers,
+            config=ServiceConfig(
+                transport=transport,
+                dispatch_window=dispatch_window,
+                hotcache_entries=hotcache_entries,
+            ),
         )
         try:
             warm = service.submit_many(batch, client="trace-probe")
@@ -647,9 +819,15 @@ def write_bench_json(
     label: str = "current",
     append: bool = False,
 ) -> list[list]:
-    """Write (or extend) the query-serving perf trajectory at ``path``."""
-    rows = load_existing_rows(path) if append else []
-    rows.extend(result.row(label) for result in results)
+    """Write (or extend) the query-serving perf trajectory at ``path``.
+
+    Appending merges by ``(label, benchmark)``: re-running a bench with
+    an existing label replaces its rows instead of duplicating them.
+    """
+    fresh = [result.row(label) for result in results]
+    rows = (
+        merge_rows(load_existing_rows(path), fresh) if append else fresh
+    )
     log = ExperimentLog()
     log.record(BENCH_TABLE_TITLE, BENCH_HEADERS, rows)
     log.write_json(path)

@@ -116,5 +116,69 @@ class ExperimentLog:
         self.tables.clear()
 
 
+def merge_rows(
+    existing: Sequence[Sequence],
+    fresh: Sequence[Sequence],
+    *,
+    key_columns: int = 2,
+) -> list[list]:
+    """Merge bench rows, replacing same-key rows instead of duplicating.
+
+    The key is the first ``key_columns`` cells — ``(label, benchmark)``
+    for the perf-trajectory tables — so re-running a bench with an
+    existing label updates its rows in place rather than accreting a
+    second copy.  Existing rows whose key is not re-measured are kept
+    (in order); fresh rows land at the end, in their own order.
+    """
+    fresh_keys = {tuple(row[:key_columns]) for row in fresh}
+    merged = [
+        list(row)
+        for row in existing
+        if tuple(row[:key_columns]) not in fresh_keys
+    ]
+    merged.extend(list(row) for row in fresh)
+    return merged
+
+
+def merge_tables(existing: list[dict], fresh: list[dict]) -> list[dict]:
+    """Merge ``{title, headers, rows}`` table dicts for a results file.
+
+    Same-title tables whose headers agree and lead with ``(label,
+    benchmark)`` columns are merged row-wise via :func:`merge_rows`;
+    same-title tables with any other shape are replaced outright (the
+    old whole-table semantics).  Tables unique to either side survive.
+    """
+    fresh_by_title = {table.get("title"): table for table in fresh}
+    merged = []
+    consumed = set()
+    for table in existing:
+        title = table.get("title")
+        replacement = fresh_by_title.get(title)
+        if replacement is None:
+            merged.append(table)
+            continue
+        consumed.add(title)
+        headers = list(replacement.get("headers", ()))
+        if (
+            list(table.get("headers", ())) == headers
+            and headers[:2] == ["label", "benchmark"]
+        ):
+            merged.append(
+                {
+                    "title": title,
+                    "headers": headers,
+                    "rows": merge_rows(
+                        table.get("rows", ()), replacement.get("rows", ())
+                    ),
+                }
+            )
+        else:
+            merged.append(replacement)
+    merged.extend(
+        table for table in fresh if table.get("title") not in consumed
+    )
+    return merged
+
+
 #: process-wide log the benchmark conftest hooks into
 EXPERIMENT_LOG = ExperimentLog()

@@ -27,6 +27,7 @@ import pytest
 from repro.core.archive import CompressedArchive
 from repro.core.compressor import compress_dataset
 from repro.query import StIUIndex, ShardedQueryEngine, save_index
+from repro.query.engine import WhereQuery
 from repro.serve import (
     CLOSED,
     HALF_OPEN,
@@ -269,6 +270,104 @@ class TestChaosScenarios:
         with pytest.raises(ServiceClosedError):
             service.submit_many(world[2])
 
+    def test_pipelined_dispatch_overlaps_shard_roundtrips(self, world):
+        _, _, queries, expected = world
+        # long attempt budget and hedge delay: the measured overlap is
+        # the dispatch pipeline's, not the hedging machinery's
+        config = ServiceConfig(
+            deadline=30.0,
+            health_interval=None,
+            retry=RetryPolicy(attempt_timeout=10.0, hedge_delay=10.0),
+        )
+        service, proxy = make_service(world, config=config)
+        with service:
+            # every shard sub-batch sleeps 0.6s; three shards on two
+            # workers take ~1.2s pipelined vs 1.8s serialized
+            proxy.arm(*[delay_fault(0.6)] * SHARDS)
+            started = time.monotonic()
+            response = service.submit_many(queries)
+            elapsed = time.monotonic() - started
+            assert response.ok
+            assert response.results == expected
+            assert response.mode == MODE_SHARDED
+            assert elapsed < 0.6 * SHARDS  # strictly beats serial
+
+    def test_worker_killed_mid_slab_write_never_torn_read(self, world):
+        from repro.query.transport import list_arena_slabs
+        from repro.serve import midwrite_kill_fault
+
+        _, _, queries, expected = world
+        service, proxy = make_service(world)
+        with service:
+            arena = service.engine.pool.transport_arena
+            assert arena is not None  # shm is the default transport
+            proxy.arm(midwrite_kill_fault())
+            response = service.submit_many(queries)
+            # the torn entry is never decoded: the worker died before
+            # returning a descriptor, the supervisor respawned, and the
+            # answers are still oracle-identical
+            assert response.ok
+            assert response.results == expected
+            stats = service.supervisor.stats.snapshot()
+            assert stats["worker_deaths"] >= 1
+            assert stats["respawns"] >= 1
+            assert proxy.injected["midwrite_kill"] == 1
+            # the dead generation's slabs were swept on respawn
+            generation = service.engine.pool.generation
+            assert generation >= 1
+            for name in list_arena_slabs(arena):
+                assert f"-g{generation}-" in name
+            again = service.submit_many(queries)
+            assert again.ok and again.results == expected
+        assert list_arena_slabs(arena) == []
+
+    def test_hotcache_serves_hits_and_quarantine_clears_it(self, world):
+        network, shard_paths, queries, expected = world
+        config = ServiceConfig(
+            deadline=30.0,
+            health_interval=None,
+            quarantine_reprobe=0.2,
+            hotcache_entries=64,
+        )
+        service, proxy = make_service(world, config=config)
+        with service:
+            cache = service.engine.hotcache
+            assert cache is not None
+            # run 1 establishes popularity, run 2 admits, run 3 hits —
+            # every run oracle-identical
+            for _ in range(3):
+                response = service.submit_many(queries)
+                assert response.ok and response.results == expected
+            assert cache.stats()["hits"] > 0
+            assert len(cache) > 0
+
+            target = str(shard_paths[1])
+            pristine = corrupt_shard(target)
+            try:
+                # a query the cache has never seen, routed at the bad
+                # shard: the pool must be consulted, so the corruption
+                # is observed (cached answers alone never touch it)
+                probe = next(
+                    WhereQuery(q.trajectory_id, q.t + 1, q.alpha)
+                    for q in queries
+                    if hasattr(q, "trajectory_id")
+                    and service.engine.shard_for(q.trajectory_id)
+                    == target
+                )
+                proxy.arm(kill_fault())  # flush warm workers
+                refused = service.submit(probe)
+                assert refused.kind == "quarantined"
+                # quarantine invalidated every cached answer: nothing
+                # is served from behind the quarantine, cached or not
+                assert len(cache) == 0
+                blocked = service.submit_many(queries)
+                assert blocked.kind == "quarantined"
+            finally:
+                restore_shard(target, pristine)
+            time.sleep(0.25)
+            healed = service.submit_many(queries)
+            assert healed.ok and healed.results == expected
+
 
 # ----------------------------------------------------------------------
 # admission control (fake clock)
@@ -388,10 +487,12 @@ class FakePool:
         self.workers = 2
         self.submits = 0
         self.restarts = 0
+        self.futures: list = []
 
     def submit(self, path, specs):
         self.submits += 1
         future = Future()
+        self.futures.append(future)
         outcome = (
             self.outcomes.pop(0) if self.outcomes else "ok"
         )
@@ -450,6 +551,27 @@ class TestSupervisor:
         stats = supervisor.stats.snapshot()
         assert stats["attempt_timeouts"] == 3
         assert stats["hedges_launched"] >= 1
+
+    def test_abandoned_futures_are_never_cancelled(self):
+        # Future.cancel() against a process pool can crash the
+        # executor's manager thread on 3.11 (terminate_broken calls
+        # set_exception on the cancelled future and dies with workers
+        # still alive); the supervisor must abandon stragglers instead
+        pool = FakePool(["hang"] * 20)
+        supervisor = WorkerSupervisor(pool, policy=self.POLICY)
+        with pytest.raises(WorkerPoolUnavailable):
+            supervisor.call("shard", [], deadline_at=time.monotonic() + 5)
+        assert pool.futures
+        assert not any(future.cancelled() for future in pool.futures)
+
+    def test_hedge_loser_is_abandoned_not_cancelled(self):
+        pool = FakePool(["hang", "ok"])
+        supervisor = WorkerSupervisor(pool, policy=self.POLICY)
+        assert supervisor.call(
+            "shard", [], deadline_at=time.monotonic() + 5
+        ) == ["answer"]
+        assert supervisor.stats.snapshot()["hedges_won"] == 1
+        assert not any(future.cancelled() for future in pool.futures)
 
     def test_deadline_bounds_the_whole_loop(self):
         pool = FakePool(["hang"] * 20)

@@ -12,7 +12,13 @@ from repro.workloads.harness import (
     time_ted_queries,
     time_utcq_queries,
 )
-from repro.workloads.reporting import ExperimentLog, format_value, render_table
+from repro.workloads.reporting import (
+    ExperimentLog,
+    format_value,
+    merge_rows,
+    merge_tables,
+    render_table,
+)
 
 
 @pytest.fixture(scope="module")
@@ -136,6 +142,77 @@ class TestMachineReadableResults:
         assert tables[0]["rows"] == [["CD", 1234.5]]
         # strict JSON: Infinity must be serialized as null
         assert tables[1]["rows"] == [["Total", None]]
+
+    def test_merge_rows_replaces_same_label_benchmark(self):
+        existing = [
+            ["pr5", "batch", "q/s", 100, 1.0, 100.0],
+            ["pr5", "sharded", "q/s", 100, 2.0, 50.0],
+            ["pr7", "chaos", "req/s", 10, 1.0, 10.0],
+        ]
+        fresh = [
+            ["pr5", "sharded", "q/s", 100, 1.0, 100.0],
+            ["pr9", "sharded", "q/s", 100, 0.5, 200.0],
+        ]
+        merged = merge_rows(existing, fresh)
+        # re-measured key replaced, untouched keys kept, new appended
+        assert merged == [
+            ["pr5", "batch", "q/s", 100, 1.0, 100.0],
+            ["pr7", "chaos", "req/s", 10, 1.0, 10.0],
+            ["pr5", "sharded", "q/s", 100, 1.0, 100.0],
+            ["pr9", "sharded", "q/s", 100, 0.5, 200.0],
+        ]
+
+    def test_merge_rows_rerun_is_idempotent(self):
+        rows = [["a", "b", 1], ["c", "d", 2]]
+        once = merge_rows(rows, rows)
+        assert merge_rows(once, rows) == once  # no accretion, ever
+
+    def test_merge_tables_merges_trajectory_tables_row_wise(self):
+        headers = ["label", "benchmark", "rate"]
+        existing = [
+            {"title": "t", "headers": headers, "rows": [["a", "x", 1]]},
+            {"title": "other", "headers": ["k"], "rows": [["kept"]]},
+        ]
+        fresh = [
+            {"title": "t", "headers": headers, "rows": [["a", "x", 9]]},
+            {"title": "new", "headers": ["k"], "rows": [["added"]]},
+        ]
+        merged = merge_tables(existing, fresh)
+        by_title = {table["title"]: table for table in merged}
+        assert by_title["t"]["rows"] == [["a", "x", 9]]
+        assert by_title["other"]["rows"] == [["kept"]]
+        assert by_title["new"]["rows"] == [["added"]]
+
+    def test_merge_tables_replaces_non_trajectory_shapes_whole(self):
+        existing = [{"title": "t", "headers": ["k", "v"], "rows": [[1, 2]]}]
+        fresh = [{"title": "t", "headers": ["k", "v"], "rows": [[3, 4]]}]
+        assert merge_tables(existing, fresh) == fresh
+
+    def test_write_bench_json_append_replaces_not_accretes(self, tmp_path):
+        import json
+
+        from repro.workloads.query_bench import BenchResult, write_bench_json
+
+        path = tmp_path / "BENCH.json"
+        write_bench_json(
+            [BenchResult("sharded", "q/s", 100, 2.0)], path, label="pr9"
+        )
+        write_bench_json(
+            [BenchResult("sharded", "q/s", 100, 1.0)],
+            path,
+            label="pr9",
+            append=True,
+        )
+        write_bench_json(
+            [BenchResult("batch", "q/s", 100, 1.0)],
+            path,
+            label="pr9",
+            append=True,
+        )
+        rows = json.loads(path.read_text())["tables"][0]["rows"]
+        keys = [tuple(row[:2]) for row in rows]
+        assert keys == [("pr9", "sharded"), ("pr9", "batch")]
+        assert rows[0][4] == 1.0  # the re-run's seconds, not the first's
 
     def test_structured_tables_still_render(self):
         log = ExperimentLog()
