@@ -34,6 +34,7 @@ import os
 import sys
 
 from . import __version__
+from .config import ConfigError
 from .io.format import ArchiveFormatError, read_header
 from .io.reader import FileBackedArchive
 
@@ -332,7 +333,90 @@ def build_parser() -> argparse.ArgumentParser:
         "--deadline", type=float, default=5.0,
         help="chaos mode: per-request deadline in seconds (default: 5)",
     )
+    serve_bench.add_argument(
+        "--wire", action="store_true",
+        help="drive the workload through the TCP wire front-end "
+        "(loopback WireServer + WireClient) instead of in-process "
+        "calls; alone it records a loopback-vs-in-process throughput "
+        "comparison, with --chaos the request stream crosses a "
+        "ChaosTCPProxy injecting disconnects, truncation, corruption, "
+        "stalls, and slow-loris connections",
+    )
+    serve_bench.add_argument(
+        "--availability-floor", type=float, default=None, metavar="PCT",
+        help="chaos mode: fail (exit 2) when availability lands below "
+        "PCT percent (the CI gate)",
+    )
     _add_telemetry_arguments(serve_bench)
+
+    serve = commands.add_parser(
+        "serve",
+        help="serve queries over TCP: a hardened asyncio front-end "
+        "(framed CRC-checked protocol, read deadlines, connection "
+        "limits, pipelining backpressure) over the supervised "
+        "QueryService; SIGTERM drains gracefully",
+    )
+    serve.add_argument(
+        "archives", nargs="+", help="shard archives (.utcq) to serve"
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="address to bind (default: 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port to bind (default: 0 = kernel-assigned, printed "
+        "on startup)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2,
+        help="shard worker processes (default: 2)",
+    )
+    serve.add_argument(
+        "--deadline", type=float, default=5.0,
+        help="per-request deadline in seconds (default: 5)",
+    )
+    serve.add_argument(
+        "--max-in-flight", type=int, default=64,
+        help="requests admitted concurrently before shedding "
+        "(default: 64)",
+    )
+    serve.add_argument(
+        "--max-connections", type=int, default=64,
+        help="concurrent TCP connections before refusing (default: 64)",
+    )
+    serve.add_argument(
+        "--pipeline-window", type=int, default=8,
+        help="in-flight requests per connection before the server "
+        "stops reading that socket (default: 8)",
+    )
+    serve.add_argument(
+        "--idle-timeout", type=float, default=300.0,
+        help="seconds a connection may sit between frames before it "
+        "is closed (default: 300)",
+    )
+    serve.add_argument(
+        "--read-timeout", type=float, default=10.0,
+        help="seconds a frame body may take to arrive before the "
+        "connection is closed — the slow-loris bound (default: 10)",
+    )
+    serve.add_argument(
+        "--transport", choices=("pickle", "shm"), default=None,
+        help="worker result transport (default: REPRO_TRANSPORT, "
+        "else shm)",
+    )
+    serve.add_argument(
+        "--hotcache-size", type=int, default=None, metavar="N",
+        help="hot-answer cache entries (0 disables; default: "
+        "REPRO_HOTCACHE, else 0)",
+    )
+    serve.add_argument(
+        "--window", type=int, default=None, metavar="N",
+        help="shard sub-batches in flight per request (default: "
+        "REPRO_DISPATCH_WINDOW, else 8)",
+    )
+    _add_dataset_arguments(serve)
+    _add_telemetry_arguments(serve)
 
     bench = commands.add_parser(
         "bench",
@@ -1054,6 +1138,10 @@ def cmd_serve_bench(args) -> int:
     from .workloads.reporting import render_table
 
     _apply_cache_size_flags(args)
+    if args.wire and args.chaos:
+        return _serve_bench_wire_chaos(args)
+    if args.wire:
+        return _serve_bench_wire(args)
     if args.chaos:
         return _serve_bench_chaos(args)
     baseline = _telemetry_begin(args)
@@ -1153,6 +1241,205 @@ def _serve_bench_chaos(args) -> int:
             f"{summary['result_mismatches']} completed results did not "
             f"match the healthy-engine reference"
         )
+    _check_availability_floor(args, summary)
+    return 0
+
+
+def _check_availability_floor(args, summary: dict) -> None:
+    floor = getattr(args, "availability_floor", None)
+    if floor is None:
+        return
+    availability = summary["availability_percent"]
+    if availability < floor:
+        raise CliError(
+            f"availability {availability}% is below the required "
+            f"floor of {floor}%"
+        )
+
+
+def _serve_bench_wire(args) -> int:
+    """Loopback wire throughput vs the same workload in-process."""
+    from .workloads.query_bench import run_wire_bench, write_bench_json
+    from .workloads.reporting import render_table
+
+    baseline = _telemetry_begin(args)
+    try:
+        results, summary = run_wire_bench(
+            quick=args.quick,
+            workers=args.workers,
+            transport=args.transport,
+            hotcache_entries=args.hotcache_size,
+            dispatch_window=args.window,
+        )
+    except ValueError as error:
+        raise CliError(str(error))
+    try:
+        rows = write_bench_json(
+            results, args.output, label=args.label, append=args.append
+        )
+    except OSError as error:
+        raise CliError(f"cannot write {args.output}: {error}")
+    print(
+        render_table(
+            f"wire serving benchmark ({'quick' if args.quick else 'full'} "
+            f"workload, loopback TCP vs in-process)",
+            ["label", "benchmark", "unit", "work", "seconds", "rate"],
+            rows,
+        )
+    )
+    print(
+        f"loopback {summary['wire_qps']} q/s vs in-process "
+        f"{summary['inprocess_qps']} q/s "
+        f"({summary['overhead_percent']}% wire overhead); "
+        f"mismatches: {summary['result_mismatches']}"
+    )
+    print(f"wrote {args.output} ({len(rows)} rows)")
+    _telemetry_end(args, baseline)
+    if summary["result_mismatches"]:
+        raise CliError(
+            f"{summary['result_mismatches']} wire answers did not match "
+            f"the in-process reference"
+        )
+    return 0
+
+
+def _serve_bench_wire_chaos(args) -> int:
+    """Chaos through the network: client -> ChaosTCPProxy -> WireServer
+    -> QueryService, with the full worker/shard chaos underneath."""
+    from .workloads.query_bench import run_wire_chaos_bench, write_bench_json
+    from .workloads.reporting import render_table
+
+    baseline = _telemetry_begin(args)
+    try:
+        results, summary = run_wire_chaos_bench(
+            duration=args.duration,
+            clients=args.clients,
+            quick=args.quick,
+            deadline=args.deadline,
+            workers=args.workers,
+            transport=args.transport,
+            hotcache_entries=args.hotcache_size,
+        )
+    except ValueError as error:
+        raise CliError(str(error))
+    try:
+        rows = write_bench_json(
+            results, args.output, label=args.label, append=args.append
+        )
+    except OSError as error:
+        raise CliError(f"cannot write {args.output}: {error}")
+    print(
+        render_table(
+            f"wire chaos benchmark ({'quick' if args.quick else 'full'} "
+            f"workload, {summary['duration']}s, {args.clients} clients "
+            f"through ChaosTCPProxy)",
+            ["label", "benchmark", "unit", "work", "seconds", "rate"],
+            rows,
+        )
+    )
+    print(
+        f"availability {summary['availability_percent']}% over "
+        f"{summary['requests']} requests "
+        f"(p50 {summary['p50_ms']}ms, p99 {summary['p99_ms']}ms); "
+        f"outcomes: {summary['outcomes']}; "
+        f"network faults: {summary['network_faults']}; "
+        f"loris connections reaped: {summary['loris_reaped']}; "
+        f"mismatches: {summary['result_mismatches']}"
+    )
+    print(f"wrote {args.output} ({len(rows)} rows)")
+    _telemetry_end(args, baseline)
+    if summary["result_mismatches"]:
+        raise CliError(
+            f"{summary['result_mismatches']} completed results did not "
+            f"match the healthy-engine reference"
+        )
+    _check_availability_floor(args, summary)
+    return 0
+
+
+def cmd_serve(args) -> int:
+    """Run the wire front-end until SIGTERM/SIGINT, then drain."""
+    import asyncio
+    import signal
+
+    from .query.engine import QueryEngineError
+    from .serve import (
+        QueryService,
+        ServiceConfig,
+        WireServer,
+        WireServerConfig,
+    )
+
+    for path in args.archives:
+        if not os.path.exists(path):
+            raise CliError(f"no such archive: {path}")
+    with _open_archive(args.archives[0]) as first:
+        network = _network_from_provenance(first, args)
+    baseline = _telemetry_begin(args)
+    try:
+        wire_config = WireServerConfig(
+            max_connections=args.max_connections,
+            pipeline_window=args.pipeline_window,
+            idle_timeout=args.idle_timeout,
+            read_timeout=args.read_timeout,
+        )
+    except ValueError as error:
+        raise CliError(str(error))
+    try:
+        service = QueryService(
+            args.archives,
+            network=network,
+            workers=args.workers,
+            config=ServiceConfig(
+                deadline=args.deadline,
+                max_in_flight=args.max_in_flight,
+                transport=args.transport,
+                hotcache_entries=args.hotcache_size,
+                dispatch_window=args.window,
+            ),
+        )
+    except (QueryEngineError, ValueError) as error:
+        raise CliError(str(error))
+
+    async def _serve() -> bool:
+        loop = asyncio.get_running_loop()
+        server = WireServer(
+            service, host=args.host, port=args.port, config=wire_config
+        )
+        host, port = await server.start()
+        print(
+            f"serving {len(args.archives)} shard"
+            f"{'s' if len(args.archives) != 1 else ''} on {host}:{port} "
+            f"({args.workers} workers, deadline {args.deadline}s); "
+            f"SIGTERM drains",
+            flush=True,
+        )
+        stop = asyncio.Event()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(signum, stop.set)
+        await stop.wait()
+        print("drain: stopped accepting, waiting for in-flight "
+              "requests", flush=True)
+        clean = await server.drain()
+        await server.aclose()
+        return clean
+
+    try:
+        clean = asyncio.run(_serve())
+    finally:
+        service.drain()
+    snapshot = service.telemetry()
+    requests = snapshot.get("service", {})
+    admission = snapshot.get("admission", {})
+    shed = admission.get("shed_in_flight", 0) + admission.get(
+        "shed_rate_limited", 0
+    )
+    print(
+        f"drained {'cleanly' if clean else 'with requests abandoned'}; "
+        f"served {requests.get('requests', 0)} requests "
+        f"({requests.get('completed', 0)} completed, {shed} shed)"
+    )
+    _telemetry_end(args, baseline)
     return 0
 
 
@@ -1500,10 +1787,15 @@ def main(argv: list[str] | None = None) -> int:
         "stream": cmd_stream,
         "bench": cmd_bench,
         "serve-bench": cmd_serve_bench,
+        "serve": cmd_serve,
         "obs": cmd_obs,
     }
     try:
         return handlers[args.command](args)
+    except ConfigError as error:
+        # a malformed REPRO_* variable: one operator-facing line
+        # instead of an uncaught ValueError traceback
+        raise CliError(str(error))
     except BrokenPipeError:
         # stdout consumer (e.g. `| head`) closed early; exit quietly
         import os

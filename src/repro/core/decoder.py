@@ -21,6 +21,7 @@ import threading
 from collections import OrderedDict
 from typing import Callable
 
+from ..config import env_int
 from ..bits import expgolomb
 from ..bits.bitio import BitReader, uint_width
 from ..obs import metrics as obs_metrics
@@ -198,13 +199,7 @@ _DEFAULT_INSTANCE_CAPACITY = 8192
 
 
 def _env_capacity(name: str, default: int) -> int:
-    raw = os.environ.get(name)
-    if not raw:
-        return default
-    try:
-        return max(0, int(raw))
-    except ValueError:
-        return default
+    return env_int(name, default, minimum=0)
 
 
 def resolve_trajectory_capacity(explicit=_UNSET) -> int | None:

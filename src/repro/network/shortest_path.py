@@ -10,9 +10,9 @@ vehicle can travel between points, so searches are cut off at a radius.
 from __future__ import annotations
 
 import heapq
-import os
 from typing import Callable
 
+from ..config import env_int
 from .graph import RoadNetwork
 
 INFINITY = float("inf")
@@ -178,13 +178,9 @@ def resolve_frontier_cache_size(explicit: int | None = None) -> int:
     floor is 1, not 0)."""
     if explicit is not None:
         return int(explicit)
-    raw = os.environ.get("REPRO_FRONTIER_CACHE")
-    if not raw:
-        return _DEFAULT_FRONTIER_CACHE
-    try:
-        return max(1, int(raw))
-    except ValueError:
-        return _DEFAULT_FRONTIER_CACHE
+    return env_int(
+        "REPRO_FRONTIER_CACHE", _DEFAULT_FRONTIER_CACHE, minimum=1
+    )
 
 
 class FrontierCache:

@@ -37,7 +37,6 @@ import contextvars
 import io
 import itertools
 import json
-import os
 import sys
 import threading
 import time
@@ -124,10 +123,12 @@ def configure_from_env() -> bool:
     """Honor ``REPRO_LOG_JSON`` (a path, or ``-``); returns whether
     logging ended up enabled.  Called once at import so spawned worker
     processes inherit the operator's sink."""
-    target = os.environ.get("REPRO_LOG_JSON")
+    from ..config import env_choice, env_raw
+
+    target = env_raw("REPRO_LOG_JSON")
     if not target:
         return _state.enabled
-    configure(target, level=os.environ.get("REPRO_LOG_LEVEL", "info"))
+    configure(target, level=env_choice("REPRO_LOG_LEVEL", "info", _LEVELS))
     return True
 
 

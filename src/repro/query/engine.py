@@ -38,6 +38,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Sequence, Union
 
+from ..config import env_int
 from ..core.decoder import DecodeSpanCache
 from ..network.grid import Rect
 from ..obs import metrics as obs_metrics
@@ -57,14 +58,10 @@ def resolve_dispatch_window(explicit: int | None = None) -> int:
     """Dispatch window: explicit argument > ``REPRO_DISPATCH_WINDOW`` >
     8.  Bounds how many shard sub-batches are in flight at once."""
     if explicit is not None:
-        value = int(explicit)
-    else:
-        raw = os.environ.get("REPRO_DISPATCH_WINDOW")
-        try:
-            value = int(raw) if raw else _DEFAULT_DISPATCH_WINDOW
-        except ValueError:
-            value = _DEFAULT_DISPATCH_WINDOW
-    return max(1, value)
+        return max(1, int(explicit))
+    return env_int(
+        "REPRO_DISPATCH_WINDOW", _DEFAULT_DISPATCH_WINDOW, minimum=1
+    )
 
 _log = get_logger("repro.query.engine")
 

@@ -36,11 +36,11 @@ Thread-safe; hit/miss/admission/eviction counters export through the
 
 from __future__ import annotations
 
-import os
 import threading
 from array import array
 from collections import OrderedDict
 
+from ..config import env_int
 from ..obs import metrics as obs_metrics
 
 #: distinct sentinel: a cached empty answer is a hit, not a miss
@@ -59,13 +59,7 @@ def resolve_hotcache_entries(explicit: int | None = None) -> int:
     """
     if explicit is not None:
         return max(0, int(explicit))
-    raw = os.environ.get("REPRO_HOTCACHE")
-    if not raw:
-        return 0
-    try:
-        return max(0, int(raw))
-    except ValueError:
-        return 0
+    return env_int("REPRO_HOTCACHE", 0, minimum=0)
 
 
 class CountMinSketch:

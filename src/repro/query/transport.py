@@ -71,6 +71,7 @@ import zlib
 from collections import deque
 from multiprocessing import shared_memory
 
+from ..config import env_choice, env_int
 from ..obs import metrics as obs_metrics
 from ..obs.log import get_logger
 
@@ -126,23 +127,21 @@ class UnencodableAnswers(Exception):
 def resolve_transport(explicit: str | None = None) -> str:
     """Pick the transport: explicit argument > ``REPRO_TRANSPORT`` >
     shared memory (the default data plane)."""
-    choice = explicit or os.environ.get("REPRO_TRANSPORT") or TRANSPORT_SHM
-    choice = choice.strip().lower()
-    if choice not in TRANSPORTS:
-        raise ValueError(
-            f"unknown transport {choice!r} (expected one of {TRANSPORTS})"
-        )
-    return choice
+    if explicit is not None:
+        choice = explicit.strip().lower()
+        if choice not in TRANSPORTS:
+            raise ValueError(
+                f"unknown transport {choice!r} "
+                f"(expected one of {TRANSPORTS})"
+            )
+        return choice
+    return env_choice("REPRO_TRANSPORT", TRANSPORT_SHM, TRANSPORTS)
 
 
 def resolve_slab_bytes() -> int:
-    raw = os.environ.get("REPRO_SLAB_BYTES")
-    if not raw:
-        return _DEFAULT_SLAB_BYTES
-    try:
-        return max(_MIN_SLAB_BYTES, int(raw))
-    except ValueError:
-        return _DEFAULT_SLAB_BYTES
+    return env_int(
+        "REPRO_SLAB_BYTES", _DEFAULT_SLAB_BYTES, minimum=_MIN_SLAB_BYTES
+    )
 
 
 def new_arena_id() -> str:

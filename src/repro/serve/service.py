@@ -285,6 +285,37 @@ class QueryService:
         self._dispatch.shutdown(wait=False, cancel_futures=True)
         self.engine.close()
 
+    def drain(
+        self, timeout: float | None = None, *, poll_interval: float = 0.02
+    ) -> bool:
+        """Graceful shutdown: wait for in-flight requests to finish (or
+        deadline out — every admitted request carries one), then
+        :meth:`close`.  Nothing new is admitted by the caller during a
+        drain (the wire front-end stops reading sockets first).
+
+        ``timeout`` bounds the wait; the default is the configured
+        request deadline plus a second, which is the longest any
+        admitted request can legally take.  Returns True when the
+        service went quiet inside the budget, False when it was closed
+        with requests still in flight.
+        """
+        if self._closed:
+            return True
+        if timeout is None:
+            timeout = self.config.deadline + 1.0
+        deadline_at = time.monotonic() + timeout
+        drained = self.admission.in_flight == 0
+        while not drained and time.monotonic() < deadline_at:
+            time.sleep(poll_interval)
+            drained = self.admission.in_flight == 0
+        _log.info(
+            "service.drained",
+            clean=drained,
+            in_flight=self.admission.in_flight,
+        )
+        self.close()
+        return drained
+
     def __enter__(self) -> "QueryService":
         return self
 

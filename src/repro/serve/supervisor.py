@@ -25,6 +25,7 @@ same broken pool generation, only the first actually restarts it.
 
 from __future__ import annotations
 
+import random
 import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, wait
@@ -50,15 +51,59 @@ class RetryPolicy:
     backoff_multiplier: float = 2.0
     backoff_cap: float = 0.5
     hedge_delay: float = 0.1  # silence before the hedge launches
+    jitter: bool = True  # decorrelate retry pauses across callers
 
     def attempt_budget(self, attempt: int) -> float:
         return self.attempt_timeout * self.timeout_multiplier**attempt
 
     def backoff(self, attempt: int) -> float:
+        """The deterministic exponential pause (no jitter)."""
         return min(
             self.backoff_cap,
             self.backoff_base * self.backoff_multiplier**attempt,
         )
+
+    def schedule(self, rng=None) -> "BackoffSchedule":
+        """A fresh per-call pause sequence (see :class:`BackoffSchedule`)."""
+        return BackoffSchedule(self, rng=rng)
+
+
+class BackoffSchedule:
+    """Capped *decorrelated-jitter* backoff for one retry loop.
+
+    The deterministic exponential pause has a failure mode the chaos
+    bench can produce at will: every in-flight call that observed the
+    same pool death retries after exactly the same pause, so the
+    respawned pool is hit by a synchronized thundering herd that can
+    knock it straight over again.  Decorrelated jitter (the AWS
+    architecture-blog variant) breaks the lockstep::
+
+        pause_n = min(cap, uniform(base, previous_pause * 3))
+
+    Each caller's sequence wanders independently, the *expected* pause
+    still grows geometrically, and the cap bounds the tail.  The RNG is
+    injected (seeded by the supervisor / tests) so a chaos run's pause
+    sequence is reproducible; with no RNG — or ``jitter=False`` on the
+    policy — the schedule degrades to the deterministic exponential,
+    which is what hand-built test policies with zeroed backoff rely on.
+    """
+
+    def __init__(self, policy: RetryPolicy, *, rng=None) -> None:
+        self._policy = policy
+        self._rng = rng if policy.jitter else None
+        self._previous = policy.backoff_base
+
+    def next_pause(self, attempt: int) -> float:
+        policy = self._policy
+        if self._rng is None:
+            return policy.backoff(attempt)
+        low = policy.backoff_base
+        high = max(low, self._previous * 3.0)
+        pause = min(policy.backoff_cap, self._rng.uniform(low, high))
+        # floor the carried state at base so a near-zero draw cannot
+        # collapse the whole remaining sequence to ~0 pauses
+        self._previous = max(pause, low)
+        return pause
 
 
 class SupervisorStats:
@@ -113,6 +158,7 @@ class WorkerSupervisor:
         ping_failures_before_respawn: int = 2,
         clock=time.monotonic,
         sleep=time.sleep,
+        seed: int | None = None,
     ) -> None:
         self.pool = pool
         self.policy = policy or RetryPolicy()
@@ -120,6 +166,9 @@ class WorkerSupervisor:
         self.ping_failures_before_respawn = ping_failures_before_respawn
         self._clock = clock
         self._sleep = sleep
+        # jitter RNG: seeded for reproducible chaos runs/tests, OS
+        # entropy otherwise (decorrelation is the whole point)
+        self._rng = random.Random(seed)
         self._respawn_lock = threading.Lock()
         self._consecutive_ping_failures = 0
         self._health_thread: threading.Thread | None = None
@@ -228,6 +277,7 @@ class WorkerSupervisor:
 
     def _call_loop(self, path: str, specs, deadline_at: float):
         policy = self.policy
+        backoff = policy.schedule(self._rng)
         attempt = 0
         while True:
             remaining = deadline_at - self._clock()
@@ -259,7 +309,7 @@ class WorkerSupervisor:
             attempt += 1
             self.stats.bump("retries")
             pause = min(
-                policy.backoff(attempt - 1),
+                backoff.next_pause(attempt - 1),
                 max(0.0, deadline_at - self._clock()),
             )
             if pause > 0:

@@ -728,6 +728,463 @@ def run_chaos_bench(
     return rows, summary
 
 
+def _batches(stream: list, size: int) -> list[list]:
+    return [stream[i:i + size] for i in range(0, len(stream), size)]
+
+
+def run_wire_bench(
+    *,
+    quick: bool = False,
+    workers: int = 2,
+    transport: str | None = None,
+    hotcache_entries: int | None = None,
+    dispatch_window: int | None = None,
+    batch_size: int = 16,
+    repeats: int | None = None,
+) -> tuple[list[BenchResult], dict]:
+    """Wire mode of ``repro serve-bench``: what the socket costs.
+
+    The same skewed request stream is served twice by the *same*
+    :class:`~repro.serve.QueryService` — once with in-process
+    ``submit_many`` calls, once through a loopback
+    :class:`~repro.serve.WireServerThread` via a
+    :class:`~repro.serve.WireClient` (frame encode, TCP, CRC check,
+    answer-blob decode) — so the row pair isolates the wire overhead
+    from everything below it.  Every wire answer is checked against the
+    single-archive reference; a mismatch fails the run's contract.
+    """
+    import tempfile
+
+    from ..serve import (
+        QueryService,
+        ServiceConfig,
+        WireClient,
+        WireServerConfig,
+        WireServerThread,
+    )
+
+    if repeats is None:
+        repeats = 2 if quick else 3
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    with tempfile.TemporaryDirectory(prefix="repro-wire-bench-") as root:
+        fixture = _ServingFixture(root, quick=quick)
+        reference = _reference_answers(fixture)
+        batches = _batches(fixture.stream, batch_size)
+        service = QueryService(
+            fixture.shard_paths,
+            network=fixture.network,
+            workers=workers,
+            config=ServiceConfig(
+                deadline=60.0,
+                transport=transport,
+                hotcache_entries=hotcache_entries,
+                dispatch_window=dispatch_window,
+            ),
+        )
+        mismatches = 0
+        try:
+            # correctness pass (and warm-up): in-process answers
+            # against the oracle
+            position = 0
+            for batch in batches:
+                response = service.submit_many(batch, client="wire-bench")
+                if not response.ok:
+                    raise ValueError(
+                        f"wire bench warm-up failed: {response.error}"
+                    )
+                expected = reference[position:position + len(batch)]
+                mismatches += sum(
+                    1
+                    for answer, oracle in zip(response.results, expected)
+                    if answer != oracle
+                )
+                position += len(batch)
+
+            def inprocess_pass() -> None:
+                for batch in batches:
+                    if not service.submit_many(
+                        batch, client="wire-bench"
+                    ).ok:
+                        raise ValueError("in-process request failed")
+
+            inprocess_seconds = _best_of(repeats, inprocess_pass)
+
+            with WireServerThread(service) as server:
+                with WireClient(
+                    "127.0.0.1",
+                    server.port,
+                    client_id="wire-bench",
+                    seed=17,
+                ) as client:
+                    ping_ms = client.ping() * 1000.0
+                    # correctness pass over the wire: codec + CRC +
+                    # socket must hand back oracle-identical answers
+                    position = 0
+                    for batch in batches:
+                        result = client.request(batch)
+                        expected = reference[
+                            position:position + len(batch)
+                        ]
+                        mismatches += sum(
+                            1
+                            for answer, oracle in zip(
+                                result.results, expected
+                            )
+                            if answer != oracle
+                        )
+                        position += len(batch)
+
+                    def wire_pass() -> None:
+                        for batch in batches:
+                            client.request(batch)
+
+                    wire_seconds = _best_of(repeats, wire_pass)
+        finally:
+            service.close()
+
+    total = len(fixture.stream)
+    inprocess_qps = total / inprocess_seconds
+    wire_qps = total / wire_seconds
+    overhead = 100.0 * (wire_seconds - inprocess_seconds) / inprocess_seconds
+    rows = [
+        BenchResult("wire_inprocess_queries", "queries/s", total,
+                    inprocess_seconds),
+        BenchResult("wire_loopback_queries", "queries/s", total,
+                    wire_seconds),
+        GaugeResult(
+            "wire_overhead", "percent", total, wire_seconds,
+            value=overhead,
+        ),
+        GaugeResult(
+            "wire_ping", "ms", 1, 0.0, value=ping_ms,
+        ),
+        GaugeResult(
+            "wire_batch_size", "queries", 1, 0.0, value=float(batch_size),
+        ),
+        GaugeResult(
+            "wire_mismatches", "results", 2 * total, wire_seconds,
+            value=float(mismatches),
+        ),
+    ]
+    summary = {
+        "queries": total,
+        "batch_size": batch_size,
+        "inprocess_qps": round(inprocess_qps, 1),
+        "wire_qps": round(wire_qps, 1),
+        "overhead_percent": round(overhead, 2),
+        "ping_ms": round(ping_ms, 3),
+        "results_checked": 2 * total,
+        "result_mismatches": mismatches,
+    }
+    return rows, summary
+
+
+def run_wire_chaos_bench(
+    *,
+    duration: float = 30.0,
+    clients: int = 3,
+    quick: bool = False,
+    batch_size: int = 4,
+    deadline: float = 5.0,
+    refuse_probability: float = 0.02,
+    disconnect_probability: float = 0.01,
+    truncate_probability: float = 0.005,
+    corrupt_probability: float = 0.01,
+    stall_probability: float = 0.02,
+    stall_seconds: float = 0.05,
+    workers: int = 2,
+    seed: int = 29,
+    transport: str | None = None,
+    hotcache_entries: int | None = None,
+) -> tuple[list[BenchResult], dict]:
+    """Network chaos mode: availability through a hostile wire.
+
+    The request stream crosses a real TCP hop —
+    :class:`~repro.serve.WireClient` → seeded
+    :class:`~repro.serve.ChaosTCPProxy` →
+    :class:`~repro.serve.WireServerThread` →
+    :class:`~repro.serve.QueryService` → worker pool and shm transport
+    — while the proxy refuses connections, disconnects mid-frame,
+    truncates frames, corrupts bytes in flight, and stalls chunks, and
+    a dedicated **slow-loris** thread holds half-sent headers open
+    until the server's read deadlines reap them.  Clients retry with
+    jittered backoff, so availability measures *end-to-end* recovery:
+    a request counts as served only if a correct answer came back
+    before the caller gave up.  Every completed answer is checked
+    against a healthy single-process reference — corruption that
+    slipped through the CRCs would land in ``result_mismatches`` and
+    fail the run's contract.
+    """
+    import socket as socket_module
+    import tempfile
+
+    from ..query.engine import ShardedQueryEngine
+    from ..serve import (
+        ChaosTCPProxy,
+        DeadlineExceeded,
+        Overloaded,
+        QueryService,
+        ServiceConfig,
+        ShardQuarantined,
+        WireClient,
+        WireError,
+        WireServerConfig,
+        WireServerThread,
+    )
+
+    if duration <= 0:
+        raise ValueError(f"duration must be > 0, got {duration}")
+    if clients < 1:
+        raise ValueError(f"clients must be >= 1, got {clients}")
+    with tempfile.TemporaryDirectory(prefix="repro-wire-chaos-") as root:
+        fixture = _ServingFixture(root, quick=quick)
+        with ShardedQueryEngine(
+            fixture.shard_paths, network=fixture.network, workers=1
+        ) as reference:
+            expected = dict(
+                zip(fixture.distinct, reference.run(fixture.distinct))
+            )
+        service = QueryService(
+            fixture.shard_paths,
+            network=fixture.network,
+            workers=workers,
+            config=ServiceConfig(
+                deadline=deadline,
+                quarantine_reprobe=0.05,
+                breaker_reset=0.5,
+                health_interval=0.25,
+                transport=transport,
+                hotcache_entries=hotcache_entries,
+            ),
+        )
+        lock = threading.Lock()
+        latencies: list[float] = []
+        outcomes: dict[str, int] = {}
+        mismatches = 0
+        checked = 0
+        loris_reaped = 0
+        try:
+            with WireServerThread(
+                service,
+                config=WireServerConfig(
+                    idle_timeout=2.0, read_timeout=1.0
+                ),
+            ) as server:
+                with ChaosTCPProxy(
+                    "127.0.0.1",
+                    server.port,
+                    refuse_probability=refuse_probability,
+                    disconnect_probability=disconnect_probability,
+                    truncate_probability=truncate_probability,
+                    corrupt_probability=corrupt_probability,
+                    stall_probability=stall_probability,
+                    stall_seconds=stall_seconds,
+                    seed=seed,
+                ) as proxy:
+                    started = time.monotonic()
+                    stop_at = started + duration
+                    running = threading.Event()
+                    running.set()
+
+                    def client_loop(which: int) -> None:
+                        nonlocal mismatches, checked
+                        rng = random.Random(seed * 1000 + which)
+                        client = WireClient(
+                            "127.0.0.1",
+                            proxy.port,
+                            client_id=f"wire-{which}",
+                            connect_timeout=1.0,
+                            request_timeout=deadline + 2.0,
+                            max_attempts=5,
+                            seed=seed * 77 + which,
+                        )
+                        try:
+                            while time.monotonic() < stop_at:
+                                batch = rng.sample(
+                                    fixture.stream,
+                                    min(batch_size, len(fixture.stream)),
+                                )
+                                try:
+                                    result = client.request(
+                                        batch, deadline=deadline
+                                    )
+                                except Overloaded:
+                                    outcome = "overloaded"
+                                except DeadlineExceeded:
+                                    outcome = "deadline"
+                                except ShardQuarantined:
+                                    outcome = "quarantined"
+                                except (WireError, OSError):
+                                    outcome = "wire_failed"
+                                else:
+                                    outcome = "ok"
+                                    bad = sum(
+                                        1
+                                        for query, answer in zip(
+                                            batch, result.results
+                                        )
+                                        if answer != expected[query]
+                                    )
+                                    with lock:
+                                        latencies.append(result.latency)
+                                        checked += len(batch)
+                                        mismatches += bad
+                                with lock:
+                                    outcomes[outcome] = (
+                                        outcomes.get(outcome, 0) + 1
+                                    )
+                        finally:
+                            client.close()
+
+                    def loris_loop() -> None:
+                        # hold half-sent headers open; the server's
+                        # idle/read deadlines must reap each one
+                        nonlocal loris_reaped
+                        while running.is_set() and (
+                            time.monotonic() < stop_at
+                        ):
+                            try:
+                                sock = socket_module.create_connection(
+                                    ("127.0.0.1", proxy.port),
+                                    timeout=1.0,
+                                )
+                            except OSError:
+                                time.sleep(0.1)  # refused by chaos
+                                continue
+                            try:
+                                sock.settimeout(10.0)
+                                sock.sendall(b"RW\x01\x01half")
+                                if sock.recv(64) == b"":
+                                    with lock:
+                                        loris_reaped += 1
+                            except OSError:
+                                with lock:
+                                    loris_reaped += 1
+                            finally:
+                                try:
+                                    sock.close()
+                                except OSError:
+                                    pass
+
+                    threads = [
+                        threading.Thread(
+                            target=client_loop, args=(which,),
+                            daemon=True, name=f"wire-client-{which}",
+                        )
+                        for which in range(clients)
+                    ]
+                    threads.append(
+                        threading.Thread(
+                            target=loris_loop, daemon=True,
+                            name="wire-loris",
+                        )
+                    )
+                    for thread in threads:
+                        thread.start()
+                    for thread in threads[:clients]:
+                        thread.join(timeout=duration + 4 * deadline)
+                    running.clear()
+                    threads[-1].join(timeout=15.0)
+                    elapsed = time.monotonic() - started
+                    injected = dict(proxy.injected)
+                    wire_stats = {
+                        "connections": server.server.stats.
+                        connections_total.value,
+                        "requests": server.server.stats.requests.value,
+                        "shed": server.server.stats.shed.value,
+                    }
+            service_stats = service.stats.snapshot()
+        finally:
+            service.close()
+
+    total = sum(outcomes.values())
+    ok = outcomes.get("ok", 0)
+    availability = 100.0 * ok / total if total else 0.0
+    latencies.sort()
+    p50 = _percentile(latencies, 0.50)
+    p99 = _percentile(latencies, 0.99)
+    faults = sum(injected.values())
+    rows = [
+        BenchResult("wirechaos_requests", "req/s", total, elapsed),
+        GaugeResult(
+            "wirechaos_availability", "percent", ok, elapsed,
+            value=availability,
+        ),
+        GaugeResult(
+            "wirechaos_p50_latency", "ms", len(latencies), elapsed,
+            value=p50 * 1000.0,
+        ),
+        GaugeResult(
+            "wirechaos_p99_latency", "ms", len(latencies), elapsed,
+            value=p99 * 1000.0,
+        ),
+        GaugeResult(
+            "wirechaos_mismatches", "results", checked, elapsed,
+            value=float(mismatches),
+        ),
+        GaugeResult(
+            "wirechaos_faults_injected", "faults", max(faults, 1),
+            elapsed, value=float(faults),
+        ),
+        GaugeResult(
+            "wirechaos_loris_reaped", "connections", 1, elapsed,
+            value=float(loris_reaped),
+        ),
+        # the fault script, in-band, or the row set is unreproducible
+        GaugeResult(
+            "wirechaos_seed", "seed", 1, elapsed, value=float(seed)
+        ),
+        GaugeResult(
+            "wirechaos_refuse_probability", "probability", 1, elapsed,
+            value=refuse_probability,
+        ),
+        GaugeResult(
+            "wirechaos_disconnect_probability", "probability", 1,
+            elapsed, value=disconnect_probability,
+        ),
+        GaugeResult(
+            "wirechaos_truncate_probability", "probability", 1,
+            elapsed, value=truncate_probability,
+        ),
+        GaugeResult(
+            "wirechaos_corrupt_probability", "probability", 1, elapsed,
+            value=corrupt_probability,
+        ),
+        GaugeResult(
+            "wirechaos_stall_probability", "probability", 1, elapsed,
+            value=stall_probability,
+        ),
+    ]
+    summary = {
+        "seed": seed,
+        "fault_script": {
+            "refuse_probability": refuse_probability,
+            "disconnect_probability": disconnect_probability,
+            "truncate_probability": truncate_probability,
+            "corrupt_probability": corrupt_probability,
+            "stall_probability": stall_probability,
+            "stall_seconds": stall_seconds,
+        },
+        "duration": round(elapsed, 3),
+        "clients": clients,
+        "requests": total,
+        "outcomes": dict(sorted(outcomes.items())),
+        "availability_percent": round(availability, 3),
+        "p50_ms": round(p50 * 1000.0, 3),
+        "p99_ms": round(p99 * 1000.0, 3),
+        "results_checked": checked,
+        "result_mismatches": mismatches,
+        "network_faults": injected,
+        "loris_reaped": loris_reaped,
+        "wire": wire_stats,
+        "service": service_stats,
+    }
+    return rows, summary
+
+
 def run_trace_probe(
     *,
     quick: bool = True,

@@ -41,9 +41,12 @@ class TestResolveEntries:
         monkeypatch.setenv("REPRO_HOTCACHE", "128")
         assert resolve_hotcache_entries(16) == 16
 
-    def test_garbage_env_stays_off(self, monkeypatch):
+    def test_garbage_env_raises(self, monkeypatch):
+        from repro.config import ConfigError
+
         monkeypatch.setenv("REPRO_HOTCACHE", "many")
-        assert resolve_hotcache_entries() == 0
+        with pytest.raises(ConfigError, match="REPRO_HOTCACHE"):
+            resolve_hotcache_entries()
 
 
 class TestCountMinSketch:
